@@ -1,0 +1,56 @@
+"""Ablation benchmarks: ADPLL refinements and the utility-function mode.
+
+``components=False, memo=False`` is the paper's plain Algorithm 3; the
+refined variants should never be slower on the same workload.
+"""
+
+import pytest
+
+from repro.experiments.ablations import adpll_flag_point
+from repro.experiments.sweep import sweep_point
+
+SIZE = 250
+
+
+@pytest.mark.parametrize("components", [True, False])
+@pytest.mark.parametrize("memo", [True, False])
+def test_adpll_refinements(benchmark, once, components, memo):
+    seconds = once(benchmark, lambda: adpll_flag_point(SIZE, components, memo))
+    benchmark.extra_info.update(inner_seconds=seconds)
+
+
+@pytest.mark.parametrize("mode", ["syntactic", "conditional"])
+def test_utility_mode(benchmark, once, mode):
+    point = once(benchmark, lambda: sweep_point("nba", SIZE, "hhs", utility_mode=mode))
+    benchmark.extra_info.update(f1=point["f1"])
+
+
+@pytest.mark.parametrize("mode", ["direct", "intervals", "full"])
+def test_answer_inference_mode(benchmark, once, mode):
+    """Answer-propagation ablation in the crowd-attribute setting with a
+    scarce budget: 'full' (transitive + bound propagation) should match or
+    beat 'intervals' and 'direct' on F1 at identical task counts."""
+    from repro.core import BayesCrowd, BayesCrowdConfig
+    from repro.experiments.data import dataset_with_distributions
+    from repro.metrics import f1_score
+    from repro.skyline import skyline
+
+    n = 120
+    dataset, distributions = dataset_with_distributions("crowdsky", n)
+    truth = skyline(dataset.complete)
+    config = BayesCrowdConfig(
+        alpha=0.05, budget=n // 3, latency=max(1, n // 60),
+        strategy="hhs", inference_mode=mode, seed=0,
+    )
+
+    def run():
+        query = BayesCrowd(
+            dataset, config,
+            distributions={v: p.copy() for v, p in distributions.items()},
+        )
+        return query.run()
+
+    result = once(benchmark, run)
+    benchmark.extra_info.update(
+        mode=mode, f1=f1_score(result.answers, truth), tasks=result.tasks_posted
+    )

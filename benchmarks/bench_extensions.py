@@ -1,0 +1,49 @@
+"""Benchmarks for the query-type extensions: k-skyband and top-k dominating.
+
+Not paper figures; they track the cost of the counting-based probability
+machinery (skyband) and the boundary-focused task selection (top-k) on
+the standard NBA workload.
+"""
+
+import pytest
+
+from repro.datasets import generate_nba
+from repro.metrics import f1_score
+from repro.skyband import CrowdSkyband, SkybandConfig, skyband
+from repro.topk import CrowdTopKDominating, TopKConfig, top_k_dominating
+
+N = 200
+
+
+@pytest.mark.parametrize("k", [1, 2, 3])
+def test_skyband_query(benchmark, once, k):
+    dataset = generate_nba(n_objects=N, missing_rate=0.1, seed=2)
+    truth = skyband(dataset.complete, k)
+    config = SkybandConfig(k=k, alpha=0.08, budget=40, latency=4, seed=0)
+
+    result = once(benchmark, lambda: CrowdSkyband(dataset, config).run())
+    benchmark.extra_info.update(
+        k=k, f1=f1_score(result.answers, truth), tasks=result.tasks_posted
+    )
+
+
+@pytest.mark.parametrize("k", [5, 10, 20])
+def test_topk_dominating_query(benchmark, once, k):
+    dataset = generate_nba(n_objects=N, missing_rate=0.1, seed=2)
+    truth = top_k_dominating(dataset.complete, k)
+    config = TopKConfig(k=k, budget=40, latency=4, seed=0)
+
+    result = once(benchmark, lambda: CrowdTopKDominating(dataset, config).run())
+    benchmark.extra_info.update(
+        k=k, f1=f1_score(result.answers, truth), tasks=result.tasks_posted
+    )
+
+
+def test_imputation_baseline(benchmark, once):
+    from repro.baselines import imputed_skyline
+    from repro.skyline import skyline
+
+    dataset = generate_nba(n_objects=N, missing_rate=0.1, seed=2)
+    truth = skyline(dataset.complete)
+    result = once(benchmark, lambda: imputed_skyline(dataset))
+    benchmark.extra_info.update(f1=f1_score(result.answers, truth))

@@ -1,0 +1,30 @@
+"""Figure 2 benchmark: c-table construction, Get-CTable vs Baseline.
+
+Series: construction time per (dataset, missing rate, method).
+Expected shape: ``fast`` beats ``baseline`` at every point; both rise
+with the missing rate.
+"""
+
+import pytest
+
+from repro.ctable import build_ctable
+from repro.experiments.data import nba_dataset, synthetic_dataset
+
+MISSING_RATES = (0.05, 0.10, 0.15, 0.20)
+SIZES = {"nba": 300, "synthetic": 600}
+
+
+@pytest.mark.parametrize("kind", sorted(SIZES))
+@pytest.mark.parametrize("missing_rate", MISSING_RATES)
+@pytest.mark.parametrize("method", ["fast", "baseline"])
+def test_ctable_construction(benchmark, once, kind, missing_rate, method):
+    if kind == "nba":
+        dataset = nba_dataset(SIZES[kind], missing_rate)
+    else:
+        dataset = synthetic_dataset(SIZES[kind], missing_rate)
+    ctable = once(
+        benchmark,
+        lambda: build_ctable(dataset, alpha=0.05, dominator_method=method),
+    )
+    benchmark.extra_info["certain_answers"] = len(ctable.certain_answers())
+    benchmark.extra_info["open_conditions"] = len(ctable.undecided())

@@ -1,0 +1,27 @@
+"""Figure 4 benchmark: BayesCrowd vs CrowdSky over cardinality.
+
+Series per (system, n): execution time (the benchmark timing) plus posted
+tasks (monetary cost), rounds (latency) and F1 in ``extra_info``.
+Expected shape: CrowdSky posts several times more tasks and rounds, the
+gap widening with cardinality.
+"""
+
+import pytest
+
+from repro.experiments.fig04_crowdsky import bayescrowd_point, crowdsky_point
+
+CARDINALITIES = (60, 100, 140)
+SYSTEMS = ("bayescrowd-fbs", "bayescrowd-hhs", "crowdsky")
+
+
+@pytest.mark.parametrize("n", CARDINALITIES)
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_crowdsky_comparison(benchmark, once, system, n):
+    if system == "crowdsky":
+        point = once(benchmark, lambda: crowdsky_point(n))
+    else:
+        strategy = system.split("-")[1]
+        point = once(benchmark, lambda: bayescrowd_point(n, strategy))
+    benchmark.extra_info["tasks"] = point["tasks"]
+    benchmark.extra_info["rounds"] = point["rounds"]
+    benchmark.extra_info["f1"] = point["f1"]

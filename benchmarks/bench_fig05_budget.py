@@ -1,0 +1,26 @@
+"""Figure 5 benchmark: cost/accuracy vs budget for FBS / UBS / HHS.
+
+Expected shape: F1 climbs and time grows with budget; FBS fastest /
+least accurate, UBS slowest / most accurate, HHS between.
+"""
+
+import pytest
+
+from repro.experiments.sweep import sweep_point
+
+BUDGETS = {"nba": (10, 25, 50, 100), "synthetic": (30, 60, 120)}
+SIZES = {"nba": 250, "synthetic": 400}
+STRATEGIES = ("fbs", "ubs", "hhs")
+
+
+@pytest.mark.parametrize("kind", sorted(SIZES))
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("budget_index", range(3))
+def test_budget_sweep(benchmark, once, kind, strategy, budget_index):
+    budget = BUDGETS[kind][budget_index]
+    point = once(
+        benchmark, lambda: sweep_point(kind, SIZES[kind], strategy, budget=budget)
+    )
+    benchmark.extra_info.update(
+        budget=budget, f1=point["f1"], tasks=point["tasks"], rounds=point["rounds"]
+    )

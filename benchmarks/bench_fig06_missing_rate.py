@@ -1,0 +1,23 @@
+"""Figure 6 benchmark: cost/accuracy vs missing rate.
+
+Expected shape: time grows and F1 falls as the missing rate rises.
+"""
+
+import pytest
+
+from repro.experiments.sweep import sweep_point
+
+MISSING_RATES = (0.05, 0.10, 0.15, 0.20)
+SIZES = {"nba": 250, "synthetic": 400}
+STRATEGIES = ("fbs", "hhs")
+
+
+@pytest.mark.parametrize("kind", sorted(SIZES))
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("missing_rate", MISSING_RATES)
+def test_missing_rate_sweep(benchmark, once, kind, strategy, missing_rate):
+    point = once(
+        benchmark,
+        lambda: sweep_point(kind, SIZES[kind], strategy, missing_rate=missing_rate),
+    )
+    benchmark.extra_info.update(f1=point["f1"], tasks=point["tasks"])

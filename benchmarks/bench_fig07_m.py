@@ -1,0 +1,24 @@
+"""Figure 7 benchmark: HHS vs its early-stop parameter m.
+
+Expected shape: accuracy approaches UBS as m grows, at rising time cost;
+FBS and UBS run as reference points.
+"""
+
+import pytest
+
+from repro.experiments.sweep import sweep_point
+
+M_VALUES = (1, 3, 8, 15)
+SIZE = 250
+
+
+@pytest.mark.parametrize("strategy", ["fbs", "ubs"])
+def test_reference_strategies(benchmark, once, strategy):
+    point = once(benchmark, lambda: sweep_point("nba", SIZE, strategy))
+    benchmark.extra_info.update(f1=point["f1"])
+
+
+@pytest.mark.parametrize("m", M_VALUES)
+def test_hhs_m_sweep(benchmark, once, m):
+    point = once(benchmark, lambda: sweep_point("nba", SIZE, "hhs", m=m))
+    benchmark.extra_info.update(m=m, f1=point["f1"])

@@ -1,0 +1,18 @@
+"""Figure 8 benchmark: cost/accuracy vs the pruning threshold alpha.
+
+Expected shape: time grows with alpha; accuracy improves then flattens.
+"""
+
+import pytest
+
+from repro.experiments.sweep import sweep_point
+
+ALPHAS = (0.005, 0.015, 0.05, 0.15)
+SIZES = {"nba": 250, "synthetic": 400}
+
+
+@pytest.mark.parametrize("kind", sorted(SIZES))
+@pytest.mark.parametrize("alpha", ALPHAS)
+def test_alpha_sweep(benchmark, once, kind, alpha):
+    point = once(benchmark, lambda: sweep_point(kind, SIZES[kind], "hhs", alpha=alpha))
+    benchmark.extra_info.update(alpha=alpha, f1=point["f1"], tasks=point["tasks"])

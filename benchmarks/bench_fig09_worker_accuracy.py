@@ -1,0 +1,21 @@
+"""Figure 9 benchmark: cost/accuracy vs worker accuracy.
+
+Expected shape: time insensitive to worker accuracy; F1 climbs with it.
+"""
+
+import pytest
+
+from repro.experiments.sweep import sweep_point
+
+ACCURACIES = (0.7, 0.8, 0.9, 1.0)
+SIZES = {"nba": 250, "synthetic": 400}
+
+
+@pytest.mark.parametrize("kind", sorted(SIZES))
+@pytest.mark.parametrize("accuracy", ACCURACIES)
+def test_worker_accuracy_sweep(benchmark, once, kind, accuracy):
+    point = once(
+        benchmark,
+        lambda: sweep_point(kind, SIZES[kind], "hhs", worker_accuracy=accuracy),
+    )
+    benchmark.extra_info.update(worker_accuracy=accuracy, f1=point["f1"])

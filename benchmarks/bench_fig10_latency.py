@@ -1,0 +1,20 @@
+"""Figure 10 benchmark: cost/accuracy vs the latency constraint (rounds).
+
+Expected shape: time and F1 roughly flat at a fixed budget; rounds <= L.
+"""
+
+import pytest
+
+from repro.experiments.sweep import sweep_point
+
+LATENCIES = (2, 5, 10, 20)
+SIZE = 400
+
+
+@pytest.mark.parametrize("latency", LATENCIES)
+def test_latency_sweep(benchmark, once, latency):
+    point = once(
+        benchmark, lambda: sweep_point("synthetic", SIZE, "hhs", latency=latency)
+    )
+    assert point["rounds"] <= latency
+    benchmark.extra_info.update(latency=latency, f1=point["f1"], rounds=point["rounds"])

@@ -1,0 +1,17 @@
+"""Figure 11 benchmark: cost/accuracy vs Synthetic cardinality.
+
+Expected shape: time grows with cardinality; F1 decreases gradually at a
+fixed budget.
+"""
+
+import pytest
+
+from repro.experiments.sweep import sweep_point
+
+CARDINALITIES = (150, 300, 600, 1200)
+
+
+@pytest.mark.parametrize("n", CARDINALITIES)
+def test_cardinality_sweep(benchmark, once, n):
+    point = once(benchmark, lambda: sweep_point("synthetic", n, "hhs"))
+    benchmark.extra_info.update(n=n, f1=point["f1"], tasks=point["tasks"])

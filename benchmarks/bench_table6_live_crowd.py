@@ -1,0 +1,18 @@
+"""Table 6 benchmark: simulated "live AMT" F1 per strategy.
+
+Paper values: FBS 0.956, UBS 0.979, HHS 0.978 on NBA with real workers.
+Expected shape: all high; UBS/HHS above FBS.
+"""
+
+import pytest
+
+from repro.experiments.table6_live import PAPER_F1, live_point
+
+SIZE = 300
+
+
+@pytest.mark.parametrize("strategy", ["fbs", "ubs", "hhs"])
+def test_live_crowd(benchmark, once, strategy):
+    f1 = once(benchmark, lambda: live_point(strategy, SIZE))
+    benchmark.extra_info.update(f1=f1, paper_f1=PAPER_F1[strategy])
+    assert f1 > 0.7

@@ -1,0 +1,26 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one paper table/figure point: the benchmarked
+callable is the paper's timed operation and ``benchmark.extra_info``
+carries the non-timing series (F1, tasks, rounds) so a single
+``pytest benchmarks/ --benchmark-only`` run reports every number the
+corresponding figure plots.
+
+Sizes follow the experiment runners' quick mode (REPRO_SCALE applies on
+top); each point runs once (``pedantic`` with one round) because the
+workloads are seconds-scale and deterministic given their seeds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Benchmark ``fn`` exactly once and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    return run_once

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Domain example: skyline over census-style records, crowd vs machine.
+
+The Adult-shaped synthetic dataset plays the role of a census extract
+(age, education, occupation, hours, income, ...) with survey non-response
+producing missing cells -- "participants choose to ignore some sensitive
+questions on surveys" (paper introduction).  The example contrasts three
+ways to answer the skyline query:
+
+1. machine-only inference from the Bayesian-network posteriors,
+2. BayesCrowd with a modest crowd budget,
+3. BayesCrowd with a generous budget,
+
+and shows how the F1 against the (held-out) complete data climbs, and
+how the Bayesian network's correlation model sharpens the starting point
+compared with zero-knowledge uniform priors.
+
+Run:
+    python examples/census_crowd_vs_machine.py
+"""
+
+from repro import BayesCrowd, BayesCrowdConfig, f1_score, generate_synthetic, skyline
+from repro.baselines import machine_only_skyline
+
+
+def main() -> None:
+    dataset = generate_synthetic(n_objects=1200, missing_rate=0.12, seed=3)
+    truth = skyline(dataset.complete)
+    print(
+        "Census extract: %d records x %d attributes, %.0f%% cells missing, "
+        "%d true skyline records"
+        % (dataset.n_objects, dataset.n_attributes,
+           100 * dataset.missing_rate, len(truth))
+    )
+
+    base = dict(alpha=0.05, latency=8, strategy="hhs", m=15, seed=2)
+
+    # 1. machine only, with and without the learned Bayesian network
+    for source in ("uniform", "bayesnet"):
+        config = BayesCrowdConfig(budget=0, distribution_source=source, **base)
+        result = machine_only_skyline(dataset, config)
+        print(
+            "machine-only (%-8s priors): F1 %.3f, answer set %d"
+            % (source, f1_score(result.answers, truth), len(result.answers))
+        )
+
+    # 2./3. crowdsourced, increasing budgets
+    for budget in (40, 160):
+        config = BayesCrowdConfig(budget=budget, **base)
+        result = BayesCrowd(dataset, config).run()
+        print(
+            "crowdsourced (budget %4d):     F1 %.3f, %d tasks in %d rounds, %.2fs"
+            % (budget, result.f1(truth), result.tasks_posted, result.rounds,
+               result.seconds)
+        )
+
+
+if __name__ == "__main__":
+    main()

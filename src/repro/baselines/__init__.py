@@ -1,0 +1,13 @@
+"""Comparison baselines: CrowdSky, machine-only, impute-then-query."""
+
+from .crowdsky import CrowdSky
+from .imputation import IMPUTE_MODES, impute_dataset, imputed_skyline
+from .machine_only import machine_only_skyline
+
+__all__ = [
+    "CrowdSky",
+    "IMPUTE_MODES",
+    "impute_dataset",
+    "imputed_skyline",
+    "machine_only_skyline",
+]

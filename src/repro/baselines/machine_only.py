@@ -1,0 +1,28 @@
+"""Machine-only baseline: answer without asking the crowd anything.
+
+Builds the c-table and reports objects that are certainly answers or have
+``Pr(phi) > threshold`` under the learned distributions -- i.e. a
+BayesCrowd run with budget zero.  Used in experiments to show how much
+accuracy the crowdsourcing phase actually buys.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from ..core.config import BayesCrowdConfig
+from ..core.framework import BayesCrowd
+from ..core.result import QueryResult
+from ..datasets.dataset import IncompleteDataset
+
+
+def machine_only_skyline(
+    dataset: IncompleteDataset,
+    config: Optional[BayesCrowdConfig] = None,
+    **kwargs,
+) -> QueryResult:
+    """Run the modeling phase + probabilistic inference with no crowd budget."""
+    base = config or BayesCrowdConfig()
+    zero_budget = dataclasses.replace(base, budget=0)
+    return BayesCrowd(dataset, config=zero_budget, **kwargs).run()

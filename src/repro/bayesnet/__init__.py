@@ -1,0 +1,41 @@
+"""Discrete Bayesian network substrate (replaces Banjo + Infer.Net).
+
+Structure learning (hill climbing, BIC), parameter fitting (smoothed MLE),
+exact inference (variable elimination), forward sampling, discretization
+and the missing-value posterior service used by BayesCrowd preprocessing.
+"""
+
+from .cpt import CPT, random_cpt, uniform_cpt
+from .dag import DAG, CycleError, dag_from_edges
+from .discretize import Discretizer, discretize
+from .inference import Factor, VariableElimination
+from .network import BayesianNetwork
+from .parameters import fit_cpt, log_likelihood
+from .posteriors import (
+    MissingValuePosteriors,
+    empirical_distributions,
+    uniform_distributions,
+)
+from .structure import StructureSearchResult, bic_score, hill_climb
+
+__all__ = [
+    "CPT",
+    "random_cpt",
+    "uniform_cpt",
+    "DAG",
+    "CycleError",
+    "dag_from_edges",
+    "Discretizer",
+    "discretize",
+    "Factor",
+    "VariableElimination",
+    "BayesianNetwork",
+    "fit_cpt",
+    "log_likelihood",
+    "MissingValuePosteriors",
+    "uniform_distributions",
+    "empirical_distributions",
+    "StructureSearchResult",
+    "bic_score",
+    "hill_climb",
+]

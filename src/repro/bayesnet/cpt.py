@@ -1,0 +1,86 @@
+"""Conditional probability tables for discrete Bayesian networks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CPT:
+    """``P(node | parents)`` as a dense table.
+
+    ``table`` has shape ``(*parent_cards, card)``: the first axes index the
+    parent configuration (in ``parents`` order) and the last axis is the
+    node's own value.  Every parent-configuration slice sums to one.
+    """
+
+    node: int
+    parents: Tuple[int, ...]
+    table: np.ndarray
+
+    def __post_init__(self) -> None:
+        table = np.asarray(self.table, dtype=np.float64)
+        object.__setattr__(self, "table", table)
+        if table.ndim != len(self.parents) + 1:
+            raise ValueError(
+                "table rank %d does not match %d parents"
+                % (table.ndim, len(self.parents))
+            )
+        if (table < 0).any():
+            raise ValueError("CPT entries must be non-negative")
+        sums = table.sum(axis=-1)
+        if not np.allclose(sums, 1.0, atol=1e-8):
+            raise ValueError("every parent configuration must sum to 1")
+
+    @property
+    def cardinality(self) -> int:
+        return int(self.table.shape[-1])
+
+    def parent_cards(self) -> Tuple[int, ...]:
+        return tuple(int(s) for s in self.table.shape[:-1])
+
+    def probability(self, value: int, parent_values: Dict[int, int]) -> float:
+        """``P(node = value | parents = parent_values)``."""
+        index = tuple(parent_values[p] for p in self.parents) + (value,)
+        return float(self.table[index])
+
+    def distribution(self, parent_values: Dict[int, int]) -> np.ndarray:
+        """The conditional pmf of the node for one parent configuration."""
+        index = tuple(parent_values[p] for p in self.parents)
+        return self.table[index].copy()
+
+
+def uniform_cpt(node: int, cardinality: int, parents: Sequence[int] = (),
+                parent_cards: Sequence[int] = ()) -> CPT:
+    """A CPT assigning equal mass to every node value."""
+    parents = tuple(parents)
+    parent_cards = tuple(parent_cards)
+    if len(parents) != len(parent_cards):
+        raise ValueError("parents and parent_cards must align")
+    shape = parent_cards + (cardinality,)
+    table = np.full(shape, 1.0 / cardinality)
+    return CPT(node=node, parents=parents, table=table)
+
+
+def random_cpt(
+    node: int,
+    cardinality: int,
+    parents: Sequence[int],
+    parent_cards: Sequence[int],
+    rng: np.random.Generator,
+    concentration: float = 1.0,
+) -> CPT:
+    """Dirichlet-random CPT (used by synthetic data generators).
+
+    Lower ``concentration`` yields more deterministic (skewed) conditionals,
+    i.e. stronger attribute correlation in the sampled data.
+    """
+    parents = tuple(parents)
+    parent_cards = tuple(parent_cards)
+    shape = parent_cards + (cardinality,)
+    flat_rows = int(np.prod(parent_cards)) if parent_cards else 1
+    rows = rng.dirichlet(np.full(cardinality, concentration), size=flat_rows)
+    return CPT(node=node, parents=parents, table=rows.reshape(shape))

@@ -1,0 +1,152 @@
+"""Directed acyclic graph over attribute indices.
+
+A tiny purpose-built DAG type: nodes are the integers ``0..n-1`` (attribute
+indices) and edges point parent -> child.  It supports exactly the
+operations the hill-climbing structure learner needs: add / remove /
+reverse an edge with an acyclicity guard, parent lookup and topological
+ordering.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterator, List, Set, Tuple
+
+
+class CycleError(ValueError):
+    """Raised when an edge operation would create a directed cycle."""
+
+
+class DAG:
+    """Mutable DAG with parent-set representation."""
+
+    def __init__(self, n_nodes: int) -> None:
+        if n_nodes < 0:
+            raise ValueError("n_nodes must be non-negative")
+        self.n_nodes = n_nodes
+        self._parents: List[Set[int]] = [set() for _ in range(n_nodes)]
+        self._children: List[Set[int]] = [set() for _ in range(n_nodes)]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def parents(self, node: int) -> FrozenSet[int]:
+        return frozenset(self._parents[node])
+
+    def children(self, node: int) -> FrozenSet[int]:
+        return frozenset(self._children[node])
+
+    def has_edge(self, parent: int, child: int) -> bool:
+        return child in self._children[parent]
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        for parent in range(self.n_nodes):
+            for child in sorted(self._children[parent]):
+                yield (parent, child)
+
+    def n_edges(self) -> int:
+        return sum(len(c) for c in self._children)
+
+    def has_path(self, source: int, target: int) -> bool:
+        """Directed reachability source ->* target (DFS)."""
+        if source == target:
+            return True
+        stack = [source]
+        seen = {source}
+        while stack:
+            node = stack.pop()
+            for child in self._children[node]:
+                if child == target:
+                    return True
+                if child not in seen:
+                    seen.add(child)
+                    stack.append(child)
+        return False
+
+    def topological_order(self) -> List[int]:
+        """Kahn's algorithm; raises :class:`CycleError` on a cyclic graph."""
+        in_degree = [len(self._parents[v]) for v in range(self.n_nodes)]
+        frontier = [v for v in range(self.n_nodes) if in_degree[v] == 0]
+        order: List[int] = []
+        while frontier:
+            node = frontier.pop()
+            order.append(node)
+            for child in self._children[node]:
+                in_degree[child] -= 1
+                if in_degree[child] == 0:
+                    frontier.append(child)
+        if len(order) != self.n_nodes:
+            raise CycleError("graph contains a directed cycle")
+        return order
+
+    # ------------------------------------------------------------------
+    # mutations (all guarded against cycles)
+    # ------------------------------------------------------------------
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.n_nodes:
+            raise ValueError("node %d out of range" % node)
+
+    def can_add_edge(self, parent: int, child: int) -> bool:
+        self._check_node(parent)
+        self._check_node(child)
+        if parent == child or self.has_edge(parent, child):
+            return False
+        return not self.has_path(child, parent)
+
+    def add_edge(self, parent: int, child: int) -> None:
+        if parent == child:
+            raise CycleError("self loop %d -> %d" % (parent, child))
+        self._check_node(parent)
+        self._check_node(child)
+        if self.has_path(child, parent):
+            raise CycleError("edge %d -> %d would create a cycle" % (parent, child))
+        self._parents[child].add(parent)
+        self._children[parent].add(child)
+
+    def remove_edge(self, parent: int, child: int) -> None:
+        if not self.has_edge(parent, child):
+            raise ValueError("edge %d -> %d not present" % (parent, child))
+        self._parents[child].discard(parent)
+        self._children[parent].discard(child)
+
+    def can_reverse_edge(self, parent: int, child: int) -> bool:
+        if not self.has_edge(parent, child):
+            return False
+        self.remove_edge(parent, child)
+        try:
+            return not self.has_path(parent, child)
+        finally:
+            self.add_edge(parent, child)
+
+    def reverse_edge(self, parent: int, child: int) -> None:
+        if not self.has_edge(parent, child):
+            raise ValueError("edge %d -> %d not present" % (parent, child))
+        self.remove_edge(parent, child)
+        try:
+            self.add_edge(child, parent)
+        except CycleError:
+            self.add_edge(parent, child)
+            raise
+
+    def copy(self) -> "DAG":
+        clone = DAG(self.n_nodes)
+        for parent, child in self.edges():
+            clone._parents[child].add(parent)
+            clone._children[parent].add(child)
+        return clone
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DAG):
+            return NotImplemented
+        return self.n_nodes == other.n_nodes and self._parents == other._parents
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "DAG(n=%d, edges=%s)" % (self.n_nodes, list(self.edges()))
+
+
+def dag_from_edges(n_nodes: int, edges: Iterator[Tuple[int, int]]) -> DAG:
+    """Build a DAG from an edge list, validating acyclicity edge by edge."""
+    dag = DAG(n_nodes)
+    for parent, child in edges:
+        dag.add_edge(parent, child)
+    return dag

@@ -1,0 +1,40 @@
+"""BayesCrowd core: the paper's primary contribution."""
+
+from .config import DISTRIBUTION_SOURCES, BayesCrowdConfig
+from .framework import BayesCrowd, learn_distributions, run_bayescrowd
+from .result import QueryResult, RoundRecord
+from .selection import RankedObject, rank_objects, select_top_k
+from .strategies import (
+    FrequencyStrategy,
+    HybridStrategy,
+    SelectionContext,
+    TaskSelectionStrategy,
+    UtilityStrategy,
+    expression_frequencies,
+    make_strategy,
+)
+from .utility import UTILITY_MODES, entropy, marginal_utility, object_entropy
+
+__all__ = [
+    "DISTRIBUTION_SOURCES",
+    "BayesCrowdConfig",
+    "BayesCrowd",
+    "learn_distributions",
+    "run_bayescrowd",
+    "QueryResult",
+    "RoundRecord",
+    "RankedObject",
+    "rank_objects",
+    "select_top_k",
+    "FrequencyStrategy",
+    "HybridStrategy",
+    "UtilityStrategy",
+    "TaskSelectionStrategy",
+    "SelectionContext",
+    "expression_frequencies",
+    "make_strategy",
+    "UTILITY_MODES",
+    "entropy",
+    "marginal_utility",
+    "object_entropy",
+]

@@ -1,0 +1,102 @@
+"""Configuration of a BayesCrowd query run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ctable.constraints import INFERENCE_MODES
+from ..probability.engine import METHODS
+from .utility import UTILITY_MODES
+
+#: How the per-variable distributions are obtained in preprocessing.
+DISTRIBUTION_SOURCES = ("bayesnet", "empirical", "uniform")
+
+
+@dataclass
+class BayesCrowdConfig:
+    """All knobs of Algorithm 1 / Algorithm 4 in one place.
+
+    Defaults follow the paper's NBA settings (Section 7): ``alpha=0.003``
+    scaled up to 0.01 for the smaller default datasets, budget 50, latency
+    5 rounds, ``m=15``, three workers per task with majority voting,
+    answer threshold 0.5.
+    """
+
+    #: pruning threshold of Get-CTable (fraction of |O|); >= 1 disables
+    alpha: float = 0.01
+    #: total number of affordable tasks (B)
+    budget: int = 50
+    #: latency constraint: max number of task-selection rounds (L)
+    latency: int = 5
+    #: task selection strategy: "fbs", "ubs" or "hhs"
+    strategy: str = "hhs"
+    #: HHS early-stop parameter
+    m: int = 15
+    #: probability computation method: "adpll", "naive" or "approx"
+    probability_method: str = "adpll"
+    #: objects with Pr(phi) above this are reported as answers
+    answer_threshold: float = 0.5
+    #: stop crowdsourcing early once every undecided object's entropy falls
+    #: below this (0 disables; saves budget when answers are near-certain)
+    entropy_epsilon: float = 0.0
+    #: H(o|e) evaluation in the utility function (paper: "syntactic")
+    utility_mode: str = "syntactic"
+    #: preprocessing distribution source
+    distribution_source: str = "bayesnet"
+    #: dominator-set derivation in Get-CTable: "fast" or "baseline"
+    dominator_method: str = "fast"
+    #: answer-propagation level: "direct", "intervals" or "full"
+    inference_mode: str = "full"
+    #: structure-learning parent cap for the Bayesian network
+    bn_max_parents: int = 3
+    #: Laplace smoothing for CPT estimation
+    bn_smoothing: float = 1.0
+    #: workers answering each task (majority voted)
+    assignments_per_task: int = 3
+    #: answer aggregation: "majority" or "weighted" (gold-task calibrated
+    #: log-odds voting; see repro.crowd.quality)
+    aggregation: str = "majority"
+    #: gold questions per worker for "weighted" calibration
+    calibration_questions: int = 20
+    #: accuracy of simulated workers (used when no platform is supplied)
+    worker_accuracy: float = 1.0
+    #: RNG seed for every stochastic component of the run
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0:
+            raise ValueError("alpha must be positive")
+        if self.budget < 0:
+            raise ValueError("budget must be non-negative")
+        if self.latency < 1:
+            raise ValueError("latency must be at least one round")
+        if self.m < 1:
+            raise ValueError("m must be at least 1")
+        if self.strategy.lower() not in ("fbs", "ubs", "hhs"):
+            raise ValueError("unknown strategy %r" % self.strategy)
+        if self.probability_method not in METHODS:
+            raise ValueError("unknown probability method %r" % self.probability_method)
+        if not 0.0 <= self.answer_threshold <= 1.0:
+            raise ValueError("answer_threshold must lie in [0, 1]")
+        if not 0.0 <= self.entropy_epsilon <= 1.0:
+            raise ValueError("entropy_epsilon must lie in [0, 1]")
+        if self.utility_mode not in UTILITY_MODES:
+            raise ValueError("unknown utility mode %r" % self.utility_mode)
+        if self.distribution_source not in DISTRIBUTION_SOURCES:
+            raise ValueError("unknown distribution source %r" % self.distribution_source)
+        if self.dominator_method not in ("fast", "baseline"):
+            raise ValueError("unknown dominator method %r" % self.dominator_method)
+        if self.inference_mode not in INFERENCE_MODES:
+            raise ValueError("unknown inference mode %r" % self.inference_mode)
+        if not 0.0 <= self.worker_accuracy <= 1.0:
+            raise ValueError("worker_accuracy must lie in [0, 1]")
+        if self.aggregation not in ("majority", "weighted"):
+            raise ValueError("unknown aggregation %r" % self.aggregation)
+        if self.calibration_questions < 1:
+            raise ValueError("calibration_questions must be positive")
+
+    def tasks_per_round(self) -> int:
+        """``mu = ceil(B / L)`` (Algorithm 4, line 1)."""
+        if self.budget == 0:
+            return 0
+        return -(-self.budget // self.latency)

@@ -1,0 +1,303 @@
+"""The BayesCrowd framework (Algorithm 1 + Algorithm 4).
+
+Orchestrates the full pipeline:
+
+1. *Preprocessing* -- train a Bayesian network on the dataset's complete
+   rows and derive per-variable posterior distributions (Section 3).
+2. *Modeling phase* -- build the c-table with Get-CTable (Section 4).
+3. *Crowdsourcing phase* -- iterative batched task selection under budget
+   ``B`` and latency ``L`` (Section 6): rank undecided objects by entropy,
+   pick one conflict-free expression per chosen object with the configured
+   strategy (FBS / UBS / HHS), post the batch, fold answers back into the
+   c-table, repeat until the budget is spent or no expression remains.
+4. Answer inference: objects with ``phi = true`` or ``Pr(phi)`` above the
+   answer threshold.
+
+Reported execution time excludes the (simulated) workers' answering time,
+matching the paper's measurement ("execution time of algorithms, which
+excludes the time of workers answering tasks").
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..bayesnet.network import BayesianNetwork
+from ..bayesnet.posteriors import (
+    MissingValuePosteriors,
+    empirical_distributions,
+    uniform_distributions,
+)
+from ..crowd.platform import SimulatedCrowdPlatform
+from ..crowd.task import ComparisonTask
+from ..ctable.construction import build_ctable
+from ..ctable.ctable import CTable
+from ..datasets.dataset import IncompleteDataset, Variable
+from ..probability.distributions import DistributionStore
+from ..probability.engine import ProbabilityEngine
+from .config import BayesCrowdConfig
+from .result import QueryResult, RoundRecord
+from .selection import rank_objects
+from .strategies import SelectionContext, expression_frequencies, make_strategy
+
+#: Complete rows beyond this are subsampled for structure learning only
+#: (parameters still use every complete row).
+_STRUCTURE_SAMPLE_CAP = 4000
+
+logger = logging.getLogger("repro.bayescrowd")
+
+
+def learn_distributions(
+    dataset: IncompleteDataset,
+    config: BayesCrowdConfig,
+    network: Optional[BayesianNetwork] = None,
+) -> Dict[Variable, np.ndarray]:
+    """Preprocessing: one pmf per missing cell.
+
+    With ``distribution_source="bayesnet"`` a network is trained on the
+    dataset's complete rows (hill climbing + BIC, then smoothed MLE CPTs)
+    unless one is supplied, and each variable gets the posterior of its
+    attribute given its object's observed attributes.  When too few
+    complete rows exist to support structure learning, the empirical
+    column marginals are used instead.
+    """
+    source = config.distribution_source
+    if source == "uniform":
+        return uniform_distributions(dataset)
+    if source == "empirical":
+        return empirical_distributions(dataset, smoothing=config.bn_smoothing)
+
+    if network is None:
+        if dataset.n_objects < 10:
+            return empirical_distributions(dataset, smoothing=config.bn_smoothing)
+        rng = np.random.default_rng(config.seed)
+        data = dataset.values
+        mask = dataset.mask
+        if dataset.n_objects > _STRUCTURE_SAMPLE_CAP:
+            pick = rng.choice(
+                dataset.n_objects, size=_STRUCTURE_SAMPLE_CAP, replace=False
+            )
+            structure_data, structure_mask = data[pick], mask[pick]
+        else:
+            structure_data, structure_mask = data, mask
+        from ..bayesnet.structure import hill_climb
+
+        # Available-case analysis: both steps skip rows missing in the
+        # columns of the family under consideration, so no imputation and
+        # no fully-complete rows are required.
+        neutral = structure_data.copy()
+        neutral[structure_mask] = 0
+        dag = hill_climb(
+            neutral,
+            dataset.domain_sizes,
+            max_parents=config.bn_max_parents,
+            rng=rng,
+            mask=structure_mask,
+        ).dag
+        network = BayesianNetwork.fit(
+            data,
+            dataset.domain_sizes,
+            smoothing=config.bn_smoothing,
+            node_names=list(dataset.attribute_names),
+            dag=dag,
+            mask=mask,
+        )
+    return MissingValuePosteriors(network, dataset).all_distributions()
+
+
+class BayesCrowd:
+    """One configured BayesCrowd query over one incomplete dataset."""
+
+    def __init__(
+        self,
+        dataset: IncompleteDataset,
+        config: Optional[BayesCrowdConfig] = None,
+        platform: Optional[SimulatedCrowdPlatform] = None,
+        distributions: Optional[Dict[Variable, np.ndarray]] = None,
+        network: Optional[BayesianNetwork] = None,
+    ) -> None:
+        self.dataset = dataset
+        self.config = config or BayesCrowdConfig()
+        self._rng = np.random.default_rng(self.config.seed)
+        if platform is None and dataset.has_ground_truth():
+            platform_rng = np.random.default_rng(self.config.seed + 1)
+            aggregator = None
+            pool = None
+            if self.config.aggregation == "weighted":
+                from ..crowd.quality import (
+                    estimate_worker_accuracies,
+                    make_weighted_aggregator,
+                )
+                from ..crowd.worker import WorkerPool
+
+                pool = WorkerPool(self.config.worker_accuracy, rng=platform_rng)
+                estimates = estimate_worker_accuracies(
+                    pool,
+                    n_gold_questions=self.config.calibration_questions,
+                    rng=platform_rng,
+                )
+                aggregator = make_weighted_aggregator(estimates, rng=platform_rng)
+            platform = SimulatedCrowdPlatform(
+                dataset,
+                worker_pool=pool,
+                worker_accuracy=self.config.worker_accuracy,
+                assignments_per_task=self.config.assignments_per_task,
+                rng=platform_rng,
+                aggregator=aggregator,
+            )
+        self.platform = platform
+        if distributions is None:
+            distributions = learn_distributions(dataset, self.config, network=network)
+        self.distributions = distributions
+        self._strategy = make_strategy(self.config.strategy, m=self.config.m)
+        #: populated by :meth:`run`
+        self.ctable: Optional[CTable] = None
+        self.engine: Optional[ProbabilityEngine] = None
+
+    # ------------------------------------------------------------------
+    def run(self) -> QueryResult:
+        """Execute the query and return the answer set with run statistics."""
+        config = self.config
+        start = time.perf_counter()
+
+        # --- modeling phase -------------------------------------------
+        ctable = build_ctable(
+            self.dataset,
+            alpha=config.alpha,
+            dominator_method=config.dominator_method,
+            inference_mode=config.inference_mode,
+        )
+        modeling_seconds = time.perf_counter() - start
+        store = DistributionStore(self.distributions, ctable.constraints)
+        engine = ProbabilityEngine(
+            store,
+            method=config.probability_method,
+            rng=self._rng,
+        )
+        self.ctable = ctable
+        self.engine = engine
+        initial_answers = ctable.result_set(engine.probability, config.answer_threshold)
+
+        # --- crowdsourcing phase --------------------------------------
+        crowd_wait = 0.0
+        budget = config.budget
+        mu = config.tasks_per_round()
+        history: List[RoundRecord] = []
+        while (
+            budget > 0
+            and len(history) < config.latency
+            and ctable.has_open_expressions()
+        ):
+            round_start = time.perf_counter()
+            k = min(budget, mu)
+            ranked = rank_objects(ctable, engine)
+            if not ranked:
+                break
+            if (
+                config.entropy_epsilon > 0.0
+                and ranked[0].entropy < config.entropy_epsilon
+            ):
+                # Every undecided object is already near-certain; further
+                # tasks would buy negligible information.
+                logger.debug(
+                    "early stop: max entropy %.4f below epsilon %.4f",
+                    ranked[0].entropy,
+                    config.entropy_epsilon,
+                )
+                break
+            # Expression frequencies are counted over the chosen top-k
+            # objects' conditions (Section 6.2, step two).
+            context = SelectionContext(
+                engine=engine,
+                frequencies=expression_frequencies(
+                    [ctable.condition(r.obj) for r in ranked[:k]]
+                ),
+                utility_mode=config.utility_mode,
+            )
+            banned = set()
+            tasks: List[ComparisonTask] = []
+            objects: List[int] = []
+            # Walk the full ranking so a conflict-skipped slot is refilled
+            # by the next most uncertain object, keeping rounds at size k.
+            for r in ranked:
+                if len(tasks) >= k:
+                    break
+                expression = self._strategy.select_expression(
+                    ctable.condition(r.obj), context, banned
+                )
+                if expression is None:
+                    continue
+                banned.update(expression.variables())
+                tasks.append(ComparisonTask(expression, for_object=r.obj))
+                objects.append(r.obj)
+            if not tasks:
+                break
+            if self.platform is None:
+                raise RuntimeError(
+                    "crowdsourcing needs a platform; supply one or use a "
+                    "dataset with ground truth for the simulated crowd"
+                )
+
+            post_start = time.perf_counter()
+            answers = self.platform.post_batch(tasks)
+            crowd_wait += time.perf_counter() - post_start
+
+            open_before = len(ctable.undecided())
+            for task, relation in answers.items():
+                ctable.apply_answer(task.expression, relation)
+            open_after = len(ctable.undecided())
+            budget -= len(tasks)
+            logger.debug(
+                "round %d: %d tasks, %d conditions still open, budget %d left",
+                len(history) + 1,
+                len(tasks),
+                open_after,
+                budget,
+            )
+            history.append(
+                RoundRecord(
+                    round_index=len(history) + 1,
+                    tasks_posted=len(tasks),
+                    objects=objects,
+                    newly_decided=open_before - open_after,
+                    open_conditions=open_after,
+                    seconds=time.perf_counter() - round_start,
+                )
+            )
+
+        answers = ctable.result_set(engine.probability, config.answer_threshold)
+        probabilities: Dict[int, float] = {}
+        for obj in answers:
+            condition = ctable.condition(obj)
+            probabilities[obj] = (
+                1.0 if condition.is_true else engine.probability(condition)
+            )
+        total_seconds = time.perf_counter() - start - crowd_wait
+        return QueryResult(
+            answers=answers,
+            certain_answers=ctable.certain_answers(),
+            tasks_posted=sum(r.tasks_posted for r in history),
+            rounds=len(history),
+            seconds=total_seconds,
+            modeling_seconds=modeling_seconds,
+            history=history,
+            initial_answers=initial_answers,
+            answer_probabilities=probabilities,
+            engine_stats={
+                "computations": engine.n_computations,
+                "cache_hits": engine.n_cache_hits,
+            },
+        )
+
+
+def run_bayescrowd(
+    dataset: IncompleteDataset,
+    config: Optional[BayesCrowdConfig] = None,
+    **kwargs,
+) -> QueryResult:
+    """Convenience one-call API: configure, run, return the result."""
+    return BayesCrowd(dataset, config=config, **kwargs).run()

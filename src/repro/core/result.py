@@ -1,0 +1,62 @@
+"""Query results and per-round run history."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..metrics.accuracy import AccuracyReport, accuracy_report
+
+
+@dataclass
+class RoundRecord:
+    """What happened in one crowdsourcing iteration."""
+
+    round_index: int
+    tasks_posted: int
+    #: objects the tasks were selected for
+    objects: List[int]
+    #: conditions resolved to a constant by this round's answers
+    newly_decided: int
+    #: remaining symbolic conditions after the round
+    open_conditions: int
+    seconds: float
+
+
+@dataclass
+class QueryResult:
+    """Outcome of one BayesCrowd (or baseline) skyline query."""
+
+    #: final answer set: certainly-true objects plus Pr(phi) > threshold ones
+    answers: List[int]
+    #: objects whose condition ended as the constant true
+    certain_answers: List[int]
+    #: total tasks posted (the paper's monetary cost)
+    tasks_posted: int
+    #: number of batches posted (the paper's latency)
+    rounds: int
+    #: algorithm execution time, excluding (simulated) worker answering
+    seconds: float
+    #: wall time of the modeling phase (c-table construction)
+    modeling_seconds: float = 0.0
+    history: List[RoundRecord] = field(default_factory=list)
+    #: answer set before any crowdsourcing (machine-only inference)
+    initial_answers: Optional[List[int]] = None
+    #: final Pr(phi(o)) per undecided-at-the-end object (certain ones are 0/1)
+    answer_probabilities: Dict[int, float] = field(default_factory=dict)
+    #: probability-engine counters (computations, cache hits)
+    engine_stats: Dict[str, int] = field(default_factory=dict)
+
+    def evaluate(self, ground_truth: List[int]) -> AccuracyReport:
+        """F1 of the answer set against the complete-data skyline."""
+        return accuracy_report(self.answers, ground_truth)
+
+    def f1(self, ground_truth: List[int]) -> float:
+        return self.evaluate(ground_truth).f1
+
+    def ranked_answers(self) -> List["tuple[int, float]"]:
+        """Answers sorted by membership probability (descending)."""
+        return sorted(
+            ((obj, self.answer_probabilities.get(obj, 1.0)) for obj in self.answers),
+            key=lambda pair: (-pair[1], pair[0]),
+        )

@@ -1,0 +1,44 @@
+"""Step one of each iteration: entropy-ranked object selection.
+
+"We employ Shannon entropy as a metric to quantify the uncertainty of
+objects being the query result objects ... we choose the top-k objects
+with the highest entropy values" (Section 6.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..ctable.ctable import CTable
+from ..probability.engine import ProbabilityEngine
+from .utility import entropy
+
+
+@dataclass(frozen=True)
+class RankedObject:
+    """One undecided object with its current probability and entropy."""
+
+    obj: int
+    probability: float
+    entropy: float
+
+
+def rank_objects(ctable: CTable, engine: ProbabilityEngine) -> List[RankedObject]:
+    """All undecided objects, most uncertain first.
+
+    Ties break on the smaller object id so runs are reproducible.
+    """
+    ranked = []
+    for obj in ctable.undecided():
+        p = engine.probability(ctable.condition(obj))
+        ranked.append(RankedObject(obj=obj, probability=p, entropy=entropy(p)))
+    ranked.sort(key=lambda r: (-r.entropy, r.obj))
+    return ranked
+
+
+def select_top_k(ctable: CTable, engine: ProbabilityEngine, k: int) -> List[RankedObject]:
+    """The ``min(k, #undecided)`` objects with the highest entropy."""
+    if k <= 0:
+        return []
+    return rank_objects(ctable, engine)[:k]

@@ -1,0 +1,185 @@
+"""Step two of each iteration: expression (task) selection strategies.
+
+Given the entropy-ranked top-k objects, each strategy picks one expression
+from each chosen object's condition (Section 6.2):
+
+* **FBS** (frequency-based): the expression appearing most often across
+  the chosen objects' conditions -- answering it simplifies many
+  conditions at once.  Cheapest, least accurate.
+* **UBS** (utility-based): the expression with the highest marginal
+  utility ``G(o, e)`` (Eq. 4).  Most accurate, needs many probability
+  computations.
+* **HHS** (hybrid heuristic, Algorithm 4): scans expressions in
+  non-ascending frequency order, computing utilities, and stops early once
+  ``m`` consecutive expressions fail to improve on the best seen.
+
+All strategies honour the round's conflict rule by never picking an
+expression that touches an already-banned variable.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set
+
+from ..ctable.condition import Condition
+from ..ctable.expression import Expression
+from ..datasets.dataset import Variable
+from ..probability.engine import ProbabilityEngine
+from .utility import marginal_utility
+
+
+@dataclass
+class SelectionContext:
+    """Shared state for one round of expression selection."""
+
+    engine: ProbabilityEngine
+    #: occurrences of each expression across the chosen objects' conditions
+    frequencies: Counter = field(default_factory=Counter)
+    utility_mode: str = "syntactic"
+    #: utility evaluations performed this round (for cost accounting)
+    utility_evaluations: int = 0
+
+
+def expression_frequencies(conditions: Sequence[Condition]) -> Counter:
+    """Occurrence counts of expressions across a set of conditions.
+
+    Repeated occurrences inside one condition all count, matching "the
+    expression appearance times in conditions of the chosen top-k objects".
+    """
+    counts: Counter = Counter()
+    for condition in conditions:
+        for expression in condition.expressions():
+            counts[expression] += 1
+    return counts
+
+
+def _eligible(
+    condition: Condition, banned: Set[Variable]
+) -> List[Expression]:
+    """Distinct expressions of a condition not touching banned variables."""
+    out = []
+    for expression in sorted(condition.distinct_expressions(), key=Expression.sort_key):
+        if not banned.intersection(expression.variables()):
+            out.append(expression)
+    return out
+
+
+def _frequency_order(
+    expressions: List[Expression], frequencies: Counter
+) -> List[Expression]:
+    """Non-ascending frequency; ties keep the canonical expression order."""
+    return sorted(expressions, key=lambda e: -frequencies[e])
+
+
+class TaskSelectionStrategy(ABC):
+    """Picks one expression per chosen object, avoiding banned variables."""
+
+    name: str = "base"
+
+    @abstractmethod
+    def select_expression(
+        self,
+        condition: Condition,
+        context: SelectionContext,
+        banned: Set[Variable],
+    ) -> Optional[Expression]:
+        """The chosen expression, or ``None`` if every candidate conflicts."""
+
+
+class FrequencyStrategy(TaskSelectionStrategy):
+    """FBS: most frequent expression first."""
+
+    name = "fbs"
+
+    def select_expression(
+        self,
+        condition: Condition,
+        context: SelectionContext,
+        banned: Set[Variable],
+    ) -> Optional[Expression]:
+        candidates = _eligible(condition, banned)
+        if not candidates:
+            return None
+        return _frequency_order(candidates, context.frequencies)[0]
+
+
+class UtilityStrategy(TaskSelectionStrategy):
+    """UBS: highest marginal utility, evaluating every candidate."""
+
+    name = "ubs"
+
+    def select_expression(
+        self,
+        condition: Condition,
+        context: SelectionContext,
+        banned: Set[Variable],
+    ) -> Optional[Expression]:
+        candidates = _eligible(condition, banned)
+        if not candidates:
+            return None
+        best = None
+        best_gain = -1.0
+        for expression in candidates:
+            gain = marginal_utility(
+                condition, expression, context.engine, mode=context.utility_mode
+            )
+            context.utility_evaluations += 1
+            if gain > best_gain:
+                best_gain = gain
+                best = expression
+        return best
+
+
+class HybridStrategy(TaskSelectionStrategy):
+    """HHS: frequency-ordered utility scan with early stop after ``m`` misses."""
+
+    name = "hhs"
+
+    def __init__(self, m: int = 15) -> None:
+        if m < 1:
+            raise ValueError("m must be at least 1")
+        self.m = m
+
+    def select_expression(
+        self,
+        condition: Condition,
+        context: SelectionContext,
+        banned: Set[Variable],
+    ) -> Optional[Expression]:
+        candidates = _eligible(condition, banned)
+        if not candidates:
+            return None
+        ordered = _frequency_order(candidates, context.frequencies)
+        best = None
+        best_gain = -1.0
+        misses = 0
+        for expression in ordered:
+            gain = marginal_utility(
+                condition, expression, context.engine, mode=context.utility_mode
+            )
+            context.utility_evaluations += 1
+            if gain > best_gain:
+                best_gain = gain
+                best = expression
+                misses = 0
+            else:
+                misses += 1
+                if misses == self.m:
+                    break
+        return best
+
+
+#: Registry used by the configuration layer.
+def make_strategy(name: str, m: int = 15) -> TaskSelectionStrategy:
+    """Instantiate a strategy by its paper name (``fbs`` / ``ubs`` / ``hhs``)."""
+    name = name.lower()
+    if name == "fbs":
+        return FrequencyStrategy()
+    if name == "ubs":
+        return UtilityStrategy()
+    if name == "hhs":
+        return HybridStrategy(m=m)
+    raise ValueError("unknown strategy %r (expected fbs, ubs or hhs)" % name)

@@ -1,0 +1,26 @@
+"""Simulated crowdsourcing substrate: tasks, workers, platform, quality."""
+
+from .aggregation import majority_vote
+from .platform import ConflictingBatchError, CrowdStats, SimulatedCrowdPlatform
+from .quality import (
+    estimate_worker_accuracies,
+    filter_pool,
+    make_weighted_aggregator,
+    weighted_vote,
+)
+from .task import ComparisonTask
+from .worker import SimulatedWorker, WorkerPool
+
+__all__ = [
+    "majority_vote",
+    "ConflictingBatchError",
+    "CrowdStats",
+    "SimulatedCrowdPlatform",
+    "estimate_worker_accuracies",
+    "filter_pool",
+    "make_weighted_aggregator",
+    "weighted_vote",
+    "ComparisonTask",
+    "SimulatedWorker",
+    "WorkerPool",
+]

@@ -1,0 +1,33 @@
+"""Answer aggregation: majority voting over redundant assignments.
+
+"We use the majority voting strategy to get task answers, and each task
+is assigned to three workers" (Section 7).  Three-way ties (all three
+workers disagree) are broken uniformly at random among the voted options.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..ctable.expression import Relation
+
+
+def majority_vote(
+    answers: Sequence[Relation],
+    rng: Optional[np.random.Generator] = None,
+) -> Relation:
+    """The plurality answer, with random tie-breaking."""
+    if not answers:
+        raise ValueError("cannot aggregate zero answers")
+    counts = Counter(answers)
+    best = max(counts.values())
+    winners: List[Relation] = sorted(
+        (r for r, c in counts.items() if c == best), key=lambda r: r.value
+    )
+    if len(winners) == 1:
+        return winners[0]
+    rng = rng or np.random.default_rng(0)
+    return winners[int(rng.integers(len(winners)))]

@@ -1,0 +1,122 @@
+"""Simulated crowdsourcing platform.
+
+Plays the role of AMT / FigureEight in the paper's architecture: a
+requester posts batches of triple-choice tasks; each task is assigned to
+``assignments_per_task`` workers drawn from a pool; answers are majority
+voted.  Ground truth comes from the dataset's held-out complete matrix,
+which the query algorithms themselves never see.
+
+The platform also does the money/latency accounting used throughout the
+evaluation: the *monetary cost* is the number of posted tasks and the
+*latency* the number of posted batches (rounds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..ctable.expression import Relation
+from ..datasets.dataset import IncompleteDataset
+from .aggregation import majority_vote
+from .task import ComparisonTask
+from .worker import WorkerPool
+
+
+class ConflictingBatchError(ValueError):
+    """A batch contained two tasks sharing a variable (Section 6.1)."""
+
+
+@dataclass
+class CrowdStats:
+    """Running totals of crowd usage."""
+
+    tasks_posted: int = 0
+    rounds: int = 0
+    worker_answers: int = 0
+    correct_majorities: int = 0
+
+    def majority_accuracy(self) -> float:
+        if self.tasks_posted == 0:
+            return 1.0
+        return self.correct_majorities / self.tasks_posted
+
+
+class SimulatedCrowdPlatform:
+    """Answers comparison tasks from ground truth through noisy workers."""
+
+    def __init__(
+        self,
+        dataset: IncompleteDataset,
+        worker_pool: Optional[WorkerPool] = None,
+        worker_accuracy: float = 1.0,
+        assignments_per_task: int = 3,
+        rng: Optional[np.random.Generator] = None,
+        enforce_conflict_free: bool = True,
+        aggregator=None,
+    ) -> None:
+        """``aggregator`` optionally replaces majority voting: a callable
+        taking ``[(worker, relation), ...]`` and returning the aggregated
+        :class:`Relation` (see :mod:`repro.crowd.quality`)."""
+        if not dataset.has_ground_truth():
+            raise ValueError("the simulated crowd needs the dataset's ground truth")
+        if assignments_per_task < 1:
+            raise ValueError("assignments_per_task must be at least 1")
+        self._dataset = dataset
+        self._rng = rng or np.random.default_rng(0)
+        self._pool = worker_pool or WorkerPool(worker_accuracy, rng=self._rng)
+        self._assignments = assignments_per_task
+        self._enforce_conflict_free = enforce_conflict_free
+        self._aggregator = aggregator
+        self.stats = CrowdStats()
+        #: every task ever posted, in posting order (for post-hoc analysis)
+        self.task_log: List["ComparisonTask"] = []
+
+    # ------------------------------------------------------------------
+    def true_relation(self, task: ComparisonTask) -> Relation:
+        """Ground-truth relation of a task (what perfect workers answer)."""
+        return task.expression.true_relation(self._dataset.complete)
+
+    def post_batch(self, tasks: Sequence[ComparisonTask]) -> Dict[ComparisonTask, Relation]:
+        """Post one round of tasks; returns the majority-voted answers.
+
+        An empty batch is a no-op that does not consume a round.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return {}
+        if self._enforce_conflict_free:
+            self._check_conflicts(tasks)
+        answers: Dict[ComparisonTask, Relation] = {}
+        for task in tasks:
+            truth = self.true_relation(task)
+            pairs = [
+                (worker, worker.answer(truth))
+                for worker in self._pool.draw(self._assignments)
+            ]
+            if self._aggregator is not None:
+                voted = self._aggregator(pairs)
+            else:
+                voted = majority_vote([r for __, r in pairs], rng=self._rng)
+            answers[task] = voted
+            self.stats.worker_answers += len(pairs)
+            if voted is truth:
+                self.stats.correct_majorities += 1
+        self.stats.tasks_posted += len(tasks)
+        self.stats.rounds += 1
+        self.task_log.extend(tasks)
+        return answers
+
+    @staticmethod
+    def _check_conflicts(tasks: Sequence[ComparisonTask]) -> None:
+        seen: Dict[tuple, ComparisonTask] = {}
+        for task in tasks:
+            for variable in task.variables():
+                other = seen.get(variable)
+                if other is not None and other is not task:
+                    raise ConflictingBatchError(
+                        "tasks %s and %s share variable %s" % (other, task, variable)
+                    )
+                seen[variable] = task

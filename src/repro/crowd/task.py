@@ -1,0 +1,45 @@
+"""Crowd tasks.
+
+"A crowd task in this paper is a triple choice (i.e., larger/smaller
+than, or equal to) to ask the relation of two operands in the inequality
+of a condition" (Section 2).  A task therefore wraps one expression; the
+object it was selected for is kept for bookkeeping only.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..ctable.expression import Expression
+
+_task_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class ComparisonTask:
+    """One triple-choice question about an expression's operands."""
+
+    expression: Expression
+    for_object: Optional[int] = None
+    task_id: int = field(default_factory=lambda: next(_task_ids))
+
+    def question(self) -> str:
+        return self.expression.question()
+
+    def variables(self):
+        """Variables touched by the task (for batch conflict checks)."""
+        return self.expression.variables()
+
+    def conflicts_with(self, other: "ComparisonTask") -> bool:
+        """Two tasks conflict when they share a variable.
+
+        "The crowd tasks in one iteration must avoid conflictions ...
+        any pair of chosen tasks in one iteration does not share the same
+        variable" (Section 6.1).
+        """
+        return bool(set(self.variables()) & set(other.variables()))
+
+    def __str__(self) -> str:
+        return "Task#%d[%s]" % (self.task_id, self.expression)

@@ -1,0 +1,76 @@
+"""Simulated crowd workers.
+
+A worker with accuracy ``w`` "returns a correct answer with the
+confidence ``w``" (Section 7); an incorrect worker picks uniformly among
+the two wrong options of the triple choice.  The paper's default is
+perfect workers (``w = 1.0``) so worker noise never confounds the other
+factors; Figure 9 sweeps ``w`` from 0.7 to 1.0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..ctable.expression import Relation
+
+_ALL_RELATIONS = (Relation.LESS, Relation.EQUAL, Relation.GREATER)
+
+
+@dataclass
+class SimulatedWorker:
+    """One worker identity with a fixed accuracy."""
+
+    worker_id: int
+    accuracy: float
+    rng: np.random.Generator
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.accuracy <= 1.0:
+            raise ValueError("accuracy must lie in [0, 1]")
+
+    def answer(self, true_relation: Relation) -> Relation:
+        """Answer a triple-choice task given its ground-truth relation."""
+        if self.rng.random() < self.accuracy:
+            return true_relation
+        wrong = [r for r in _ALL_RELATIONS if r is not true_relation]
+        return wrong[int(self.rng.integers(len(wrong)))]
+
+
+class WorkerPool:
+    """A pool of workers tasks are assigned from.
+
+    ``accuracies`` may be a single float (homogeneous pool, the paper's
+    setting) or a list of per-worker accuracies (used by the simulated
+    "live AMT" experiment, where worker quality varies).
+    """
+
+    def __init__(
+        self,
+        accuracies,
+        rng: Optional[np.random.Generator] = None,
+        size: int = 30,
+    ) -> None:
+        rng = rng or np.random.default_rng(0)
+        if np.isscalar(accuracies):
+            accuracies = [float(accuracies)] * size
+        self.workers: List[SimulatedWorker] = [
+            SimulatedWorker(worker_id=i, accuracy=float(a), rng=rng)
+            for i, a in enumerate(accuracies)
+        ]
+        if not self.workers:
+            raise ValueError("a worker pool needs at least one worker")
+        self._rng = rng
+
+    def draw(self, n: int) -> List[SimulatedWorker]:
+        """Pick ``n`` distinct workers (with replacement if the pool is small)."""
+        if n <= len(self.workers):
+            indices = self._rng.choice(len(self.workers), size=n, replace=False)
+        else:
+            indices = self._rng.choice(len(self.workers), size=n, replace=True)
+        return [self.workers[int(i)] for i in indices]
+
+    def mean_accuracy(self) -> float:
+        return float(np.mean([w.accuracy for w in self.workers]))

@@ -1,0 +1,42 @@
+"""C-table model: expressions, CNF conditions, dominator sets, Get-CTable."""
+
+from .condition import Clause, Condition, ExpressionResolver
+from .constraints import INFERENCE_MODES, VariableConstraints
+from .construction import build_ctable
+from .ctable import CTable
+from .dominators import (
+    dominator_sets,
+    dominator_sets_baseline,
+    dominator_sets_fast,
+)
+from .expression import (
+    Const,
+    Expression,
+    Operand,
+    Relation,
+    Var,
+    const_greater_var,
+    var_greater_const,
+    var_greater_var,
+)
+
+__all__ = [
+    "Clause",
+    "Condition",
+    "ExpressionResolver",
+    "VariableConstraints",
+    "INFERENCE_MODES",
+    "build_ctable",
+    "CTable",
+    "dominator_sets",
+    "dominator_sets_baseline",
+    "dominator_sets_fast",
+    "Const",
+    "Expression",
+    "Operand",
+    "Relation",
+    "Var",
+    "const_greater_var",
+    "var_greater_const",
+    "var_greater_var",
+]

@@ -1,0 +1,302 @@
+"""Conditions: CNF formulas over expressions, per the c-table model.
+
+The condition ``phi(o)`` of an object is a conjunction of clauses, one per
+potential dominator ``p`` in ``D(o)``; each clause is the disjunction of at
+most ``d`` expressions stating "o strictly beats p on some attribute"
+(Section 4.1).  A condition can also be the constant ``true`` (``o`` is
+certainly a skyline answer) or ``false`` (certainly not).
+
+Conditions are immutable; every simplification returns a new object, which
+makes them safe to use as cache keys for probability computation.  Because
+ADPLL materializes very many intermediate conditions, the hash, variable
+set and occurrence counts are computed once and cached.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import (
+    Callable,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    Mapping,
+    Optional,
+    Tuple,
+)
+
+from ..datasets.dataset import Variable
+from .expression import Expression
+
+Clause = Tuple[Expression, ...]
+
+#: Resolver callback: maps an expression to True / False / None (unknown).
+ExpressionResolver = Callable[[Expression], Optional[bool]]
+
+
+class Condition:
+    """A CNF condition, or one of the constants ``true`` / ``false``.
+
+    ``value`` is ``True``/``False`` for constant conditions (with empty
+    ``clauses``) and ``None`` for symbolic ones.  Use :meth:`of` to build
+    (it normalizes for canonical hashing); the raw constructor trusts its
+    input to already be normalized.
+    """
+
+    __slots__ = ("clauses", "value", "_hash", "_vars", "_counts")
+
+    def __init__(
+        self, clauses: Tuple[Clause, ...] = (), value: Optional[bool] = None
+    ) -> None:
+        if value is not None and clauses:
+            raise ValueError("constant conditions must carry no clauses")
+        if value is None and not clauses:
+            raise ValueError("symbolic conditions need at least one clause")
+        self.clauses = clauses
+        self.value = value
+        self._hash = hash((value, clauses))
+        self._vars: Optional[FrozenSet[Variable]] = None
+        self._counts: Optional[Counter] = None
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def true() -> "Condition":
+        return _TRUE
+
+    @staticmethod
+    def false() -> "Condition":
+        return _FALSE
+
+    @staticmethod
+    def of(clauses: Iterable[Iterable[Expression]]) -> "Condition":
+        """Build and normalize a condition from clause iterables.
+
+        Normalization dedupes expressions within a clause, dedupes clauses,
+        and sorts both levels canonically so logically identical conditions
+        compare (and hash) equal.
+        """
+        normalized = []
+        seen_clauses = set()
+        for clause in clauses:
+            unique = sorted(set(clause), key=Expression.sort_key)
+            if not unique:
+                return _FALSE
+            key = tuple(unique)
+            if key not in seen_clauses:
+                seen_clauses.add(key)
+                normalized.append(key)
+        if not normalized:
+            return _TRUE
+        normalized.sort(key=_clause_sort_key)
+        return Condition(clauses=tuple(normalized))
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Condition)
+            and other._hash == self._hash
+            and other.value == self.value
+            and other.clauses == self.clauses
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    # ------------------------------------------------------------------
+    # predicates / structure
+    # ------------------------------------------------------------------
+    @property
+    def is_true(self) -> bool:
+        return self.value is True
+
+    @property
+    def is_false(self) -> bool:
+        return self.value is False
+
+    @property
+    def is_constant(self) -> bool:
+        return self.value is not None
+
+    def expressions(self) -> Iterator[Expression]:
+        """All expression occurrences, clause by clause (with repeats)."""
+        for clause in self.clauses:
+            yield from clause
+
+    def distinct_expressions(self) -> FrozenSet[Expression]:
+        return frozenset(self.expressions())
+
+    def variables(self) -> FrozenSet[Variable]:
+        """Variables mentioned anywhere in the condition (memoized)."""
+        if self._vars is None:
+            out = set()
+            for clause in self.clauses:
+                for expression in clause:
+                    out.update(expression.variables())
+            self._vars = frozenset(out)
+        return self._vars
+
+    def variable_counts(self) -> Counter:
+        """Occurrence count of each variable (ADPLL's branching heuristic)."""
+        if self._counts is None:
+            counts: Counter = Counter()
+            for clause in self.clauses:
+                for expression in clause:
+                    for variable in expression.variables():
+                        counts[variable] += 1
+            self._counts = counts
+        return self._counts
+
+    def n_clauses(self) -> int:
+        return len(self.clauses)
+
+    def n_expression_occurrences(self) -> int:
+        return sum(len(clause) for clause in self.clauses)
+
+    # ------------------------------------------------------------------
+    # semantics
+    # ------------------------------------------------------------------
+    def evaluate(self, assignment: Mapping[Variable, int]) -> bool:
+        """Truth under a total assignment of the condition's variables."""
+        if self.is_constant:
+            return bool(self.value)
+        return all(
+            any(expression.evaluate(assignment) for expression in clause)
+            for clause in self.clauses
+        )
+
+    def substitute(self, variable: Variable, value: int) -> "Condition":
+        """Fix one variable to a value and simplify (ADPLL's branching step)."""
+        if self.is_constant:
+            return self
+        new_clauses = []
+        for clause in self.clauses:
+            new_clause = []
+            satisfied = False
+            changed = False
+            for expression in clause:
+                if not expression.involves(variable):
+                    new_clause.append(expression)
+                    continue
+                changed = True
+                result = expression.substitute(variable, value)
+                if result is True:
+                    satisfied = True
+                    break
+                if result is False:
+                    continue
+                new_clause.append(result)
+            if satisfied:
+                continue
+            if not new_clause:
+                return _FALSE
+            if changed:
+                new_clause.sort(key=Expression.sort_key)
+            new_clauses.append(tuple(new_clause))
+        if not new_clauses:
+            return _TRUE
+        new_clauses.sort(key=_clause_sort_key)
+        deduped = []
+        previous = None
+        for clause in new_clauses:
+            if clause != previous:
+                deduped.append(clause)
+                previous = clause
+        return Condition(clauses=tuple(deduped))
+
+    def assign_expression(self, target: Expression, truth: bool) -> "Condition":
+        """Replace every occurrence of one expression with a truth value.
+
+        This is the paper's syntactic simplification used by the marginal
+        utility function ("when an expression is determined, the
+        corresponding condition can be simplified").
+        """
+        return self.simplify_with(lambda e: truth if e == target else None)
+
+    def simplify_with(self, resolver: ExpressionResolver) -> "Condition":
+        """Simplify under partial knowledge.
+
+        ``resolver`` returns the known truth of an expression, or ``None``
+        when still undetermined (e.g. constraints gathered from crowd
+        answers).  Clauses with a true expression drop out; false
+        expressions are removed; an emptied clause makes the condition
+        ``false``; no remaining clause makes it ``true``.
+        """
+        if self.is_constant:
+            return self
+        new_clauses = []
+        changed = False
+        for clause in self.clauses:
+            new_clause = []
+            satisfied = False
+            for expression in clause:
+                truth = resolver(expression)
+                if truth is True:
+                    satisfied = True
+                    changed = True
+                    break
+                if truth is False:
+                    changed = True
+                    continue
+                new_clause.append(expression)
+            if satisfied:
+                continue
+            if not new_clause:
+                return _FALSE
+            new_clauses.append(new_clause)
+        if not changed:
+            return self
+        return Condition.of(new_clauses)
+
+    def absorbed(self) -> "Condition":
+        """Apply clause absorption: drop clauses that are supersets of others.
+
+        ``(x) AND (x OR y)`` simplifies to ``(x)`` -- the superset clause is
+        implied.  Not applied automatically (the paper's conditions are kept
+        verbatim); ADPLL can opt in to shrink residual conditions.
+        """
+        if self.is_constant or len(self.clauses) < 2:
+            return self
+        clause_sets = [frozenset(clause) for clause in self.clauses]
+        keep = []
+        for i, candidate in enumerate(clause_sets):
+            subsumed = False
+            for j, other in enumerate(clause_sets):
+                if i == j:
+                    continue
+                if other < candidate or (other == candidate and j < i):
+                    subsumed = True
+                    break
+            if not subsumed:
+                keep.append(self.clauses[i])
+        if len(keep) == len(self.clauses):
+            return self
+        return Condition.of(keep)
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        if self.is_constant:
+            return "Condition(%s)" % self.value
+        return "Condition(clauses=%d)" % len(self.clauses)
+
+    def __str__(self) -> str:
+        if self.is_true:
+            return "true"
+        if self.is_false:
+            return "false"
+        parts = []
+        for clause in self.clauses:
+            inner = " ∨ ".join("(%s)" % e for e in clause)
+            parts.append("[%s]" % inner)
+        return " ∧ ".join(parts)
+
+
+def _clause_sort_key(clause: Clause) -> Tuple:
+    return tuple(e.sort_key() for e in clause)
+
+
+_TRUE = Condition(clauses=(), value=True)
+_FALSE = Condition(clauses=(), value=False)

@@ -1,0 +1,156 @@
+"""Get-CTable (Algorithm 2): building the c-table for a skyline query.
+
+For every object ``o``:
+
+1. derive the dominator set ``D(o)`` (Eq. 1);
+2. ``D(o)`` empty            -> ``phi(o) = true``  (certain answer);
+3. ``|D(o)| > alpha * |O|``  -> ``phi(o) = false`` (alpha-pruned: too many
+   potential dominators, near-zero answer probability, huge condition);
+4. some fully-observed ``o'`` in ``D(o)`` dominates a fully-observed ``o``
+   under Definition 1 -> ``phi(o) = false``;
+5. otherwise ``phi(o)`` is the CNF "no dominator candidate actually
+   dominates o": one clause per ``p`` in ``D(o)``, with disjuncts
+   ``o.[k] > p.[k]`` per attribute, where cells that are missing become
+   variables.
+
+Both-observed disjuncts evaluate immediately; like the paper's CNF we
+ignore the measure-zero "all remaining attributes tie exactly" case for
+pairs involving missing values, but fully-observed pairs are decided
+exactly under Definition 1 (so exact duplicates never eliminate each
+other).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..datasets.dataset import IncompleteDataset
+from .condition import Condition
+from .ctable import CTable
+from .dominators import dominator_sets
+from .expression import Const, Expression, Var
+
+
+def _clause_for_pair(
+    dataset: IncompleteDataset, o: int, p: int
+) -> Optional[List[Expression]]:
+    """The disjunction encoding ``p`` does not dominate ``o``.
+
+    Returns ``None`` when the clause is trivially true (droppable) and an
+    empty list when it is trivially false (``p`` certainly dominates ``o``).
+    """
+    values = dataset.values
+    mask = dataset.mask
+    clause: List[Expression] = []
+    strictly_better_somewhere = False  # p > o on some fully-observed attribute
+    for k in range(dataset.n_attributes):
+        o_missing = bool(mask[o, k])
+        p_missing = bool(mask[p, k])
+        if not o_missing and not p_missing:
+            if values[o, k] > values[p, k]:
+                return None  # o certainly beats p here: p can never dominate
+            if values[p, k] > values[o, k]:
+                strictly_better_somewhere = True
+            continue  # false disjunct: drop it
+        if o_missing and p_missing:
+            clause.append(Expression(Var(o, k), Var(p, k)))
+        elif o_missing:
+            clause.append(Expression(Var(o, k), Const(int(values[p, k]))))
+        else:
+            clause.append(Expression(Const(int(values[o, k])), Var(p, k)))
+    if not clause:
+        # Fully comparable pair with p >= o everywhere (a strict o-win would
+        # have returned early): p dominates o iff it is strictly better
+        # somewhere (Definition 1).  All-equal rows do not dominate.
+        if strictly_better_somewhere:
+            return []
+        return None
+    return clause
+
+
+def build_ctable(
+    dataset: IncompleteDataset,
+    alpha: float = 1.0,
+    dominator_method: str = "fast",
+    inference_mode: str = "full",
+) -> CTable:
+    """Run Algorithm 2 and return the populated :class:`CTable`.
+
+    Parameters
+    ----------
+    alpha:
+        Pruning threshold: objects with more than ``alpha * |O|`` potential
+        dominators are deemed non-answers outright (their true answer
+        probability is near zero and their conditions would be huge).
+        ``alpha >= 1`` disables pruning.
+    dominator_method:
+        ``"fast"`` (Get-CTable's sorted/bitwise derivation) or
+        ``"baseline"`` (pairwise comparisons), per Figure 2.
+    inference_mode:
+        how aggressively crowd answers are propagated afterwards
+        (see :data:`repro.ctable.constraints.INFERENCE_MODES`).
+    """
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    sets = dominator_sets(dataset, method=dominator_method)
+    n = dataset.n_objects
+    limit = alpha * n
+    conditions = {}
+    pruned = set()
+
+    values = dataset.values
+    mask = dataset.mask
+    complete_object = ~mask.any(axis=1)
+
+    for o in range(n):
+        dominators = sets[o]
+        if dominators.size == 0:
+            conditions[o] = Condition.true()
+            continue
+        if dominators.size > limit:
+            conditions[o] = Condition.false()
+            pruned.add(o)
+            continue
+        condition = _build_condition(
+            dataset, o, dominators, values, mask, complete_object
+        )
+        conditions[o] = condition
+    return CTable(
+        dataset=dataset,
+        conditions=conditions,
+        pruned=frozenset(pruned),
+        inference_mode=inference_mode,
+    )
+
+
+def _build_condition(
+    dataset: IncompleteDataset,
+    o: int,
+    dominators: np.ndarray,
+    values: np.ndarray,
+    mask: np.ndarray,
+    complete_object: np.ndarray,
+) -> Condition:
+    """Steps 4-5 of Algorithm 2 for one object."""
+    # Line 8: a fully-observed dominator beating a fully-observed o decides
+    # the condition immediately, without building any clause.
+    if complete_object[o]:
+        for p in dominators.tolist():
+            if not complete_object[p]:
+                continue
+            if (values[p] >= values[o]).all() and (values[p] > values[o]).any():
+                return Condition.false()
+
+    clauses: List[List[Expression]] = []
+    for p in dominators.tolist():
+        clause = _clause_for_pair(dataset, o, p)
+        if clause is None:
+            continue  # p can never dominate o
+        if not clause:
+            return Condition.false()  # p certainly dominates o
+        clauses.append(clause)
+    if not clauses:
+        return Condition.true()
+    return Condition.of(clauses)

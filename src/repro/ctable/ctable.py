@@ -1,0 +1,167 @@
+"""The c-table: object -> condition mapping plus the answer knowledge base.
+
+Definition 3 of the paper: a c-table is a set of ``<object, phi(object)>``
+pairs.  This class additionally owns the :class:`VariableConstraints`
+gathered from crowd answers and keeps conditions simplified against them,
+which is how "some conditions will turn true or false, some shall be
+simplified or remain the same" after each round (Algorithm 4, line 25).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from ..datasets.dataset import IncompleteDataset, Variable
+from .condition import Condition
+from .constraints import VariableConstraints
+from .expression import Expression, Relation
+
+
+@dataclass
+class CTable:
+    """Conditions for every object of one skyline query."""
+
+    dataset: IncompleteDataset
+    conditions: Dict[int, Condition]
+    pruned: FrozenSet[int] = frozenset()
+    #: answer-inference level: "direct", "intervals" or "full"
+    inference_mode: str = "full"
+    constraints: VariableConstraints = field(init=False)
+    _var_index: Dict[Variable, Set[int]] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if set(self.conditions) != set(range(self.dataset.n_objects)):
+            raise ValueError("c-table must cover every object exactly once")
+        self.constraints = VariableConstraints(
+            self.dataset.domain_sizes, mode=self.inference_mode
+        )
+        self._var_index = {}
+        for obj, condition in self.conditions.items():
+            for variable in condition.variables():
+                self._var_index.setdefault(variable, set()).add(obj)
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    def condition(self, obj: int) -> Condition:
+        return self.conditions[obj]
+
+    def certain_answers(self) -> List[int]:
+        """Objects whose condition is the constant ``true``."""
+        return sorted(o for o, c in self.conditions.items() if c.is_true)
+
+    def certain_non_answers(self) -> List[int]:
+        return sorted(o for o, c in self.conditions.items() if c.is_false)
+
+    def undecided(self) -> List[int]:
+        """Objects with a symbolic condition (candidates for crowdsourcing)."""
+        return sorted(o for o, c in self.conditions.items() if not c.is_constant)
+
+    def has_open_expressions(self) -> bool:
+        """True while any condition still contains an expression."""
+        return any(not c.is_constant for c in self.conditions.values())
+
+    def open_expressions(self) -> Iterator[Tuple[int, Expression]]:
+        """All ``(object, expression)`` pairs still present in conditions."""
+        for obj in self.undecided():
+            for expression in self.conditions[obj].distinct_expressions():
+                yield obj, expression
+
+    def objects_mentioning(self, variable: Variable) -> FrozenSet[int]:
+        return frozenset(self._var_index.get(variable, ()))
+
+    def n_open_expressions(self) -> int:
+        return sum(
+            len(c.distinct_expressions())
+            for c in self.conditions.values()
+            if not c.is_constant
+        )
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def apply_answer(self, expression: Expression, relation: Relation) -> None:
+        """Fold one crowd answer into the constraints and re-simplify.
+
+        Only conditions mentioning a potentially-affected variable are
+        touched (the answered variables, plus -- for variable-vs-variable
+        answers -- their whole ordering component, since transitive
+        inference can resolve expressions anywhere inside it).
+        """
+        variables = self.constraints.apply_answer(expression, relation)
+        affected: Set[int] = set()
+        for variable in variables:
+            affected |= self._var_index.get(variable, set())
+        for obj in affected:
+            self._resimplify(obj)
+
+    def resimplify_all(self) -> None:
+        """Re-simplify every symbolic condition against current constraints."""
+        for obj in self.undecided():
+            self._resimplify(obj)
+
+    def _resimplify(self, obj: int) -> None:
+        old = self.conditions[obj]
+        if old.is_constant:
+            return
+        new = old.simplify_with(self.constraints.resolve)
+        if new is old:
+            return
+        self.conditions[obj] = new
+        old_vars = old.variables()
+        new_vars = new.variables()
+        for variable in old_vars - new_vars:
+            bucket = self._var_index.get(variable)
+            if bucket is not None:
+                bucket.discard(obj)
+                if not bucket:
+                    del self._var_index[variable]
+
+    def set_condition(self, obj: int, condition: Condition) -> None:
+        """Replace one object's condition (used by tests and extensions)."""
+        old = self.conditions[obj]
+        self.conditions[obj] = condition
+        for variable in old.variables() - condition.variables():
+            bucket = self._var_index.get(variable)
+            if bucket is not None:
+                bucket.discard(obj)
+                if not bucket:
+                    del self._var_index[variable]
+        for variable in condition.variables() - old.variables():
+            self._var_index.setdefault(variable, set()).add(obj)
+
+    # ------------------------------------------------------------------
+    # result inference
+    # ------------------------------------------------------------------
+    def result_set(
+        self,
+        probability: Optional["ProbabilityFn"] = None,
+        threshold: float = 0.5,
+    ) -> List[int]:
+        """Infer the current answer set (Section 7: ``true`` or ``Pr > 0.5``).
+
+        ``probability`` maps a symbolic condition to ``Pr(phi)``; when it is
+        omitted only certainly-true objects are returned.
+        """
+        answers = [o for o, c in self.conditions.items() if c.is_true]
+        if probability is not None:
+            for obj in self.undecided():
+                if probability(self.conditions[obj]) > threshold:
+                    answers.append(obj)
+        return sorted(answers)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "CTable(objects=%d, true=%d, false=%d, open=%d)" % (
+            len(self.conditions),
+            len(self.certain_answers()),
+            len(self.certain_non_answers()),
+            len(self.undecided()),
+        )
+
+
+# typing helper (kept at module end to avoid a circular import with
+# probability.engine, which depends on Condition)
+from typing import Callable  # noqa: E402
+
+ProbabilityFn = Callable[[Condition], float]

@@ -1,0 +1,25 @@
+"""Dataset substrate: incomplete relations, generators, missing injection."""
+
+from .dataset import MISSING, DatasetError, IncompleteDataset, Variable, from_complete
+from .loaders import load_csv
+from .missing import attribute_mask, balanced_mcar_mask, mcar_mask
+from .movies import example_distributions, sample_dataset
+from .nba import generate_nba
+from .synthetic import adult_like_network, generate_synthetic
+
+__all__ = [
+    "MISSING",
+    "DatasetError",
+    "IncompleteDataset",
+    "Variable",
+    "from_complete",
+    "load_csv",
+    "attribute_mask",
+    "mcar_mask",
+    "balanced_mcar_mask",
+    "sample_dataset",
+    "example_distributions",
+    "generate_nba",
+    "generate_synthetic",
+    "adult_like_network",
+]

@@ -1,0 +1,127 @@
+"""Loading user-supplied tabular data.
+
+Downstream adoption path: bring your own CSV, mark missing cells with
+empty fields (or ``?`` / ``NA``), and get an :class:`IncompleteDataset`
+ready for a crowd query.  Continuous columns are discretized into ordinal
+levels (Section 3 of the paper); columns whose direction is "smaller is
+better" can be flipped.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..bayesnet.discretize import Discretizer
+from .dataset import MISSING, IncompleteDataset
+
+PathLike = Union[str, Path]
+
+#: Cell spellings treated as missing (case-insensitive).
+MISSING_TOKENS = {"", "?", "na", "n/a", "nan", "null", "none", "missing"}
+
+
+def _is_missing(token: str) -> bool:
+    return token.strip().lower() in MISSING_TOKENS
+
+
+def load_csv(
+    path: PathLike,
+    levels: int = 8,
+    smaller_is_better: Sequence[str] = (),
+    name: Optional[str] = None,
+    id_column: Optional[str] = None,
+    delimiter: str = ",",
+) -> IncompleteDataset:
+    """Read a CSV with a header row into an :class:`IncompleteDataset`.
+
+    Parameters
+    ----------
+    levels:
+        Number of ordinal levels per attribute (equal-frequency binning on
+        the observed values of each column).
+    smaller_is_better:
+        Column names whose natural direction is "smaller wins" (price,
+        distance, turnovers, ...); their values are negated before
+        discretization so the library's larger-is-better convention holds.
+    id_column:
+        Optional column holding object names instead of data.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        rows = list(reader)
+    if len(rows) < 2:
+        raise ValueError("CSV needs a header row and at least one data row")
+    header = [h.strip() for h in rows[0]]
+    data_rows = rows[1:]
+
+    id_index = None
+    if id_column is not None:
+        if id_column not in header:
+            raise ValueError("id column %r not in header %r" % (id_column, header))
+        id_index = header.index(id_column)
+    attribute_names = [h for i, h in enumerate(header) if i != id_index]
+    flip = set(smaller_is_better)
+    unknown_flips = flip - set(attribute_names)
+    if unknown_flips:
+        raise ValueError("smaller_is_better names not in header: %r" % sorted(unknown_flips))
+
+    n = len(data_rows)
+    d = len(attribute_names)
+    raw = np.zeros((n, d), dtype=np.float64)
+    mask = np.zeros((n, d), dtype=bool)
+    object_names: List[str] = []
+    for i, row in enumerate(data_rows):
+        if len(row) != len(header):
+            raise ValueError(
+                "row %d has %d fields, header has %d" % (i + 2, len(row), len(header))
+            )
+        object_names.append(
+            row[id_index].strip() if id_index is not None else "o%d" % (i + 1)
+        )
+        j = 0
+        for col, token in enumerate(row):
+            if col == id_index:
+                continue
+            if _is_missing(token):
+                mask[i, j] = True
+            else:
+                try:
+                    raw[i, j] = float(token)
+                except ValueError:
+                    raise ValueError(
+                        "row %d, column %r: %r is not numeric"
+                        % (i + 2, attribute_names[j], token)
+                    ) from None
+            j += 1
+
+    for j, column_name in enumerate(attribute_names):
+        if column_name in flip:
+            raw[:, j] = -raw[:, j]
+
+    # Fit the discretizer on observed cells only; missing cells get
+    # placeholder level 0 and are re-masked afterwards.
+    values = np.zeros((n, d), dtype=np.int64)
+    domain_sizes: List[int] = []
+    for j in range(d):
+        observed = raw[~mask[:, j], j]
+        if observed.size == 0:
+            raise ValueError(
+                "column %r has no observed values" % attribute_names[j]
+            )
+        discretizer = Discretizer.fit(observed.reshape(-1, 1), levels)
+        domain_sizes.append(discretizer.domain_sizes()[0])
+        values[:, j] = discretizer.transform(raw[:, j].reshape(-1, 1))[:, 0]
+    values[mask] = MISSING
+
+    return IncompleteDataset(
+        values=values,
+        domain_sizes=domain_sizes,
+        attribute_names=attribute_names,
+        object_names=object_names,
+        name=name or path.stem,
+    )

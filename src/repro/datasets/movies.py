@@ -1,0 +1,92 @@
+"""The paper's running example (Table 1): five movies, five audiences.
+
+This module reproduces the sample dataset exactly, including the
+attribute-value probability distributions assumed in Example 3, so the
+worked numbers of the paper (the c-table of Table 3, the dominator sets
+of Table 4, ``Pr(phi(o5)) = 0.823`` and the entropies of Example 4) can
+be asserted in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from .dataset import MISSING, IncompleteDataset, Variable
+
+#: Movie titles from Table 1 of the paper.
+MOVIE_NAMES = [
+    "Schindler's List (1993)",
+    "Se7en (1995)",
+    "The Godfather (1972)",
+    "The Lion King (1994)",
+    "Star Wars (1977)",
+]
+
+#: Attribute domains: a1 in 0..9, a2 in 0..9, a3 in 0..7, a4 in 0..5, a5 in 0..9.
+#: a3/a4 sizes follow the probability distributions assumed in Example 3.
+DOMAIN_SIZES = [10, 10, 8, 6, 10]
+
+#: Ground-truth values for the missing cells, chosen to be consistent with
+#: the crowd answers assumed in Example 4 of the paper:
+#:   Var(o5, a4) < 4,  Var(o5, a3) = 3,  Var(o5, a2) > 2,  Var(o2, a2) > 3.
+TRUE_MISSING_VALUES: Dict[Variable, int] = {
+    (1, 1): 5,  # Var(o2, a2) > 3
+    (2, 2): 4,  # Var(o3, a3): unconstrained by the example
+    (4, 1): 7,  # Var(o5, a2) > 2
+    (4, 2): 3,  # Var(o5, a3) = 3
+    (4, 3): 1,  # Var(o5, a4) < 4
+}
+
+
+def sample_dataset() -> IncompleteDataset:
+    """Table 1 of the paper as an :class:`IncompleteDataset` with ground truth."""
+    values = np.array(
+        [
+            [5, 2, 3, 4, 1],
+            [6, MISSING, 2, 2, 2],
+            [1, 1, MISSING, 5, 3],
+            [4, 3, 1, 2, 1],
+            [5, MISSING, MISSING, MISSING, 1],
+        ],
+        dtype=np.int64,
+    )
+    complete = values.copy()
+    for (obj, attr), value in TRUE_MISSING_VALUES.items():
+        complete[obj, attr] = value
+    return IncompleteDataset(
+        values=values,
+        domain_sizes=DOMAIN_SIZES,
+        complete=complete,
+        attribute_names=["a1", "a2", "a3", "a4", "a5"],
+        object_names=MOVIE_NAMES,
+        name="movies",
+    )
+
+
+def example_distributions() -> Dict[Variable, np.ndarray]:
+    """The per-variable value distributions assumed in Example 3.
+
+    * ``p(a2 = i) = 0.1`` for ``i = 0..9``
+    * ``p(a3 = i) = 0.125`` for ``i = 0..7``
+    * ``p(a4 = i)``: ``0.1`` for ``i in {0, 1, 5}``, ``0.2`` for ``{2, 3}``,
+      ``0.3`` for ``{4}``
+
+    The distribution of a variable is that of its attribute.
+    """
+    attribute_pmfs = {
+        1: np.full(10, 0.1),
+        2: np.full(8, 0.125),
+        3: np.array([0.1, 0.1, 0.2, 0.2, 0.3, 0.1]),
+    }
+    dataset = sample_dataset()
+    distributions: Dict[Variable, np.ndarray] = {}
+    for variable in dataset.variables():
+        __, attr = variable
+        if attr not in attribute_pmfs:
+            raise ValueError(
+                "Example 3 defines no distribution for attribute %d" % attr
+            )
+        distributions[variable] = attribute_pmfs[attr].copy()
+    return distributions

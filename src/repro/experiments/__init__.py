@@ -1,0 +1,40 @@
+"""Experiment harness: one runner per table/figure of the paper.
+
+See ``python -m repro.experiments --help``; DESIGN.md maps each runner to
+the paper content it regenerates and EXPERIMENTS.md records the outcomes.
+"""
+
+from . import (
+    ablations,
+    fig02_ctable,
+    fig03_probability,
+    fig04_crowdsky,
+    fig05_budget,
+    fig06_missing_rate,
+    fig07_m,
+    fig08_alpha,
+    fig09_worker_accuracy,
+    fig10_latency,
+    fig11_cardinality,
+    table6_live,
+)
+from .base import ExperimentResult, query_metrics, scale_factor, scaled
+
+__all__ = [
+    "ablations",
+    "fig02_ctable",
+    "fig03_probability",
+    "fig04_crowdsky",
+    "fig05_budget",
+    "fig06_missing_rate",
+    "fig07_m",
+    "fig08_alpha",
+    "fig09_worker_accuracy",
+    "fig10_latency",
+    "fig11_cardinality",
+    "table6_live",
+    "ExperimentResult",
+    "query_metrics",
+    "scale_factor",
+    "scaled",
+]

@@ -1,0 +1,124 @@
+"""Ablations of the design choices called out in DESIGN.md.
+
+Not a paper figure; quantifies the contribution of
+
+* ADPLL's connected-component decomposition + memoization,
+* the utility-function evaluation mode (paper's syntactic substitution vs
+  proper conditioning),
+* answer propagation through the variable-constraint store (versus caches
+  invalidated wholesale).
+"""
+
+from __future__ import annotations
+
+from ..bayesnet.posteriors import empirical_distributions
+from ..ctable import build_ctable
+from ..probability import ADPLL, DistributionStore
+from .base import ExperimentResult, scaled, timed_run
+from .data import nba_dataset
+from .sweep import sweep_point
+
+SIZE = 400
+
+
+def adpll_flag_point(
+    n: int,
+    use_components: bool,
+    use_memo: bool,
+    branch_heuristic: str = "frequency",
+    use_absorption: bool = False,
+) -> float:
+    dataset = nba_dataset(n, 0.15)
+    ctable = build_ctable(dataset, alpha=0.02)
+    store = DistributionStore(empirical_distributions(dataset), ctable.constraints)
+    solver = ADPLL(
+        store,
+        use_components=use_components,
+        use_memo=use_memo,
+        branch_heuristic=branch_heuristic,
+        use_absorption=use_absorption,
+    )
+    conditions = [ctable.condition(o) for o in ctable.undecided()]
+    __, seconds = timed_run(lambda: [solver.probability(c) for c in conditions])
+    return seconds
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="ablations",
+        title="design-choice ablations (not a paper figure)",
+        columns=["ablation", "variant", "time_s", "f1"],
+    )
+    n = scaled(SIZE, quick)
+
+    for components in (True, False):
+        for memo in (True, False):
+            seconds = adpll_flag_point(n, components, memo)
+            result.add(
+                ablation="adpll-refinements",
+                variant="components=%s memo=%s" % (components, memo),
+                time_s=seconds,
+                f1="-",
+            )
+
+    for heuristic in ("frequency", "min_domain", "first"):
+        for absorption in (False, True):
+            seconds = adpll_flag_point(
+                n, True, True, branch_heuristic=heuristic, use_absorption=absorption
+            )
+            result.add(
+                ablation="adpll-branching",
+                variant="%s absorption=%s" % (heuristic, absorption),
+                time_s=seconds,
+                f1="-",
+            )
+
+    for mode in ("syntactic", "conditional"):
+        point = sweep_point("nba", n, "hhs", utility_mode=mode)
+        result.add(
+            ablation="utility-mode",
+            variant=mode,
+            time_s=point["time_s"],
+            f1=point["f1"],
+        )
+
+    # Answer propagation levels (applied to the crowd-attribute setting,
+    # where var-var answers make ordering inference matter most).
+    from ..core import BayesCrowd, BayesCrowdConfig
+    from ..metrics.accuracy import f1_score
+    from ..skyline.algorithms import skyline
+    from .data import dataset_with_distributions
+
+    # Two sizes: the effect is configuration-dependent (it needs var-var
+    # answers whose orderings actually connect), so one point can mislead.
+    for inf_n in (max(80, n // 3), max(120, n // 2)):
+        budget = inf_n // 3  # scarce: differences show only when tasks are scarce
+        dataset, distributions = dataset_with_distributions("crowdsky", inf_n)
+        truth = skyline(dataset.complete)
+        for mode in ("direct", "intervals", "full"):
+            config = BayesCrowdConfig(
+                alpha=0.05,
+                budget=budget,
+                latency=max(1, budget // 20),
+                strategy="hhs",
+                inference_mode=mode,
+                seed=0,
+            )
+            run_result = BayesCrowd(
+                dataset,
+                config,
+                distributions={v: p.copy() for v, p in distributions.items()},
+            ).run()
+            result.add(
+                ablation="answer-inference",
+                variant="%s n=%d" % (mode, inf_n),
+                time_s=run_result.seconds,
+                f1=f1_score(run_result.answers, truth),
+            )
+
+    result.note(
+        "components=False memo=False is the paper's plain Algorithm 3; "
+        "'conditional' replaces Eq. 5's syntactic substitution with exact "
+        "conditioning Pr(phi^e)/Pr(e)"
+    )
+    return result

@@ -1,0 +1,203 @@
+"""Shared infrastructure for the per-figure experiment runners.
+
+Every experiment module exposes ``run(quick=False) -> ExperimentResult``.
+Results are plain row dictionaries, so they can be printed as a text
+table, dumped to JSON, or embedded into EXPERIMENTS.md.
+
+Dataset sizes default to laptop scale (the paper used 10k/100k objects on
+a Java implementation); set ``REPRO_SCALE`` to a float to multiply every
+cardinality, e.g. ``REPRO_SCALE=5 python -m repro.experiments fig2``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..core import BayesCrowd, BayesCrowdConfig
+from ..datasets.dataset import IncompleteDataset
+from ..metrics.accuracy import f1_score
+from ..skyline.algorithms import skyline
+
+
+def scale_factor() -> float:
+    """The global cardinality multiplier from ``REPRO_SCALE`` (default 1)."""
+    raw = os.environ.get("REPRO_SCALE", "1.0")
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError("REPRO_SCALE must be a number, got %r" % raw) from None
+    if value <= 0:
+        raise ValueError("REPRO_SCALE must be positive")
+    return value
+
+
+def scaled(n: int, quick: bool = False) -> int:
+    """Apply REPRO_SCALE (and the quick-mode reduction) to a cardinality."""
+    factor = scale_factor() * (0.4 if quick else 1.0)
+    return max(10, int(round(n * factor)))
+
+
+@dataclass
+class ExperimentResult:
+    """Rows produced by one experiment run."""
+
+    experiment_id: str
+    title: str
+    columns: List[str]
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    seconds: float = 0.0
+    #: chart declarations for the CLI's --plot flag:
+    #: dicts with keys x, y, optional series / log_y / title
+    plot_specs: List[Dict[str, object]] = field(default_factory=list)
+
+    def add(self, **row: object) -> None:
+        self.rows.append(row)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def plot_spec(
+        self,
+        x: str,
+        y: str,
+        series: Optional[str] = None,
+        log_y: bool = False,
+        title: str = "",
+    ) -> None:
+        """Declare one chart the CLI should render with ``--plot``."""
+        self.plot_specs.append(
+            {"x": x, "y": y, "series": series, "log_y": log_y, "title": title}
+        )
+
+    def charts(self) -> List[str]:
+        """Rendered ASCII charts for every declared plot spec."""
+        from .plotting import chart_from_rows
+
+        out = []
+        for spec in self.plot_specs:
+            out.append(
+                chart_from_rows(
+                    self.rows,
+                    x=spec["x"],
+                    y=spec["y"],
+                    series_key=spec.get("series"),
+                    title=spec.get("title") or ("%s vs %s" % (spec["y"], spec["x"])),
+                    log_y=bool(spec.get("log_y")),
+                )
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def _formatted(self, value: object) -> str:
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) < 0.01 or abs(value) >= 100_000:
+                return "%.3g" % value
+            return "%.3f" % value
+        return str(value)
+
+    def to_text(self) -> str:
+        """Fixed-width table, matching what the paper's figure reports."""
+        header = [self.experiment_id + ": " + self.title]
+        widths = {
+            c: max(
+                len(c), *(len(self._formatted(r.get(c, ""))) for r in self.rows)
+            )
+            if self.rows
+            else len(c)
+            for c in self.columns
+        }
+        line = "  ".join(c.ljust(widths[c]) for c in self.columns)
+        header.append(line)
+        header.append("-" * len(line))
+        for row in self.rows:
+            header.append(
+                "  ".join(
+                    self._formatted(row.get(c, "")).ljust(widths[c])
+                    for c in self.columns
+                )
+            )
+        for note in self.notes:
+            header.append("note: " + note)
+        return "\n".join(header)
+
+    def to_markdown(self) -> str:
+        out = ["### %s — %s" % (self.experiment_id, self.title), ""]
+        out.append("| " + " | ".join(self.columns) + " |")
+        out.append("|" + "|".join("---" for __ in self.columns) + "|")
+        for row in self.rows:
+            out.append(
+                "| "
+                + " | ".join(self._formatted(row.get(c, "")) for c in self.columns)
+                + " |"
+            )
+        for note in self.notes:
+            out.append("")
+            out.append("*%s*" % note)
+        return "\n".join(out)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "experiment": self.experiment_id,
+                "title": self.title,
+                "columns": self.columns,
+                "rows": self.rows,
+                "notes": self.notes,
+                "seconds": self.seconds,
+                "plot_specs": self.plot_specs,
+            },
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_json` output."""
+        data = json.loads(text)
+        rows = data.get("rows", [])
+        columns = data.get("columns")
+        if not columns:
+            columns = sorted({key for row in rows for key in row})
+        result = cls(
+            experiment_id=data["experiment"],
+            title=data.get("title", ""),
+            columns=list(columns),
+            rows=list(rows),
+            notes=list(data.get("notes", [])),
+            seconds=float(data.get("seconds", 0.0)),
+            plot_specs=list(data.get("plot_specs", [])),
+        )
+        return result
+
+
+def timed_run(fn: Callable[[], object]) -> "tuple[object, float]":
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def query_metrics(
+    dataset: IncompleteDataset,
+    config: BayesCrowdConfig,
+    distributions=None,
+) -> Dict[str, object]:
+    """Run one BayesCrowd query and collect the paper's standard metrics."""
+    bc = BayesCrowd(dataset, config, distributions=distributions)
+    result = bc.run()
+    truth = skyline(dataset.complete)
+    return {
+        "f1": f1_score(result.answers, truth),
+        "time_s": result.seconds,
+        "tasks": result.tasks_posted,
+        "rounds": result.rounds,
+        "answers": len(result.answers),
+        "initial_f1": f1_score(result.initial_answers, truth),
+    }

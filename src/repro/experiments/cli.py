@@ -1,0 +1,125 @@
+"""Command-line entry point: regenerate any table/figure of the paper.
+
+Usage::
+
+    python -m repro.experiments fig2 fig3         # specific experiments
+    python -m repro.experiments --all             # everything
+    python -m repro.experiments --all --quick     # reduced sizes
+    python -m repro.experiments fig5 --out results/   # also write md+json
+
+Set ``REPRO_SCALE`` to scale every dataset cardinality.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict
+
+from . import (
+    ablations,
+    extensions,
+    replication,
+    fig02_ctable,
+    fig03_probability,
+    fig04_crowdsky,
+    fig05_budget,
+    fig06_missing_rate,
+    fig07_m,
+    fig08_alpha,
+    fig09_worker_accuracy,
+    fig10_latency,
+    fig11_cardinality,
+    table6_live,
+)
+from .base import ExperimentResult
+
+RUNNERS: Dict[str, Callable[[bool], ExperimentResult]] = {
+    "fig2": fig02_ctable.run,
+    "fig3": fig03_probability.run,
+    "fig4": fig04_crowdsky.run,
+    "fig5": fig05_budget.run,
+    "fig6": fig06_missing_rate.run,
+    "fig7": fig07_m.run,
+    "fig8": fig08_alpha.run,
+    "fig9": fig09_worker_accuracy.run,
+    "fig10": fig10_latency.run,
+    "fig11": fig11_cardinality.run,
+    "table6": table6_live.run,
+    "ablations": ablations.run,
+    "skyband": extensions.run_skyband,
+    "topk": extensions.run_topk,
+    "replication": lambda quick: replication.replicated_strategy_comparison(
+        n=150 if quick else 400, seeds=(0, 1, 2) if quick else (0, 1, 2, 3, 4)
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments",
+        description="Regenerate the tables/figures of the BayesCrowd paper.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        choices=[[]] + sorted(RUNNERS),  # allow empty with --all
+        help="experiment ids (fig2..fig11, table6, ablations, skyband, topk, replication)",
+    )
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced dataset sizes / sweeps"
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, help="directory for .md and .json outputs"
+    )
+    parser.add_argument(
+        "--plot", action="store_true", help="render ASCII charts of the series"
+    )
+    parser.add_argument(
+        "--report",
+        type=Path,
+        default=None,
+        help="after running, collate --out JSONs into one markdown report",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    names = sorted(RUNNERS) if args.all else list(args.experiments)
+    if not names:
+        parser.print_help()
+        return 2
+
+    for name in names:
+        runner = RUNNERS[name]
+        start = time.perf_counter()
+        result = runner(args.quick)
+        result.seconds = time.perf_counter() - start
+        print(result.to_text())
+        if args.plot:
+            for chart in result.charts():
+                print()
+                print(chart)
+        print("(%s finished in %.1fs)" % (name, result.seconds))
+        print()
+        if args.out is not None:
+            args.out.mkdir(parents=True, exist_ok=True)
+            (args.out / ("%s.md" % name)).write_text(result.to_markdown() + "\n")
+            (args.out / ("%s.json" % name)).write_text(result.to_json() + "\n")
+    if args.report is not None:
+        if args.out is None:
+            parser.error("--report requires --out (the JSONs to collate)")
+        from .report import write_report
+
+        path = write_report(args.out, args.report)
+        print("report written to %s" % path)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,93 @@
+"""Experiment runners for the query-type extensions (not paper figures).
+
+* ``skyband`` -- F1 / cost of crowd-assisted k-skyband queries over k and
+  budget (skyline = k=1 row for reference);
+* ``topk`` -- F1 / cost of crowd-assisted top-k dominating queries over k
+  and budget.
+"""
+
+from __future__ import annotations
+
+from ..metrics.accuracy import f1_score
+from ..skyband import CrowdSkyband, SkybandConfig, skyband
+from ..topk import CrowdTopKDominating, TopKConfig, top_k_dominating
+from .base import ExperimentResult, scaled
+from .data import dataset_with_distributions
+
+SIZE = 400
+SKYBAND_KS = (1, 2, 3)
+TOPK_KS = (5, 10, 20)
+BUDGETS = (0, 25, 50, 100)
+
+
+def run_skyband(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="skyband",
+        title="crowd-assisted k-skyband on NBA (extension)",
+        columns=["k", "budget", "f1", "tasks", "rounds", "time_s", "truth_size"],
+    )
+    n = scaled(SIZE, quick)
+    dataset, distributions = dataset_with_distributions("nba", n)
+    for k in SKYBAND_KS:
+        truth = skyband(dataset.complete, k)
+        for budget in BUDGETS:
+            config = SkybandConfig(
+                k=k, alpha=0.08, budget=budget,
+                latency=max(1, budget // 10), seed=0,
+            )
+            query = CrowdSkyband(
+                dataset,
+                config,
+                distributions={v: p.copy() for v, p in distributions.items()},
+            )
+            run = query.run()
+            result.add(
+                k=k,
+                budget=budget,
+                f1=f1_score(run.answers, truth),
+                tasks=run.tasks_posted,
+                rounds=run.rounds,
+                time_s=run.seconds,
+                truth_size=len(truth),
+            )
+    result.note("k=1 equals the skyline query; F1 should climb with budget")
+    result.plot_spec(x="budget", y="f1", series="k", title="skyband F1 vs budget")
+    return result
+
+
+def run_topk(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="topk",
+        title="crowd-assisted top-k dominating on NBA (extension)",
+        columns=["k", "budget", "f1", "tasks", "rounds", "time_s"],
+    )
+    n = scaled(SIZE, quick)
+    dataset, distributions = dataset_with_distributions("nba", n)
+    for k in TOPK_KS:
+        if k > dataset.n_objects:
+            continue  # tiny quick/scaled runs cannot support large k
+        truth = top_k_dominating(dataset.complete, k)
+        for budget in BUDGETS:
+            config = TopKConfig(
+                k=k, budget=budget, latency=max(1, budget // 10), seed=0
+            )
+            query = CrowdTopKDominating(
+                dataset,
+                config,
+                distributions={v: p.copy() for v, p in distributions.items()},
+            )
+            run = query.run()
+            result.add(
+                k=k,
+                budget=budget,
+                f1=f1_score(run.answers, truth),
+                tasks=run.tasks_posted,
+                rounds=run.rounds,
+                time_s=run.seconds,
+            )
+    result.note(
+        "boundary-focused selection: tasks concentrate on objects whose "
+        "score interval straddles the k-th rank"
+    )
+    result.plot_spec(x="budget", y="f1", series="k", title="top-k F1 vs budget")
+    return result

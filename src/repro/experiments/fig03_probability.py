@@ -1,0 +1,123 @@
+"""Figure 3: efficiency of probability computation vs missing rate.
+
+Total time to compute ``Pr(phi(o))`` for every condition of the initial
+c-table, ADPLL vs Naive.  Naive enumerates the full assignment space, so
+conditions whose space exceeds an enumeration cap are excluded *for both
+methods* (the count is reported); the paper's Java Naive faced the same
+exponential blow-up, which is exactly the effect the figure demonstrates.
+
+Expected shape: ADPLL faster everywhere; both costs grow with the missing
+rate (more expressions and variables per condition).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..ctable import build_ctable
+from ..probability import (
+    ADPLL,
+    DistributionStore,
+    EnumerationLimitExceeded,
+    naive_probability,
+)
+from ..bayesnet.posteriors import empirical_distributions
+from .base import ExperimentResult, scaled, timed_run
+from .data import nba_dataset, synthetic_dataset
+
+MISSING_RATES = (0.05, 0.10, 0.15, 0.20)
+SIZES = {"nba": 300, "synthetic": 600}
+#: Assignment-space cap for Naive feasibility (same set used for ADPLL).
+ENUMERATION_CAP = 300_000
+
+
+def probability_point(kind: str, n: int, missing_rate: float) -> Dict[str, object]:
+    """Total ADPLL and Naive time over the initial c-table's conditions."""
+    if kind == "nba":
+        dataset = nba_dataset(n, missing_rate)
+    else:
+        dataset = synthetic_dataset(n, missing_rate)
+    # Slightly larger alpha than the query default keeps a healthy number
+    # of unpruned conditions at every missing rate.
+    ctable = build_ctable(dataset, alpha=0.02)
+    store = DistributionStore(
+        empirical_distributions(dataset), ctable.constraints
+    )
+    conditions = [ctable.condition(o) for o in ctable.undecided()]
+
+    # Feasibility filter: identical condition set for both methods.
+    feasible: List = []
+    skipped = 0
+    for condition in conditions:
+        space = 1
+        for variable in condition.variables():
+            space *= dataset.domain_sizes[variable[1]]
+            if space > ENUMERATION_CAP:
+                break
+        if space > ENUMERATION_CAP:
+            skipped += 1
+        else:
+            feasible.append(condition)
+
+    solver = ADPLL(store)
+    __, adpll_seconds = timed_run(
+        lambda: [solver.probability(c) for c in feasible]
+    )
+
+    def run_naive():
+        out = []
+        for condition in feasible:
+            try:
+                out.append(naive_probability(condition, store, max_assignments=None))
+            except EnumerationLimitExceeded:  # pragma: no cover - filtered above
+                pass
+        return out
+
+    __, naive_seconds = timed_run(run_naive)
+    return {
+        "conditions": len(feasible),
+        "skipped": skipped,
+        "adpll_s": adpll_seconds,
+        "naive_s": naive_seconds,
+    }
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="fig3",
+        title="probability computation time vs missing rate (ADPLL vs Naive)",
+        columns=[
+            "dataset",
+            "n",
+            "missing_rate",
+            "conditions",
+            "skipped",
+            "adpll_s",
+            "naive_s",
+            "speedup",
+        ],
+    )
+    for kind, base_n in SIZES.items():
+        n = scaled(base_n, quick)
+        for rate in MISSING_RATES:
+            point = probability_point(kind, n, rate)
+            result.add(
+                dataset=kind,
+                n=n,
+                missing_rate=rate,
+                conditions=point["conditions"],
+                skipped=point["skipped"],
+                adpll_s=point["adpll_s"],
+                naive_s=point["naive_s"],
+                speedup=(
+                    point["naive_s"] / point["adpll_s"]
+                    if point["adpll_s"] > 0
+                    else float("inf")
+                ),
+            )
+    result.note(
+        "paper shape: ADPLL < Naive at every rate, gap widening with the "
+        "missing rate; 'skipped' counts conditions whose assignment space "
+        "exceeds the enumeration cap (excluded from both timings)"
+    )
+    return result

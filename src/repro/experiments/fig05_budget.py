@@ -1,0 +1,44 @@
+"""Figure 5: effect of the budget on time and accuracy.
+
+Sweeps the number of affordable tasks B for FBS / UBS / HHS on both
+datasets.  Expected shape: F1 climbs with budget while time grows; FBS is
+fastest / least accurate, UBS slowest / most accurate, HHS in between.
+"""
+
+from __future__ import annotations
+
+from .base import ExperimentResult, scaled
+from .sweep import sweep_point
+
+BUDGETS = {"nba": (10, 25, 50, 100), "synthetic": (30, 60, 120, 240)}
+SIZES = {"nba": 500, "synthetic": 900}
+STRATEGIES = ("fbs", "ubs", "hhs")
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="fig5",
+        title="BayesCrowd cost/accuracy vs budget",
+        columns=["dataset", "strategy", "budget", "time_s", "f1", "tasks", "rounds"],
+    )
+    for kind, budgets in BUDGETS.items():
+        n = scaled(SIZES[kind], quick)
+        for strategy in STRATEGIES:
+            for budget in budgets:
+                point = sweep_point(kind, n, strategy, budget=budget)
+                result.add(
+                    dataset=kind,
+                    strategy=strategy,
+                    budget=budget,
+                    time_s=point["time_s"],
+                    f1=point["f1"],
+                    tasks=point["tasks"],
+                    rounds=point["rounds"],
+                )
+    result.note(
+        "paper shape: accuracy climbs and time grows with budget; "
+        "FBS fastest/worst, UBS slowest/best, HHS between"
+    )
+    result.plot_spec(x="budget", y="f1", series="strategy",
+                     title="F1 vs budget (both datasets pooled)")
+    return result

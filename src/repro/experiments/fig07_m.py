@@ -1,0 +1,40 @@
+"""Figure 7: effect of HHS's early-stop parameter m.
+
+Expected shape: growing m raises HHS accuracy toward UBS while raising
+its time cost; FBS and UBS appear as flat reference lines.
+"""
+
+from __future__ import annotations
+
+from .base import ExperimentResult, scaled
+from .sweep import sweep_point
+
+M_VALUES = (1, 3, 8, 15, 30)
+SIZES = {"nba": 500, "synthetic": 900}
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="fig7",
+        title="HHS accuracy/time vs parameter m (FBS/UBS reference lines)",
+        columns=["dataset", "strategy", "m", "time_s", "f1"],
+    )
+    for kind, base_n in SIZES.items():
+        n = scaled(base_n, quick)
+        for reference in ("fbs", "ubs"):
+            point = sweep_point(kind, n, reference)
+            result.add(
+                dataset=kind, strategy=reference, m="-", time_s=point["time_s"],
+                f1=point["f1"],
+            )
+        for m in M_VALUES:
+            point = sweep_point(kind, n, "hhs", m=m)
+            result.add(
+                dataset=kind, strategy="hhs", m=m, time_s=point["time_s"],
+                f1=point["f1"],
+            )
+    result.note(
+        "paper shape: with growing m, HHS accuracy approaches UBS and its "
+        "time cost rises; large m makes HHS equal UBS"
+    )
+    return result

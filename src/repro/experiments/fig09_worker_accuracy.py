@@ -1,0 +1,38 @@
+"""Figure 9: effect of worker accuracy (0.7 - 1.0).
+
+Expected shape: time roughly insensitive to worker accuracy; F1 climbs
+with more reliable workers (about +10-20% from 0.7 to 1.0 in the paper).
+"""
+
+from __future__ import annotations
+
+from .base import ExperimentResult, scaled
+from .sweep import sweep_point
+
+ACCURACIES = (0.7, 0.8, 0.9, 1.0)
+SIZES = {"nba": 500, "synthetic": 900}
+STRATEGIES = ("fbs", "ubs", "hhs")
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="fig9",
+        title="BayesCrowd cost/accuracy vs worker accuracy",
+        columns=["dataset", "strategy", "worker_accuracy", "time_s", "f1"],
+    )
+    for kind, base_n in SIZES.items():
+        n = scaled(base_n, quick)
+        for strategy in STRATEGIES:
+            for accuracy in ACCURACIES:
+                point = sweep_point(kind, n, strategy, worker_accuracy=accuracy)
+                result.add(
+                    dataset=kind, strategy=strategy, worker_accuracy=accuracy,
+                    time_s=point["time_s"], f1=point["f1"],
+                )
+    result.note(
+        "paper shape: execution time insensitive to worker accuracy; F1 "
+        "increases with worker accuracy"
+    )
+    result.plot_spec(x="worker_accuracy", y="f1", series="strategy",
+                     title="F1 vs worker accuracy")
+    return result

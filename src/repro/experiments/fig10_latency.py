@@ -1,0 +1,36 @@
+"""Figure 10: effect of the latency constraint (number of rounds).
+
+Synthetic dataset, fixed budget, varying L.  Expected shape: both time
+and accuracy roughly flat -- the budget fixes the number of affordable
+tasks, so the latency knob only controls batching.
+"""
+
+from __future__ import annotations
+
+from .base import ExperimentResult, scaled
+from .sweep import sweep_point
+
+LATENCIES = (2, 5, 10, 20)
+SIZE = 900
+STRATEGIES = ("fbs", "ubs", "hhs")
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="fig10",
+        title="BayesCrowd cost/accuracy vs latency (rounds), Synthetic",
+        columns=["strategy", "latency", "time_s", "f1", "rounds"],
+    )
+    n = scaled(SIZE, quick)
+    for strategy in STRATEGIES:
+        for latency in LATENCIES:
+            point = sweep_point("synthetic", n, strategy, latency=latency)
+            result.add(
+                strategy=strategy, latency=latency, time_s=point["time_s"],
+                f1=point["f1"], rounds=point["rounds"],
+            )
+    result.note(
+        "paper shape: time and accuracy not very sensitive to latency at a "
+        "fixed budget; rounds never exceed L"
+    )
+    return result

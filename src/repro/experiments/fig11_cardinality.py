@@ -1,0 +1,38 @@
+"""Figure 11: effect of the Synthetic dataset cardinality.
+
+Expected shape: time climbs with cardinality (dominator sets and task
+selection cost more); accuracy decreases gradually because the fixed
+budget covers a shrinking fraction of the candidates.
+"""
+
+from __future__ import annotations
+
+from .base import ExperimentResult, scaled
+from .sweep import sweep_point
+
+CARDINALITIES = (300, 600, 1200, 2400)
+STRATEGIES = ("fbs", "ubs", "hhs")
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="fig11",
+        title="BayesCrowd cost/accuracy vs data cardinality, Synthetic",
+        columns=["strategy", "n", "time_s", "f1", "tasks"],
+    )
+    for strategy in STRATEGIES:
+        for base_n in CARDINALITIES:
+            n = scaled(base_n, quick)
+            point = sweep_point("synthetic", n, strategy)
+            result.add(
+                strategy=strategy, n=n, time_s=point["time_s"],
+                f1=point["f1"], tasks=point["tasks"],
+            )
+    result.note(
+        "paper shape: time grows with cardinality; accuracy decreases "
+        "gradually at a fixed budget"
+    )
+    result.plot_spec(x="n", y="time_s", series="strategy",
+                     title="time vs cardinality")
+    result.plot_spec(x="n", y="f1", series="strategy", title="F1 vs cardinality")
+    return result

@@ -1,0 +1,133 @@
+"""ASCII charts for experiment series.
+
+matplotlib is unavailable in the offline environment, so the experiment
+CLI renders figures as terminal charts: multi-series scatter plots with
+per-series markers, axis scales (linear or log-y) and a legend.  Good
+enough to eyeball every trend the paper's figures show.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Markers assigned to series in order.
+MARKERS = "ox+*#@%&"
+
+Point = Tuple[float, float]
+
+
+def _nice_number(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000 or abs(value) < 0.01:
+        return "%.2g" % value
+    return "%.3g" % value
+
+
+def ascii_line_chart(
+    series: Dict[str, Sequence[Point]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    log_y: bool = False,
+) -> str:
+    """Render named point series as a fixed-size ASCII chart.
+
+    Points are plotted with one marker per series; overlapping cells keep
+    the earliest series' marker.  Returns the chart as a newline-joined
+    string (no trailing newline).
+    """
+    if not series or all(not points for points in series.values()):
+        return "(no data to plot)"
+    if width < 10 or height < 4:
+        raise ValueError("chart too small")
+
+    def transform(y: float) -> float:
+        if not log_y:
+            return y
+        return math.log10(max(y, 1e-12))
+
+    xs = [x for points in series.values() for x, __ in points]
+    ys = [transform(y) for points in series.values() for __, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid: List[List[str]] = [[" "] * width for __ in range(height)]
+    for index, (name, points) in enumerate(series.items()):
+        marker = MARKERS[index % len(MARKERS)]
+        for x, y in points:
+            column = int(round((x - x_lo) / (x_hi - x_lo) * (width - 1)))
+            row = int(round((transform(y) - y_lo) / (y_hi - y_lo) * (height - 1)))
+            row = height - 1 - row  # origin bottom-left
+            if grid[row][column] == " ":
+                grid[row][column] = marker
+
+    y_top = _nice_number(10 ** y_hi if log_y else y_hi)
+    y_bottom = _nice_number(10 ** y_lo if log_y else y_lo)
+    label_width = max(len(y_top), len(y_bottom))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    axis_note = " (log scale)" if log_y else ""
+    if y_label:
+        lines.append("y: %s%s" % (y_label, axis_note))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = y_top.rjust(label_width)
+        elif row_index == height - 1:
+            label = y_bottom.rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append("%s |%s" % (label, "".join(row)))
+    lines.append("%s +%s" % (" " * label_width, "-" * width))
+    x_axis = "%s  %s%s%s" % (
+        " " * label_width,
+        _nice_number(x_lo),
+        " " * max(1, width - len(_nice_number(x_lo)) - len(_nice_number(x_hi))),
+        _nice_number(x_hi),
+    )
+    lines.append(x_axis)
+    if x_label:
+        lines.append("%s  x: %s" % (" " * label_width, x_label))
+    legend = "   ".join(
+        "%s %s" % (MARKERS[i % len(MARKERS)], name)
+        for i, name in enumerate(series)
+    )
+    lines.append("%s  %s" % (" " * label_width, legend))
+    return "\n".join(lines)
+
+
+def chart_from_rows(
+    rows: Sequence[dict],
+    x: str,
+    y: str,
+    series_key: Optional[str] = None,
+    title: str = "",
+    log_y: bool = False,
+) -> str:
+    """Build a chart from experiment result rows.
+
+    Rows missing the x/y columns, or with non-numeric values there, are
+    skipped.  ``series_key`` groups rows into named series (e.g. one line
+    per strategy); without it everything lands in one series.
+    """
+    series: Dict[str, List[Point]] = {}
+    for row in rows:
+        try:
+            x_value = float(row[x])
+            y_value = float(row[y])
+        except (KeyError, TypeError, ValueError):
+            continue
+        name = str(row.get(series_key, "all")) if series_key else "all"
+        series.setdefault(name, []).append((x_value, y_value))
+    return ascii_line_chart(
+        series, title=title, x_label=x, y_label=y, log_y=log_y
+    )

@@ -1,0 +1,71 @@
+"""Collate saved experiment results into one report.
+
+``python -m repro.experiments --all --out results/`` writes one JSON per
+experiment; this module folds them back into a single markdown document
+(tables, notes, optional ASCII charts) -- the machine-generated companion
+to the hand-written EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Union
+
+from .base import ExperimentResult
+
+PathLike = Union[str, Path]
+
+
+def load_results(results_dir: PathLike) -> List[ExperimentResult]:
+    """Read every ``*.json`` result in a directory, sorted by experiment id."""
+    results_dir = Path(results_dir)
+    if not results_dir.is_dir():
+        raise FileNotFoundError("no results directory at %s" % results_dir)
+    results = []
+    for path in sorted(results_dir.glob("*.json")):
+        results.append(ExperimentResult.from_json(path.read_text()))
+
+    def sort_key(result: ExperimentResult):
+        identifier = result.experiment_id
+        if identifier.startswith("fig"):
+            try:
+                return (0, int(identifier[3:]))
+            except ValueError:
+                return (1, 0)
+        if identifier.startswith("table"):
+            return (2, 0)
+        return (3, 0)
+
+    results.sort(key=sort_key)
+    return results
+
+
+def build_report(results_dir: PathLike, charts: bool = True) -> str:
+    """One markdown document with every saved experiment."""
+    results = load_results(results_dir)
+    if not results:
+        return "# Experiment report\n\n(no results found)\n"
+    total = sum(result.seconds for result in results)
+    lines = [
+        "# Experiment report",
+        "",
+        "%d experiments, %.1f s total runtime." % (len(results), total),
+        "",
+    ]
+    for result in results:
+        lines.append(result.to_markdown())
+        if charts:
+            for chart in result.charts():
+                lines.append("")
+                lines.append("```")
+                lines.append(chart)
+                lines.append("```")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(results_dir: PathLike, output: PathLike, charts: bool = True) -> Path:
+    """Render and write the report; returns the output path."""
+    output = Path(output)
+    output.write_text(build_report(results_dir, charts=charts) + "\n")
+    return output

@@ -1,0 +1,37 @@
+"""Parameter-sweep helper shared by the Figure 5-11 runners."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core import BayesCrowdConfig
+from .base import query_metrics
+from .data import NBA_DEFAULTS, SYNTHETIC_DEFAULTS, dataset_with_distributions
+
+
+def defaults_for(kind: str) -> Dict[str, object]:
+    """Paper default parameters for one dataset (Section 7, scaled)."""
+    if kind == "nba":
+        return dict(NBA_DEFAULTS)
+    if kind == "synthetic":
+        return dict(SYNTHETIC_DEFAULTS)
+    raise ValueError("unknown dataset kind %r" % kind)
+
+
+def sweep_point(
+    kind: str,
+    n: int,
+    strategy: str,
+    missing_rate: float = 0.1,
+    seed: int = 0,
+    **overrides,
+) -> Dict[str, object]:
+    """One BayesCrowd run at the dataset defaults plus overrides.
+
+    Returns the standard metric dict (f1 / time_s / tasks / rounds / ...).
+    """
+    params = defaults_for(kind)
+    params.update(overrides)
+    dataset, distributions = dataset_with_distributions(kind, n, missing_rate)
+    config = BayesCrowdConfig(strategy=strategy, seed=seed, **params)
+    return query_metrics(dataset, config, distributions=distributions)

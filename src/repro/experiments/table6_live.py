@@ -1,0 +1,65 @@
+"""Table 6: "live" crowd experiment on the NBA dataset.
+
+The paper posts the default NBA workload to Amazon Mechanical Turk and
+reports F1 = 0.956 / 0.979 / 0.978 for FBS / UBS / HHS.  No live market
+is reachable here, so the AMT crowd is simulated by a *heterogeneous*
+worker pool: per-worker accuracies drawn from a clipped normal around
+0.95 (the paper notes AMT supports recruiting workers above an accuracy
+bar, and observes "excellent performance especially for high-accuracy
+workers").  Majority voting over three assignments, as in the live run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import BayesCrowd, BayesCrowdConfig
+from ..crowd import SimulatedCrowdPlatform, WorkerPool
+from ..metrics.accuracy import f1_score
+from ..skyline.algorithms import skyline
+from .base import ExperimentResult, scaled
+from .data import NBA_DEFAULTS, dataset_with_distributions
+
+SIZE = 500
+POOL_SIZE = 40
+POOL_MEAN_ACCURACY = 0.95
+POOL_ACCURACY_SD = 0.04
+STRATEGIES = ("fbs", "ubs", "hhs")
+PAPER_F1 = {"fbs": 0.956, "ubs": 0.979, "hhs": 0.978}
+
+
+def amt_like_pool(rng: np.random.Generator) -> WorkerPool:
+    """A heterogeneous pool imitating pre-screened AMT workers."""
+    accuracies = np.clip(
+        rng.normal(POOL_MEAN_ACCURACY, POOL_ACCURACY_SD, size=POOL_SIZE), 0.75, 1.0
+    )
+    return WorkerPool(list(accuracies), rng=rng)
+
+
+def live_point(strategy: str, n: int, seed: int = 0) -> float:
+    dataset, distributions = dataset_with_distributions("nba", n)
+    rng = np.random.default_rng(seed)
+    platform = SimulatedCrowdPlatform(dataset, worker_pool=amt_like_pool(rng), rng=rng)
+    config = BayesCrowdConfig(strategy=strategy, seed=seed, **NBA_DEFAULTS)
+    result = BayesCrowd(dataset, config, platform=platform, distributions=distributions).run()
+    return f1_score(result.answers, skyline(dataset.complete))
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="table6",
+        title="simulated live-crowd F1 on NBA (paper: AMT workers)",
+        columns=["strategy", "f1", "paper_f1"],
+    )
+    n = scaled(SIZE, quick)
+    for strategy in STRATEGIES:
+        result.add(
+            strategy=strategy,
+            f1=live_point(strategy, n),
+            paper_f1=PAPER_F1[strategy],
+        )
+    result.note(
+        "AMT replaced by a heterogeneous simulated pool (mean accuracy 0.95); "
+        "paper shape: all strategies reach high F1, UBS/HHS above FBS"
+    )
+    return result

@@ -1,0 +1,52 @@
+"""Query accuracy metrics.
+
+The paper evaluates with the F1 score of the returned answer set against
+the skyline of the corresponding *complete* data (Section 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Set
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """Precision / recall / F1 of a predicted answer set."""
+
+    precision: float
+    recall: float
+    f1: float
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return "P=%.3f R=%.3f F1=%.3f" % (self.precision, self.recall, self.f1)
+
+
+def accuracy_report(predicted: Iterable[int], truth: Iterable[int]) -> AccuracyReport:
+    """Compare a predicted object-id set against the ground-truth set.
+
+    Edge cases follow the usual conventions: an empty prediction with an
+    empty truth scores 1.0 everywhere; otherwise missing sides score 0.
+    """
+    predicted_set: Set[int] = set(predicted)
+    truth_set: Set[int] = set(truth)
+    tp = len(predicted_set & truth_set)
+    fp = len(predicted_set - truth_set)
+    fn = len(truth_set - predicted_set)
+    if not predicted_set and not truth_set:
+        return AccuracyReport(1.0, 1.0, 1.0, 0, 0, 0)
+    precision = tp / len(predicted_set) if predicted_set else 0.0
+    recall = tp / len(truth_set) if truth_set else 0.0
+    if precision + recall == 0.0:
+        f1 = 0.0
+    else:
+        f1 = 2.0 * precision * recall / (precision + recall)
+    return AccuracyReport(precision, recall, f1, tp, fp, fn)
+
+
+def f1_score(predicted: Iterable[int], truth: Iterable[int]) -> float:
+    """Convenience wrapper returning only the F1 component."""
+    return accuracy_report(predicted, truth).f1

@@ -1,0 +1,53 @@
+"""Lightweight timing utilities for the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates wall-clock time across named sections.
+
+    Usage::
+
+        watch = Stopwatch()
+        with watch.section("ctable"):
+            build_ctable(...)
+        watch.total("ctable")
+    """
+
+    _totals: Dict[str, float] = field(default_factory=dict)
+    _counts: Dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def section(self, label: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._totals[label] = self._totals.get(label, 0.0) + elapsed
+            self._counts[label] = self._counts.get(label, 0) + 1
+
+    def total(self, label: str) -> float:
+        return self._totals.get(label, 0.0)
+
+    def count(self, label: str) -> int:
+        return self._counts.get(label, 0)
+
+    def labels(self) -> List[str]:
+        return sorted(self._totals)
+
+    def summary(self) -> Dict[str, float]:
+        return dict(self._totals)
+
+
+def time_call(fn, *args, **kwargs):
+    """Run ``fn`` and return ``(result, seconds)``."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start

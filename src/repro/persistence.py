@@ -1,0 +1,133 @@
+"""Saving and loading datasets and query results.
+
+A library users adopt needs durable artifacts: datasets round-trip
+through ``.npz`` (values + mask + ground truth + metadata) and query
+results through JSON, so experiment pipelines can snapshot inputs and
+outcomes without pickling live objects.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .core.result import QueryResult, RoundRecord
+from .datasets.dataset import IncompleteDataset
+
+PathLike = Union[str, Path]
+
+#: file-format version written into every artifact
+FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# datasets
+# ----------------------------------------------------------------------
+def save_dataset(dataset: IncompleteDataset, path: PathLike) -> None:
+    """Write a dataset (with its hidden ground truth, if any) to ``.npz``."""
+    path = Path(path)
+    payload = {
+        "format_version": np.array([FORMAT_VERSION]),
+        "values": dataset.values,
+        "domain_sizes": np.asarray(dataset.domain_sizes, dtype=np.int64),
+        "attribute_names": np.array(dataset.attribute_names, dtype=object),
+        "object_names": np.array(dataset.object_names, dtype=object),
+        "name": np.array([dataset.name], dtype=object),
+    }
+    if dataset.complete is not None:
+        payload["complete"] = dataset.complete
+    np.savez_compressed(path, **payload, allow_pickle=True)
+
+
+def load_dataset(path: PathLike) -> IncompleteDataset:
+    """Read a dataset written by :func:`save_dataset`."""
+    path = Path(path)
+    with np.load(path, allow_pickle=True) as archive:
+        version = int(archive["format_version"][0])
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                "unsupported dataset format version %d (expected %d)"
+                % (version, FORMAT_VERSION)
+            )
+        return IncompleteDataset(
+            values=archive["values"],
+            domain_sizes=archive["domain_sizes"].tolist(),
+            complete=archive["complete"] if "complete" in archive else None,
+            attribute_names=[str(s) for s in archive["attribute_names"]],
+            object_names=[str(s) for s in archive["object_names"]],
+            name=str(archive["name"][0]),
+        )
+
+
+# ----------------------------------------------------------------------
+# query results
+# ----------------------------------------------------------------------
+def result_to_dict(result: QueryResult) -> dict:
+    """JSON-serializable view of a query result."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "answers": list(result.answers),
+        "certain_answers": list(result.certain_answers),
+        "tasks_posted": result.tasks_posted,
+        "rounds": result.rounds,
+        "seconds": result.seconds,
+        "modeling_seconds": result.modeling_seconds,
+        "initial_answers": (
+            list(result.initial_answers) if result.initial_answers is not None else None
+        ),
+        "history": [
+            {
+                "round_index": record.round_index,
+                "tasks_posted": record.tasks_posted,
+                "objects": list(record.objects),
+                "newly_decided": record.newly_decided,
+                "open_conditions": record.open_conditions,
+                "seconds": record.seconds,
+            }
+            for record in result.history
+        ],
+    }
+
+
+def save_result(result: QueryResult, path: PathLike) -> None:
+    """Write a query result to JSON."""
+    Path(path).write_text(json.dumps(result_to_dict(result), indent=2))
+
+
+def load_result(path: PathLike) -> QueryResult:
+    """Read a query result written by :func:`save_result`."""
+    data = json.loads(Path(path).read_text())
+    version = int(data.get("format_version", -1))
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            "unsupported result format version %d (expected %d)"
+            % (version, FORMAT_VERSION)
+        )
+    history = [
+        RoundRecord(
+            round_index=entry["round_index"],
+            tasks_posted=entry["tasks_posted"],
+            objects=list(entry["objects"]),
+            newly_decided=entry["newly_decided"],
+            open_conditions=entry["open_conditions"],
+            seconds=entry["seconds"],
+        )
+        for entry in data.get("history", [])
+    ]
+    return QueryResult(
+        answers=list(data["answers"]),
+        certain_answers=list(data["certain_answers"]),
+        tasks_posted=int(data["tasks_posted"]),
+        rounds=int(data["rounds"]),
+        seconds=float(data["seconds"]),
+        modeling_seconds=float(data.get("modeling_seconds", 0.0)),
+        history=history,
+        initial_answers=(
+            list(data["initial_answers"])
+            if data.get("initial_answers") is not None
+            else None
+        ),
+    )

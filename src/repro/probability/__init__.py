@@ -1,0 +1,24 @@
+"""Probability computation for c-table conditions (Section 5)."""
+
+from .adpll import ADPLL, adpll_probability
+from .approxcount import (
+    ApproxEstimate,
+    adaptive_approx_probability,
+    approx_probability,
+)
+from .distributions import DistributionStore
+from .engine import METHODS, ProbabilityEngine
+from .naive import EnumerationLimitExceeded, naive_probability
+
+__all__ = [
+    "ADPLL",
+    "adpll_probability",
+    "ApproxEstimate",
+    "approx_probability",
+    "adaptive_approx_probability",
+    "DistributionStore",
+    "METHODS",
+    "ProbabilityEngine",
+    "EnumerationLimitExceeded",
+    "naive_probability",
+]

@@ -1,0 +1,207 @@
+"""ADPLL: adaptive DPLL search for condition probabilities (Algorithm 3).
+
+Computing ``Pr(phi(o))`` is at least as hard as #SAT (weighted model
+counting): variables range over multi-value discrete domains instead of
+{0, 1}.  ADPLL adapts DPLL-style model counting:
+
+* when the condition is constant the answer is immediate;
+* when the clauses are *independent* (no variable appears in two different
+  expressions) the probability follows directly from the special
+  conjunctive rule ``Pr(p ^ q) = Pr(p) * Pr(q)`` and the general
+  disjunctive rule ``Pr(p v q) = 1 - Pr(!p ^ !q)``;
+* otherwise it branches on the variable occurring most often, summing
+  ``p(v = a) * Pr(phi[v := a])`` over the variable's support, which breaks
+  clause correlation "as quickly as possible".
+
+On top of the paper's algorithm this implementation adds two standard
+model-counting refinements (both can be disabled for ablation):
+
+* **connected-component decomposition** -- clauses sharing no variable
+  factorize, so each component is solved independently and multiplied;
+* **sub-condition memoization** -- identical residual conditions reached
+  along different branches are computed once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..ctable.condition import Condition
+from .distributions import DistributionStore
+
+
+def _is_independent(condition: Condition) -> bool:
+    """True when no variable occurs in more than one expression occurrence."""
+    counts = condition.variable_counts()
+    return all(count == 1 for count in counts.values())
+
+
+def _independent_probability(condition: Condition, store: DistributionStore) -> float:
+    """Direct evaluation via the conjunctive + disjunctive rules."""
+    result = 1.0
+    for clause in condition.clauses:
+        none_true = 1.0
+        for expression in clause:
+            none_true *= 1.0 - store.prob_expression(expression)
+        result *= 1.0 - none_true
+    return result
+
+
+def _components(condition: Condition) -> List[Condition]:
+    """Split clauses into groups connected by shared variables (union-find)."""
+    clauses = condition.clauses
+    parent = list(range(len(clauses)))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def union(i: int, j: int) -> None:
+        ri, rj = find(i), find(j)
+        if ri != rj:
+            parent[rj] = ri
+
+    owner: Dict[Tuple[int, int], int] = {}
+    for index, clause in enumerate(clauses):
+        for expression in clause:
+            for variable in expression.variables():
+                if variable in owner:
+                    union(owner[variable], index)
+                else:
+                    owner[variable] = index
+
+    groups: Dict[int, List] = {}
+    for index, clause in enumerate(clauses):
+        groups.setdefault(find(index), []).append(clause)
+    if len(groups) == 1:
+        return [condition]
+    return [Condition.of(group) for group in groups.values()]
+
+
+class ADPLL:
+    """Reusable ADPLL solver bound to one distribution store.
+
+    ``use_components`` / ``use_memo`` toggle the refinements for ablation;
+    with both off, :meth:`probability` is a faithful rendering of the
+    paper's Algorithm 3 (with deterministic smallest-variable tie-breaking
+    instead of a random one, for reproducibility).
+    """
+
+    #: available branching-variable heuristics:
+    #: ``frequency``  -- most occurrences in the condition (the paper's);
+    #: ``min_domain`` -- smallest remaining support (fail-first);
+    #: ``first``      -- smallest variable id (arbitrary-but-fixed control).
+    BRANCH_HEURISTICS = ("frequency", "min_domain", "first")
+
+    def __init__(
+        self,
+        store: DistributionStore,
+        use_components: bool = True,
+        use_memo: bool = True,
+        branch_heuristic: str = "frequency",
+        use_absorption: bool = False,
+    ) -> None:
+        if branch_heuristic not in self.BRANCH_HEURISTICS:
+            raise ValueError(
+                "unknown branch heuristic %r; expected one of %r"
+                % (branch_heuristic, self.BRANCH_HEURISTICS)
+            )
+        self._store = store
+        self._use_components = use_components
+        self._use_memo = use_memo
+        self._branch_heuristic = branch_heuristic
+        self._use_absorption = use_absorption
+        #: condition -> (probability, store version when computed)
+        self._memo: Dict[Condition, "Tuple[float, int]"] = {}
+        #: number of branching (variable assignment) steps taken so far
+        self.branch_count = 0
+
+    def probability(self, condition: Condition) -> float:
+        """``Pr(condition)`` under the store's current distributions."""
+        return self._probability(condition)
+
+    # ------------------------------------------------------------------
+    def _memo_get(self, condition: Condition) -> Optional[float]:
+        cached = self._memo.get(condition)
+        if cached is None:
+            return None
+        value, cached_version = cached
+        if cached_version == self._store.version:
+            return value
+        if self._store.variables_unchanged_since(condition.variables(), cached_version):
+            return value
+        return None
+
+    def _probability(self, condition: Condition) -> float:
+        if condition.is_true:
+            return 1.0
+        if condition.is_false:
+            return 0.0
+        if self._use_memo:
+            cached = self._memo_get(condition)
+            if cached is not None:
+                return cached
+        if _is_independent(condition):
+            result = _independent_probability(condition, self._store)
+        elif self._use_components:
+            result = 1.0
+            for component in _components(condition):
+                result *= self._solve_component(component)
+        else:
+            result = self._branch(condition)
+        if self._use_memo:
+            self._memo[condition] = (result, self._store.version)
+        return result
+
+    def _solve_component(self, component: Condition) -> float:
+        if self._use_memo:
+            cached = self._memo_get(component)
+            if cached is not None:
+                return cached
+        if _is_independent(component):
+            result = _independent_probability(component, self._store)
+        else:
+            result = self._branch(component)
+        if self._use_memo:
+            self._memo[component] = (result, self._store.version)
+        return result
+
+    def _pick_branch_variable(self, condition: Condition):
+        counts = condition.variable_counts()
+        if self._branch_heuristic == "frequency":
+            # Most occurrences first; ties break on the smallest variable id
+            # so runs are reproducible (the paper breaks ties randomly).
+            return min(counts, key=lambda v: (-counts[v], v))
+        if self._branch_heuristic == "min_domain":
+            return min(counts, key=lambda v: (len(self._store.support(v)), v))
+        return min(counts)
+
+    def _branch(self, condition: Condition) -> float:
+        """Sum over the support of the chosen branching variable."""
+        if self._use_absorption:
+            condition = condition.absorbed()
+            if condition.is_constant:
+                return 1.0 if condition.is_true else 0.0
+        variable = self._pick_branch_variable(condition)
+        pmf = self._store.pmf(variable)
+        total = 0.0
+        for value in self._store.support(variable).tolist():
+            weight = float(pmf[value])
+            residual = condition.substitute(variable, int(value))
+            self.branch_count += 1
+            total += weight * self._probability(residual)
+        return total
+
+
+def adpll_probability(
+    condition: Condition,
+    store: DistributionStore,
+    use_components: bool = True,
+    use_memo: bool = True,
+) -> float:
+    """One-shot convenience wrapper around :class:`ADPLL`."""
+    return ADPLL(store, use_components=use_components, use_memo=use_memo).probability(
+        condition
+    )

@@ -1,0 +1,142 @@
+"""Per-variable value distributions used by probability computation.
+
+Each variable ``Var(o, a)`` carries a pmf over its attribute domain --
+either the Bayesian-network posterior from preprocessing, an empirical
+column marginal, or the zero-knowledge uniform.  Following the paper's
+ADPLL (which multiplies ``prob * p(v_a)`` per assigned variable),
+variables are treated as mutually independent with these marginals.
+
+The store optionally observes a :class:`VariableConstraints` knowledge
+base: crowd answers narrow a variable's allowed values and its pmf is
+renormalized onto what remains, so later probability computations
+incorporate everything the crowd has said.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from ..ctable.constraints import VariableConstraints
+from ..ctable.expression import Const, Expression, Var
+from ..datasets.dataset import Variable
+
+
+class DistributionStore:
+    """Maps variables to (possibly constraint-restricted) pmfs."""
+
+    def __init__(
+        self,
+        base: Mapping[Variable, np.ndarray],
+        constraints: Optional[VariableConstraints] = None,
+    ) -> None:
+        self._base: Dict[Variable, np.ndarray] = {}
+        for variable, pmf in base.items():
+            pmf = np.asarray(pmf, dtype=np.float64)
+            if pmf.ndim != 1 or pmf.size == 0:
+                raise ValueError("pmf of %s must be a non-empty vector" % (variable,))
+            if (pmf < 0).any():
+                raise ValueError("pmf of %s has negative entries" % (variable,))
+            total = pmf.sum()
+            if not np.isclose(total, 1.0, atol=1e-6):
+                raise ValueError("pmf of %s sums to %r, not 1" % (variable, total))
+            self._base[variable] = pmf / total
+        self._constraints = constraints
+        # Hot-path caches, validated against per-variable constraint versions:
+        # leaf expressions repeat heavily across ADPLL branches.
+        self._pmf_cache: Dict[Variable, "tuple[np.ndarray, int]"] = {}
+        self._expr_cache: Dict[Expression, "tuple[float, int]"] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Changes whenever constraint updates may alter any pmf."""
+        return self._constraints.version if self._constraints is not None else 0
+
+    def variables_unchanged_since(self, variables, version: int) -> bool:
+        """True if the pmfs of ``variables`` are identical to store ``version``.
+
+        Used for selective cache invalidation: a cached ``Pr(phi)`` stays
+        valid as long as no variable of ``phi`` was constrained afterwards.
+        """
+        if self._constraints is None:
+            return True
+        return self._constraints.variables_unchanged_since(variables, version)
+
+    def has_variable(self, variable: Variable) -> bool:
+        return variable in self._base
+
+    def variables(self):
+        return self._base.keys()
+
+    def pmf(self, variable: Variable) -> np.ndarray:
+        """Current pmf: base distribution restricted by constraints."""
+        base = self._base.get(variable)
+        if base is None:
+            raise KeyError("no distribution for variable %s" % (variable,))
+        constraints = self._constraints
+        if constraints is None:
+            return base
+        cached = self._pmf_cache.get(variable)
+        if cached is not None:
+            pmf, version = cached
+            if constraints.variables_unchanged_since((variable,), version):
+                return pmf
+        pmf = constraints.constrain_pmf(variable, base)
+        self._pmf_cache[variable] = (pmf, constraints.version)
+        return pmf
+
+    def support(self, variable: Variable) -> np.ndarray:
+        """Domain values with strictly positive current probability."""
+        return np.nonzero(self.pmf(variable) > 0.0)[0]
+
+    # ------------------------------------------------------------------
+    # expression probabilities (exact, under variable independence)
+    # ------------------------------------------------------------------
+    def prob_expression(self, expression: Expression) -> float:
+        """``Pr(expression)`` under the current distributions (cached)."""
+        cached = self._expr_cache.get(expression)
+        if cached is not None:
+            value, version = cached
+            if self.variables_unchanged_since(expression.variables(), version):
+                return value
+        value = self._prob_expression_uncached(expression)
+        self._expr_cache[expression] = (value, self.version)
+        return value
+
+    def _prob_expression_uncached(self, expression: Expression) -> float:
+        left, right = expression.left, expression.right
+        if isinstance(left, Var) and isinstance(right, Const):
+            pmf = self.pmf(left.variable)
+            return float(pmf[right.value + 1 :].sum()) if right.value + 1 < len(pmf) else 0.0
+        if isinstance(left, Const) and isinstance(right, Var):
+            pmf = self.pmf(right.variable)
+            return float(pmf[: left.value].sum()) if left.value > 0 else 0.0
+        if isinstance(left, Var) and isinstance(right, Var):
+            return self._prob_var_greater_var(left.variable, right.variable)
+        raise ValueError("expression without variables")  # pragma: no cover
+
+    def _prob_var_greater_var(self, a: Variable, b: Variable) -> float:
+        """``Pr(A > B)`` for independent discrete A, B."""
+        pmf_a = self.pmf(a)
+        pmf_b = self.pmf(b)
+        # cdf_b[x] = Pr(B < x) for x in 0..len-1
+        cdf_below = np.concatenate(([0.0], np.cumsum(pmf_b)))[: len(pmf_b)]
+        limit = min(len(pmf_a), len(cdf_below))
+        total = float((pmf_a[:limit] * cdf_below[:limit]).sum())
+        # values of A above B's domain always win
+        if len(pmf_a) > len(pmf_b):
+            total += float(pmf_a[len(pmf_b) :].sum())
+        return total
+
+    # ------------------------------------------------------------------
+    def sample_assignment(
+        self, variables, rng: np.random.Generator
+    ) -> Dict[Variable, int]:
+        """Independent sample of the given variables (ApproxCount)."""
+        out: Dict[Variable, int] = {}
+        for variable in variables:
+            pmf = self.pmf(variable)
+            out[variable] = int(rng.choice(len(pmf), p=pmf))
+        return out

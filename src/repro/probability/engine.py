@@ -1,0 +1,82 @@
+"""Probability engine: method dispatch + caching for ``Pr(phi(o))``.
+
+Task selection recomputes condition probabilities many times per round
+(entropy ranking, marginal utilities); the engine memoizes results keyed
+by the (hashable) condition and invalidates whenever the constraint store
+version changes, i.e. whenever a crowd answer could alter a distribution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..ctable.condition import Condition
+from .adpll import ADPLL
+from .approxcount import approx_probability
+from .distributions import DistributionStore
+from .naive import naive_probability
+
+#: Supported computation methods.
+METHODS = ("adpll", "naive", "approx")
+
+
+class ProbabilityEngine:
+    """Computes and caches condition probabilities against one store."""
+
+    def __init__(
+        self,
+        store: DistributionStore,
+        method: str = "adpll",
+        use_cache: bool = True,
+        approx_samples: int = 2000,
+        rng: Optional[np.random.Generator] = None,
+        use_components: bool = True,
+    ) -> None:
+        if method not in METHODS:
+            raise ValueError("unknown method %r; expected one of %r" % (method, METHODS))
+        self.store = store
+        self.method = method
+        self._use_cache = use_cache
+        self._approx_samples = approx_samples
+        self._rng = rng or np.random.default_rng(0)
+        self._adpll = ADPLL(store, use_components=use_components)
+        #: condition -> (probability, store version when computed)
+        self._cache: Dict[Condition, "tuple[float, int]"] = {}
+        self.n_computations = 0
+        self.n_cache_hits = 0
+
+    def probability(self, condition: Condition) -> float:
+        """``Pr(condition)`` under the current distributions."""
+        if condition.is_true:
+            return 1.0
+        if condition.is_false:
+            return 0.0
+        version = self.store.version
+        if self._use_cache:
+            cached = self._cache.get(condition)
+            if cached is not None:
+                value, cached_version = cached
+                if cached_version == version or self.store.variables_unchanged_since(
+                    condition.variables(), cached_version
+                ):
+                    self.n_cache_hits += 1
+                    return value
+        value = self._compute(condition)
+        self.n_computations += 1
+        if self._use_cache:
+            self._cache[condition] = (value, version)
+        return value
+
+    def _compute(self, condition: Condition) -> float:
+        if self.method == "adpll":
+            return self._adpll.probability(condition)
+        if self.method == "naive":
+            return naive_probability(condition, self.store)
+        return approx_probability(
+            condition, self.store, n_samples=self._approx_samples, rng=self._rng
+        ).probability
+
+    def __call__(self, condition: Condition) -> float:
+        return self.probability(condition)

@@ -1,0 +1,64 @@
+"""Naive probability computation: full assignment enumeration (Section 5).
+
+"An intuitive solution (called Naive) ... is to evaluate all the variable
+value combinations of the variables in phi(o), and to aggregate the
+probabilities of those assignments with the value of true."  Complexity is
+``O(N^(d * |D|))``; it exists as the exact reference for tests and as the
+Figure 3 comparison baseline.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional
+
+from ..ctable.condition import Condition
+from ..datasets.dataset import Variable
+from .distributions import DistributionStore
+
+
+class EnumerationLimitExceeded(RuntimeError):
+    """The assignment space is larger than the caller allowed."""
+
+
+def naive_probability(
+    condition: Condition,
+    store: DistributionStore,
+    max_assignments: Optional[int] = 10_000_000,
+) -> float:
+    """Exact ``Pr(condition)`` by summing over every variable assignment.
+
+    ``max_assignments`` guards against accidentally enumerating an
+    astronomically large space; pass ``None`` to disable the guard.
+    """
+    if condition.is_true:
+        return 1.0
+    if condition.is_false:
+        return 0.0
+
+    variables = sorted(condition.variables())
+    supports = [store.support(v).tolist() for v in variables]
+    pmfs = [store.pmf(v) for v in variables]
+
+    if max_assignments is not None:
+        space = 1
+        for support in supports:
+            space *= max(len(support), 1)
+            if space > max_assignments:
+                raise EnumerationLimitExceeded(
+                    "assignment space exceeds %d" % max_assignments
+                )
+
+    total = 0.0
+    assignment: Dict[Variable, int] = {}
+    for values in itertools.product(*supports):
+        weight = 1.0
+        for pmf, value in zip(pmfs, values):
+            weight *= float(pmf[value])
+        if weight == 0.0:
+            continue
+        for variable, value in zip(variables, values):
+            assignment[variable] = value
+        if condition.evaluate(assignment):
+            total += weight
+    return total

@@ -1,0 +1,24 @@
+"""k-skyband queries over incomplete data with crowdsourcing (extension).
+
+The k-skyband contains every object dominated by fewer than ``k`` other
+objects; the skyline is the 1-skyband.  This extension generalizes the
+paper's machinery: per potential dominator the same CNF clause encodes
+"p does not dominate o", and membership probability becomes a counting
+problem -- ``Pr(#dominators < k)`` -- solved exactly by ADPLL-style
+branching on shared variables plus a Poisson-binomial DP once the
+dominance events are independent.
+"""
+
+from .algorithms import skyband
+from .candidates import SkybandCandidate, build_skyband_candidates
+from .probability import skyband_membership_probability
+from .query import CrowdSkyband, SkybandConfig
+
+__all__ = [
+    "skyband",
+    "SkybandCandidate",
+    "build_skyband_candidates",
+    "skyband_membership_probability",
+    "CrowdSkyband",
+    "SkybandConfig",
+]

@@ -1,0 +1,30 @@
+"""Ground-truth k-skyband computation on complete data."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+
+def skyband(values: np.ndarray, k: int) -> List[int]:
+    """Indices of objects dominated by fewer than ``k`` others.
+
+    ``skyband(values, 1)`` equals the skyline.  Quadratic reference
+    implementation (ground truth for evaluation, not a hot path).
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    values = np.asarray(values)
+    if values.ndim != 2:
+        raise ValueError("values must be a 2-D matrix")
+    n = values.shape[0]
+    members: List[int] = []
+    for o in range(n):
+        geq = (values >= values[o]).all(axis=1)
+        gt = (values > values[o]).any(axis=1)
+        dominated_by = geq & gt
+        dominated_by[o] = False
+        if int(dominated_by.sum()) < k:
+            members.append(o)
+    return members

@@ -1,0 +1,135 @@
+"""Skyband candidates: per-object dominance-event bookkeeping.
+
+For the skyline, the c-table folds all dominator clauses into one CNF
+condition.  For the k-skyband the clauses must stay separate, because
+membership depends on *how many* of them fail: a candidate keeps
+
+* ``base_dominators`` -- dominators already certain (clause resolved
+  false, or decided at construction from fully-observed pairs),
+* ``open_clauses``    -- one single-clause :class:`Condition` per
+  still-undecided potential dominator ("o beats p somewhere").
+
+A candidate is *certainly in* the k-skyband once even all open clauses
+failing would keep the count below ``k``, and *certainly out* once
+``base_dominators >= k``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..ctable.condition import Condition, ExpressionResolver
+from ..ctable.construction import _clause_for_pair
+from ..ctable.dominators import dominator_sets
+from ..datasets.dataset import IncompleteDataset
+
+
+@dataclass
+class SkybandCandidate:
+    """Membership state of one object in the k-skyband query."""
+
+    obj: int
+    k: int
+    base_dominators: int = 0
+    open_clauses: List[Condition] = field(default_factory=list)
+
+    @property
+    def certainly_out(self) -> bool:
+        return self.base_dominators >= self.k
+
+    @property
+    def certainly_in(self) -> bool:
+        # Even if every open dominance event came true, the count would
+        # still be below k.
+        return self.base_dominators + len(self.open_clauses) < self.k
+
+    @property
+    def decided(self) -> bool:
+        return self.certainly_out or self.certainly_in
+
+    def simplify_with(self, resolver: ExpressionResolver) -> bool:
+        """Re-simplify open clauses under new knowledge; True if changed.
+
+        A clause turning true means that dominator is ruled out (dropped);
+        turning false means one more certain dominator.
+        """
+        if not self.open_clauses:
+            return False
+        changed = False
+        remaining: List[Condition] = []
+        for clause in self.open_clauses:
+            simplified = clause.simplify_with(resolver)
+            if simplified is not clause:
+                changed = True
+            if simplified.is_true:
+                continue  # p cannot dominate o
+            if simplified.is_false:
+                self.base_dominators += 1
+                continue
+            remaining.append(simplified)
+        self.open_clauses = remaining
+        if self.certainly_out:
+            # Remaining clauses are irrelevant once membership is decided.
+            if self.open_clauses:
+                self.open_clauses = []
+                changed = True
+        return changed
+
+    def variables(self):
+        out = set()
+        for clause in self.open_clauses:
+            out |= clause.variables()
+        return out
+
+
+def build_skyband_candidates(
+    dataset: IncompleteDataset,
+    k: int,
+    alpha: float = 1.0,
+    dominator_method: str = "fast",
+) -> Dict[int, SkybandCandidate]:
+    """Construct every object's candidate (Get-CTable's clause machinery).
+
+    ``alpha`` prunes like Algorithm 2, with the threshold adjusted for the
+    skyband: objects whose potential-dominator count exceeds
+    ``max(alpha * |O|, 2k)`` are declared out (their membership
+    probability is negligible and their counting problem huge).
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    sets = dominator_sets(dataset, method=dominator_method)
+    n = dataset.n_objects
+    limit = max(alpha * n, 2 * k)
+    values = dataset.values
+    mask = dataset.mask
+    complete_object = ~mask.any(axis=1)
+    candidates: Dict[int, SkybandCandidate] = {}
+
+    for o in range(n):
+        candidate = SkybandCandidate(obj=o, k=k)
+        dominators = sets[o]
+        if dominators.size > limit:
+            candidate.base_dominators = k  # alpha-pruned: declared out
+            candidates[o] = candidate
+            continue
+        for p in dominators.tolist():
+            if (
+                complete_object[o]
+                and complete_object[p]
+                and (values[p] >= values[o]).all()
+                and (values[p] > values[o]).any()
+            ):
+                candidate.base_dominators += 1
+                continue
+            clause = _clause_for_pair(dataset, o, p)
+            if clause is None:
+                continue  # p can never dominate o
+            if not clause:
+                candidate.base_dominators += 1
+                continue
+            candidate.open_clauses.append(Condition.of([clause]))
+        if candidate.certainly_out:
+            candidate.open_clauses = []
+        candidates[o] = candidate
+    return candidates

@@ -1,0 +1,119 @@
+"""Exact k-skyband membership probability.
+
+``Pr(o in k-skyband) = Pr(base + #failing clauses < k)`` where clause
+``j`` failing means potential dominator ``j`` actually dominates ``o``.
+
+Clauses may share variables (typically ``o``'s own missing attributes
+appear in every clause).  The solver therefore branches ADPLL-style on
+any variable occurring in more than one clause; once clauses are
+pairwise variable-disjoint their failure events are independent and the
+count distribution is Poisson-binomial, evaluated by the standard DP
+truncated at ``k`` successes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Sequence
+
+from ..ctable.condition import Condition
+from ..probability.distributions import DistributionStore
+
+
+def _poisson_binomial_below(failure_probs: Sequence[float], budget: int) -> float:
+    """``Pr(X < budget)`` for X = sum of independent Bernoullis.
+
+    ``budget <= 0`` gives 0; the DP state is truncated at ``budget``
+    successes since anything beyond already fails the test.
+    """
+    if budget <= 0:
+        return 0.0
+    # state[j] = probability of exactly j successes so far (j < budget);
+    # overflow mass is dropped because those outcomes cannot satisfy X < budget.
+    state = [0.0] * budget
+    state[0] = 1.0
+    for q in failure_probs:
+        nxt = [0.0] * budget
+        keep = 1.0 - q
+        for j, mass in enumerate(state):
+            if mass == 0.0:
+                continue
+            nxt[j] += mass * keep
+            if j + 1 < budget:
+                nxt[j + 1] += mass * q
+        state = nxt
+    return float(sum(state))
+
+
+def _shared_variable(clauses: Sequence[Condition]):
+    """The most frequent variable with >1 expression occurrence, or None.
+
+    Counts expression occurrences (not clause membership), so a variable
+    repeated inside a single clause also forces branching -- the direct
+    product rules need full pairwise independence.
+    """
+    counts: Counter = Counter()
+    for clause in clauses:
+        for count in clause.variable_counts().items():
+            counts[count[0]] += count[1]
+    shared = {v: c for v, c in counts.items() if c > 1}
+    if not shared:
+        return None
+    return min(shared, key=lambda v: (-shared[v], v))
+
+
+def skyband_membership_probability(
+    base_dominators: int,
+    clauses: Sequence[Condition],
+    k: int,
+    store: DistributionStore,
+) -> float:
+    """Exact ``Pr(base + #dominating < k)`` under the store's distributions."""
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    return _recurse(base_dominators, list(clauses), k, store)
+
+
+def _recurse(
+    base: int, clauses: List[Condition], k: int, store: DistributionStore
+) -> float:
+    if base >= k:
+        return 0.0
+    # Drop resolved clauses.
+    open_clauses: List[Condition] = []
+    for clause in clauses:
+        if clause.is_true:
+            continue  # that dominator is ruled out
+        if clause.is_false:
+            base += 1
+            if base >= k:
+                return 0.0
+        else:
+            open_clauses.append(clause)
+    if base + len(open_clauses) < k:
+        return 1.0  # certainly in, whatever happens
+    variable = _shared_variable(open_clauses)
+    if variable is None:
+        # Independent events: clause j FAILS (dominator survives) with
+        # probability 1 - Pr(clause).
+        failures = [1.0 - _clause_probability(c, store) for c in open_clauses]
+        return _poisson_binomial_below(failures, k - base)
+    pmf = store.pmf(variable)
+    total = 0.0
+    for value in store.support(variable).tolist():
+        weight = float(pmf[value])
+        residual = [c.substitute(variable, int(value)) for c in open_clauses]
+        total += weight * _recurse(base, residual, k, store)
+    return total
+
+
+def _clause_probability(clause: Condition, store: DistributionStore) -> float:
+    """``Pr(single disjunctive clause)`` via the general disjunctive rule.
+
+    The clause's expressions are variable-disjoint here (guaranteed by the
+    branching above), so ``Pr(e1 v e2 v ...) = 1 - prod(1 - Pr(e))``.
+    """
+    none_true = 1.0
+    for expression in clause.expressions():
+        none_true *= 1.0 - store.prob_expression(expression)
+    return 1.0 - none_true

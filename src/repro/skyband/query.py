@@ -1,0 +1,226 @@
+"""Crowd-assisted k-skyband query (extension of the BayesCrowd loop).
+
+Mirrors the skyline framework: entropy-ranked candidate selection, one
+conflict-free expression per chosen candidate (frequency order), batched
+posting, answer propagation through the shared constraint store, result
+inference by membership probability threshold.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.framework import learn_distributions
+from ..core.config import BayesCrowdConfig
+from ..core.result import QueryResult, RoundRecord
+from ..core.utility import entropy
+from ..crowd.platform import SimulatedCrowdPlatform
+from ..crowd.task import ComparisonTask
+from ..ctable.constraints import VariableConstraints
+from ..ctable.expression import Expression
+from ..datasets.dataset import IncompleteDataset, Variable
+from ..probability.distributions import DistributionStore
+from .candidates import SkybandCandidate, build_skyband_candidates
+from .probability import skyband_membership_probability
+
+
+@dataclass
+class SkybandConfig:
+    """Knobs of one crowd-assisted k-skyband query."""
+
+    k: int = 2
+    alpha: float = 0.05
+    budget: int = 50
+    latency: int = 5
+    answer_threshold: float = 0.5
+    distribution_source: str = "bayesnet"
+    worker_accuracy: float = 1.0
+    inference_mode: str = "full"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError("k must be at least 1")
+        if self.budget < 0:
+            raise ValueError("budget must be non-negative")
+        if self.latency < 1:
+            raise ValueError("latency must be at least one round")
+
+    def tasks_per_round(self) -> int:
+        if self.budget == 0:
+            return 0
+        return -(-self.budget // self.latency)
+
+
+class CrowdSkyband:
+    """One configured k-skyband query over one incomplete dataset."""
+
+    def __init__(
+        self,
+        dataset: IncompleteDataset,
+        config: Optional[SkybandConfig] = None,
+        platform: Optional[SimulatedCrowdPlatform] = None,
+        distributions: Optional[Dict[Variable, np.ndarray]] = None,
+    ) -> None:
+        self.dataset = dataset
+        self.config = config or SkybandConfig()
+        if platform is None and dataset.has_ground_truth():
+            platform = SimulatedCrowdPlatform(
+                dataset,
+                worker_accuracy=self.config.worker_accuracy,
+                rng=np.random.default_rng(self.config.seed + 1),
+            )
+        self.platform = platform
+        if distributions is None:
+            proxy = BayesCrowdConfig(
+                distribution_source=self.config.distribution_source,
+                seed=self.config.seed,
+            )
+            distributions = learn_distributions(dataset, proxy)
+        self.distributions = distributions
+        self.candidates: Optional[Dict[int, SkybandCandidate]] = None
+        self.constraints: Optional[VariableConstraints] = None
+
+    # ------------------------------------------------------------------
+    def _membership_probability(
+        self, candidate: SkybandCandidate, store: DistributionStore
+    ) -> float:
+        if candidate.certainly_out:
+            return 0.0
+        if candidate.certainly_in:
+            return 1.0
+        return skyband_membership_probability(
+            candidate.base_dominators,
+            candidate.open_clauses,
+            candidate.k,
+            store,
+        )
+
+    def run(self) -> QueryResult:
+        config = self.config
+        start = time.perf_counter()
+        candidates = build_skyband_candidates(
+            self.dataset, config.k, alpha=config.alpha
+        )
+        modeling_seconds = time.perf_counter() - start
+        constraints = VariableConstraints(
+            self.dataset.domain_sizes, mode=config.inference_mode
+        )
+        store = DistributionStore(self.distributions, constraints)
+        self.candidates = candidates
+        self.constraints = constraints
+
+        initial_answers = self._result_set(candidates, store)
+        crowd_wait = 0.0
+        budget = config.budget
+        mu = config.tasks_per_round()
+        history: List[RoundRecord] = []
+
+        while budget > 0 and len(history) < config.latency:
+            round_start = time.perf_counter()
+            undecided = [c for c in candidates.values() if not c.decided]
+            if not any(c.open_clauses for c in undecided):
+                break
+            ranked = sorted(
+                undecided,
+                key=lambda c: (
+                    -entropy(self._membership_probability(c, store)),
+                    c.obj,
+                ),
+            )
+            k_tasks = min(budget, mu)
+            banned: set = set()
+            tasks: List[ComparisonTask] = []
+            objects: List[int] = []
+            frequencies = self._expression_frequencies(ranked[:k_tasks])
+            for candidate in ranked:
+                if len(tasks) >= k_tasks:
+                    break
+                expression = self._pick_expression(candidate, frequencies, banned)
+                if expression is None:
+                    continue
+                banned.update(expression.variables())
+                tasks.append(ComparisonTask(expression, for_object=candidate.obj))
+                objects.append(candidate.obj)
+            if not tasks:
+                break
+            if self.platform is None:
+                raise RuntimeError("crowdsourcing needs a platform or ground truth")
+
+            post_start = time.perf_counter()
+            answers = self.platform.post_batch(tasks)
+            crowd_wait += time.perf_counter() - post_start
+
+            open_before = sum(1 for c in candidates.values() if not c.decided)
+            touched: set = set()
+            for task, relation in answers.items():
+                touched |= constraints.apply_answer(task.expression, relation)
+            for candidate in candidates.values():
+                if not candidate.decided and (candidate.variables() & touched):
+                    candidate.simplify_with(constraints.resolve)
+            open_after = sum(1 for c in candidates.values() if not c.decided)
+            budget -= len(tasks)
+            history.append(
+                RoundRecord(
+                    round_index=len(history) + 1,
+                    tasks_posted=len(tasks),
+                    objects=objects,
+                    newly_decided=open_before - open_after,
+                    open_conditions=open_after,
+                    seconds=time.perf_counter() - round_start,
+                )
+            )
+
+        answers = self._result_set(candidates, store)
+        certain = sorted(
+            c.obj for c in candidates.values() if c.certainly_in
+        )
+        return QueryResult(
+            answers=answers,
+            certain_answers=certain,
+            tasks_posted=sum(r.tasks_posted for r in history),
+            rounds=len(history),
+            seconds=time.perf_counter() - start - crowd_wait,
+            modeling_seconds=modeling_seconds,
+            history=history,
+            initial_answers=initial_answers,
+        )
+
+    # ------------------------------------------------------------------
+    def _result_set(self, candidates, store) -> List[int]:
+        threshold = self.config.answer_threshold
+        out = []
+        for candidate in candidates.values():
+            if self._membership_probability(candidate, store) > threshold:
+                out.append(candidate.obj)
+        return sorted(out)
+
+    @staticmethod
+    def _expression_frequencies(candidates: List[SkybandCandidate]) -> Counter:
+        counts: Counter = Counter()
+        for candidate in candidates:
+            for clause in candidate.open_clauses:
+                for expression in clause.expressions():
+                    counts[expression] += 1
+        return counts
+
+    @staticmethod
+    def _pick_expression(
+        candidate: SkybandCandidate, frequencies: Counter, banned: set
+    ) -> Optional[Expression]:
+        best: Optional[Expression] = None
+        best_rank = None
+        for clause in candidate.open_clauses:
+            for expression in clause.distinct_expressions():
+                if banned.intersection(expression.variables()):
+                    continue
+                rank = (-frequencies[expression], expression.sort_key())
+                if best_rank is None or rank < best_rank:
+                    best_rank = rank
+                    best = expression
+        return best

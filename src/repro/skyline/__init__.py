@@ -1,0 +1,12 @@
+"""Skyline computation on complete data (ground truth + CrowdSky layers)."""
+
+from .algorithms import is_skyline_member, skyline, skyline_layers
+from .dominance import dominance_matrix, dominates
+
+__all__ = [
+    "dominates",
+    "dominance_matrix",
+    "skyline",
+    "skyline_layers",
+    "is_skyline_member",
+]

@@ -1,0 +1,78 @@
+"""Skyline computation on complete data.
+
+These routines provide (i) the *ground truth* against which crowd query
+accuracy (F1) is measured -- "the query result derived based on the
+corresponding complete data is regarded as the ground truth" (Section 7)
+-- and (ii) the *skyline layers* primitive used by the CrowdSky baseline.
+
+The main algorithm is sort-filter-skyline (SFS): objects are scanned in
+non-increasing order of their attribute sum, which guarantees that no
+object can be dominated by a later one, so a single pass against the
+running window suffices.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+
+def skyline(values: np.ndarray) -> List[int]:
+    """Indices of the skyline of a complete matrix (larger is better).
+
+    Duplicated rows are all reported (none dominates the other under
+    Definition 1, which requires strict improvement somewhere).
+    """
+    values = np.asarray(values)
+    if values.ndim != 2:
+        raise ValueError("values must be a 2-D matrix")
+    n = values.shape[0]
+    if n == 0:
+        return []
+
+    order = np.argsort(-values.sum(axis=1), kind="stable")
+    window: List[int] = []
+    window_values: List[np.ndarray] = []
+    for idx in order.tolist():
+        row = values[idx]
+        dominated = False
+        for candidate in window_values:
+            if (candidate >= row).all() and (candidate > row).any():
+                dominated = True
+                break
+        if not dominated:
+            window.append(idx)
+            window_values.append(row)
+    return sorted(window)
+
+
+def skyline_layers(values: np.ndarray) -> List[List[int]]:
+    """Partition all objects into successive skyline layers.
+
+    Layer 1 is the skyline; layer ``k`` is the skyline of what remains
+    after removing layers ``1..k-1``.  CrowdSky processes candidates in
+    this order because earlier layers can only be dominated by earlier or
+    same-layer objects.
+    """
+    values = np.asarray(values)
+    remaining = list(range(values.shape[0]))
+    layers: List[List[int]] = []
+    while remaining:
+        local = skyline(values[remaining])
+        layer = [remaining[i] for i in local]
+        layers.append(layer)
+        chosen = set(layer)
+        remaining = [i for i in remaining if i not in chosen]
+    return layers
+
+
+def is_skyline_member(values: np.ndarray, index: int) -> bool:
+    """Check one object against the whole matrix (used by property tests)."""
+    values = np.asarray(values)
+    row = values[index]
+    geq = (values >= row).all(axis=1)
+    gt = (values > row).any(axis=1)
+    dominated = geq & gt
+    dominated[index] = False
+    return not bool(dominated.any())

@@ -1,0 +1,37 @@
+"""Dominance relationship on complete data (Definition 1 of the paper).
+
+Object ``u`` dominates ``v`` (written ``u < v`` in the paper) iff ``u`` is
+not worse than ``v`` on every attribute and strictly better on at least
+one.  Throughout this library, *larger values are better*; datasets whose
+natural direction is "smaller is better" should be negated/reflected
+during discretization.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def dominates(u: Sequence[int], v: Sequence[int]) -> bool:
+    """True iff ``u`` dominates ``v`` under Definition 1 (larger is better)."""
+    u = np.asarray(u)
+    v = np.asarray(v)
+    if u.shape != v.shape:
+        raise ValueError("objects must share the attribute space")
+    return bool((u >= v).all() and (u > v).any())
+
+
+def dominance_matrix(values: np.ndarray) -> np.ndarray:
+    """Pairwise dominance matrix: ``M[i, j]`` is True iff ``i`` dominates ``j``.
+
+    Quadratic in memory -- intended for small inputs (tests, examples).
+    """
+    values = np.asarray(values)
+    n = values.shape[0]
+    geq = (values[:, None, :] >= values[None, :, :]).all(axis=2)
+    gt = (values[:, None, :] > values[None, :, :]).any(axis=2)
+    matrix = geq & gt
+    np.fill_diagonal(matrix, False)
+    return matrix[:n, :n]

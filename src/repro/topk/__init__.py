@@ -1,0 +1,28 @@
+"""Top-k dominating queries over incomplete data with crowdsourcing.
+
+A *top-k dominating* query returns the ``k`` objects with the highest
+dominance scores, where ``score(o) = |{p : o dominates p}|``.  It is the
+companion query type the paper's authors studied on incomplete data
+(reference [6], Miao et al., TKDE 2016) and combines skyline-style
+dominance with top-k ranking -- no user-defined scoring function needed.
+
+With missing values the scores are uncertain.  This extension reuses the
+c-table clause machinery: for each candidate pair, a single-clause
+condition encodes "p escapes domination by o"; the *expected score* sums
+the complement probabilities, and crowd tasks shrink the uncertainty of
+the ranking around the top-k boundary.
+"""
+
+from .algorithms import dominance_scores, top_k_dominating
+from .query import CrowdTopKDominating, TopKConfig
+from .scores import ScoredObject, build_score_models, expected_scores
+
+__all__ = [
+    "dominance_scores",
+    "top_k_dominating",
+    "CrowdTopKDominating",
+    "TopKConfig",
+    "ScoredObject",
+    "build_score_models",
+    "expected_scores",
+]

@@ -1,0 +1,36 @@
+"""Ground-truth dominance scores and top-k dominating on complete data."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+
+def dominance_scores(values: np.ndarray) -> np.ndarray:
+    """``score[o] = #objects dominated by o`` (Definition 1, larger better)."""
+    values = np.asarray(values)
+    if values.ndim != 2:
+        raise ValueError("values must be a 2-D matrix")
+    n = values.shape[0]
+    scores = np.zeros(n, dtype=np.int64)
+    for o in range(n):
+        geq = (values[o] >= values).all(axis=1)
+        gt = (values[o] > values).any(axis=1)
+        dominated = geq & gt
+        dominated[o] = False
+        scores[o] = int(dominated.sum())
+    return scores
+
+
+def top_k_dominating(values: np.ndarray, k: int) -> List[int]:
+    """The ``k`` objects with the highest dominance scores.
+
+    Ties at the boundary break toward the smaller object index, which
+    keeps the ground truth deterministic for evaluation.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    scores = dominance_scores(values)
+    order = sorted(range(len(scores)), key=lambda o: (-scores[o], o))
+    return sorted(order[: min(k, len(order))])

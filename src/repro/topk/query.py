@@ -1,0 +1,230 @@
+"""Crowd-assisted top-k dominating query.
+
+Iterative loop in the BayesCrowd style: maintain expected dominance
+scores, focus crowd tasks on objects whose score interval straddles the
+current top-k boundary (they are the ones that can still change the
+answer), pick the most frequent unresolved expression per chosen object,
+post conflict-free batches, propagate answers, repeat under budget and
+latency constraints.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.config import BayesCrowdConfig
+from ..core.framework import learn_distributions
+from ..core.result import QueryResult, RoundRecord
+from ..crowd.platform import SimulatedCrowdPlatform
+from ..crowd.task import ComparisonTask
+from ..ctable.constraints import VariableConstraints
+from ..ctable.expression import Expression
+from ..datasets.dataset import IncompleteDataset, Variable
+from ..probability.distributions import DistributionStore
+from ..probability.engine import ProbabilityEngine
+from .scores import ScoredObject, build_score_models
+
+
+@dataclass
+class TopKConfig:
+    """Knobs of one crowd-assisted top-k dominating query."""
+
+    k: int = 10
+    budget: int = 50
+    latency: int = 5
+    distribution_source: str = "bayesnet"
+    worker_accuracy: float = 1.0
+    inference_mode: str = "full"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError("k must be at least 1")
+        if self.budget < 0:
+            raise ValueError("budget must be non-negative")
+        if self.latency < 1:
+            raise ValueError("latency must be at least one round")
+
+    def tasks_per_round(self) -> int:
+        if self.budget == 0:
+            return 0
+        return -(-self.budget // self.latency)
+
+
+class CrowdTopKDominating:
+    """One configured top-k dominating query over one incomplete dataset."""
+
+    def __init__(
+        self,
+        dataset: IncompleteDataset,
+        config: Optional[TopKConfig] = None,
+        platform: Optional[SimulatedCrowdPlatform] = None,
+        distributions: Optional[Dict[Variable, np.ndarray]] = None,
+    ) -> None:
+        self.dataset = dataset
+        self.config = config or TopKConfig()
+        if self.config.k > dataset.n_objects:
+            raise ValueError("k exceeds the dataset cardinality")
+        if platform is None and dataset.has_ground_truth():
+            platform = SimulatedCrowdPlatform(
+                dataset,
+                worker_accuracy=self.config.worker_accuracy,
+                rng=np.random.default_rng(self.config.seed + 1),
+            )
+        self.platform = platform
+        if distributions is None:
+            proxy = BayesCrowdConfig(
+                distribution_source=self.config.distribution_source,
+                seed=self.config.seed,
+            )
+            distributions = learn_distributions(dataset, proxy)
+        self.distributions = distributions
+        self.models: Optional[Dict[int, ScoredObject]] = None
+
+    # ------------------------------------------------------------------
+    def _ranking(self, models, engine) -> List[int]:
+        """Objects ordered by expected score (desc), index tie-break."""
+        return sorted(
+            models,
+            key=lambda o: (-models[o].expected_score(engine), o),
+        )
+
+    def _answer_set(self, models, engine) -> List[int]:
+        return sorted(self._ranking(models, engine)[: self.config.k])
+
+    def _boundary_candidates(self, models, engine) -> List[ScoredObject]:
+        """Undecided objects whose score interval straddles the boundary.
+
+        The k-th expected score is the boundary; an object whose certain
+        interval lies fully above or below it cannot change the answer...
+        unless the boundary itself moves, so straddlers are ordered by
+        score variance (most uncertain first).
+        """
+        ranking = self._ranking(models, engine)
+        boundary = models[ranking[self.config.k - 1]].expected_score(engine)
+        straddlers = []
+        for model in models.values():
+            if model.decided():
+                continue
+            lo, hi = model.score_bounds()
+            if lo <= boundary <= hi:
+                straddlers.append(model)
+        if not straddlers:
+            straddlers = [m for m in models.values() if not m.decided()]
+        straddlers.sort(key=lambda m: (-m.score_variance(engine), m.obj))
+        return straddlers
+
+    # ------------------------------------------------------------------
+    def run(self) -> QueryResult:
+        config = self.config
+        start = time.perf_counter()
+        models = build_score_models(self.dataset)
+        modeling_seconds = time.perf_counter() - start
+        constraints = VariableConstraints(
+            self.dataset.domain_sizes, mode=config.inference_mode
+        )
+        store = DistributionStore(self.distributions, constraints)
+        engine = ProbabilityEngine(store)
+        self.models = models
+
+        initial_answers = self._answer_set(models, engine)
+        crowd_wait = 0.0
+        budget = config.budget
+        mu = config.tasks_per_round()
+        history: List[RoundRecord] = []
+
+        while budget > 0 and len(history) < config.latency:
+            round_start = time.perf_counter()
+            candidates = self._boundary_candidates(models, engine)
+            if not candidates:
+                break
+            k_tasks = min(budget, mu)
+            frequencies = self._expression_frequencies(candidates[: 2 * k_tasks])
+            banned: set = set()
+            tasks: List[ComparisonTask] = []
+            objects: List[int] = []
+            for model in candidates:
+                if len(tasks) >= k_tasks:
+                    break
+                expression = self._pick_expression(model, frequencies, banned)
+                if expression is None:
+                    continue
+                banned.update(expression.variables())
+                tasks.append(ComparisonTask(expression, for_object=model.obj))
+                objects.append(model.obj)
+            if not tasks:
+                break
+            if self.platform is None:
+                raise RuntimeError("crowdsourcing needs a platform or ground truth")
+
+            post_start = time.perf_counter()
+            answers = self.platform.post_batch(tasks)
+            crowd_wait += time.perf_counter() - post_start
+
+            open_before = sum(1 for m in models.values() if not m.decided())
+            touched: set = set()
+            for task, relation in answers.items():
+                touched |= constraints.apply_answer(task.expression, relation)
+            for model in models.values():
+                if not model.decided() and (model.variables() & touched):
+                    model.simplify_with(constraints.resolve)
+            open_after = sum(1 for m in models.values() if not m.decided())
+            budget -= len(tasks)
+            history.append(
+                RoundRecord(
+                    round_index=len(history) + 1,
+                    tasks_posted=len(tasks),
+                    objects=objects,
+                    newly_decided=open_before - open_after,
+                    open_conditions=open_after,
+                    seconds=time.perf_counter() - round_start,
+                )
+            )
+
+        answers = self._answer_set(models, engine)
+        certain = sorted(
+            m.obj
+            for m in models.values()
+            if m.decided() and m.obj in set(answers)
+        )
+        return QueryResult(
+            answers=answers,
+            certain_answers=certain,
+            tasks_posted=sum(r.tasks_posted for r in history),
+            rounds=len(history),
+            seconds=time.perf_counter() - start - crowd_wait,
+            modeling_seconds=modeling_seconds,
+            history=history,
+            initial_answers=initial_answers,
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _expression_frequencies(models: List[ScoredObject]) -> Counter:
+        counts: Counter = Counter()
+        for model in models:
+            for clause in model.open_clauses:
+                for expression in clause.expressions():
+                    counts[expression] += 1
+        return counts
+
+    @staticmethod
+    def _pick_expression(
+        model: ScoredObject, frequencies: Counter, banned: set
+    ) -> Optional[Expression]:
+        best: Optional[Expression] = None
+        best_rank = None
+        for clause in model.open_clauses:
+            for expression in clause.distinct_expressions():
+                if banned.intersection(expression.variables()):
+                    continue
+                rank = (-frequencies[expression], expression.sort_key())
+                if best_rank is None or rank < best_rank:
+                    best_rank = rank
+                    best = expression
+        return best

@@ -1,0 +1,111 @@
+"""Per-object dominance-score models under incompleteness.
+
+``score(o)`` decomposes over potential victims: for every ``p`` that ``o``
+possibly dominates, the single-clause condition built by the c-table
+machinery -- "p strictly beats o somewhere" -- is the *escape event*; ``o``
+dominates ``p`` exactly when the clause fails.  A score model keeps
+
+* ``base_score``   -- victims already certain,
+* ``open_clauses`` -- escape clauses still undecided.
+
+Expected score and variance follow from the clause probabilities (clauses
+treated as independent across victims, exact per clause via the engine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..ctable.condition import Condition, ExpressionResolver
+from ..ctable.construction import _clause_for_pair
+from ..ctable.dominators import dominator_sets
+from ..datasets.dataset import IncompleteDataset
+from ..probability.engine import ProbabilityEngine
+
+
+@dataclass
+class ScoredObject:
+    """Dominance-score state of one object."""
+
+    obj: int
+    base_score: int = 0
+    open_clauses: List[Condition] = field(default_factory=list)
+
+    def expected_score(self, engine: ProbabilityEngine) -> float:
+        """``E[score]`` = certain victims + sum of domination probabilities."""
+        total = float(self.base_score)
+        for clause in self.open_clauses:
+            total += 1.0 - engine.probability(clause)
+        return total
+
+    def score_bounds(self) -> "tuple[int, int]":
+        """Certain lower / upper bounds of the final score."""
+        return self.base_score, self.base_score + len(self.open_clauses)
+
+    def score_variance(self, engine: ProbabilityEngine) -> float:
+        """Variance of the score under per-victim independence."""
+        variance = 0.0
+        for clause in self.open_clauses:
+            q = 1.0 - engine.probability(clause)
+            variance += q * (1.0 - q)
+        return variance
+
+    def decided(self) -> bool:
+        return not self.open_clauses
+
+    def simplify_with(self, resolver: ExpressionResolver) -> bool:
+        """Fold new knowledge into the escape clauses; True if changed."""
+        if not self.open_clauses:
+            return False
+        changed = False
+        remaining: List[Condition] = []
+        for clause in self.open_clauses:
+            simplified = clause.simplify_with(resolver)
+            if simplified is not clause:
+                changed = True
+            if simplified.is_true:
+                continue  # victim escapes: no score contribution
+            if simplified.is_false:
+                self.base_score += 1  # confirmed victim
+                continue
+            remaining.append(simplified)
+        self.open_clauses = remaining
+        return changed
+
+    def variables(self):
+        out = set()
+        for clause in self.open_clauses:
+            out |= clause.variables()
+        return out
+
+
+def build_score_models(dataset: IncompleteDataset) -> Dict[int, ScoredObject]:
+    """One score model per object.
+
+    Victim lists invert the dominator sets of Eq. 1: ``p`` is a potential
+    victim of ``o`` exactly when ``o`` is in ``D(p)``.
+    """
+    sets = dominator_sets(dataset)
+    models: Dict[int, ScoredObject] = {
+        o: ScoredObject(obj=o) for o in range(dataset.n_objects)
+    }
+    for p, dominators in enumerate(sets):
+        for o in dominators.tolist():
+            # Does o dominate p?  The escape clause is "p beats o somewhere".
+            clause = _clause_for_pair(dataset, p, o)
+            model = models[o]
+            if clause is None:
+                continue  # p certainly escapes
+            if not clause:
+                model.base_score += 1  # o certainly dominates p
+                continue
+            model.open_clauses.append(Condition.of([clause]))
+    return models
+
+
+def expected_scores(
+    models: Dict[int, ScoredObject], engine: ProbabilityEngine
+) -> Dict[int, float]:
+    """Expected dominance score of every object."""
+    return {obj: model.expected_score(engine) for obj, model in models.items()}

@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ctable import build_ctable
+from repro.datasets import (
+    example_distributions,
+    generate_nba,
+    generate_synthetic,
+    sample_dataset,
+)
+from repro.probability import DistributionStore
+
+
+@pytest.fixture
+def movies():
+    """The paper's Table 1 sample dataset."""
+    return sample_dataset()
+
+
+@pytest.fixture
+def movies_ctable(movies):
+    """C-table of the sample dataset without alpha pruning."""
+    return build_ctable(movies, alpha=1.0)
+
+
+@pytest.fixture
+def movies_store(movies_ctable):
+    """Distribution store with the Example 3 distributions."""
+    return DistributionStore(example_distributions(), movies_ctable.constraints)
+
+
+@pytest.fixture(scope="session")
+def nba_small():
+    """A small NBA-like dataset shared across tests (read-only)."""
+    return generate_nba(n_objects=120, missing_rate=0.1, seed=3)
+
+
+@pytest.fixture(scope="session")
+def synthetic_small():
+    """A small Adult-like synthetic dataset shared across tests (read-only)."""
+    return generate_synthetic(n_objects=150, missing_rate=0.1, seed=5)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)

@@ -1,0 +1,73 @@
+"""Tests for the pytest-benchmark JSON summarizer."""
+
+import json
+
+import pytest
+
+from repro.benchreport import load_benchmarks, main, render_markdown, render_text, summarize
+
+
+@pytest.fixture
+def bench_json(tmp_path):
+    payload = {
+        "benchmarks": [
+            {
+                "name": "test_alpha[0.05]",
+                "fullname": "benchmarks/bench_fig08_alpha.py::test_alpha[0.05]",
+                "stats": {"mean": 0.123},
+                "extra_info": {"f1": 0.9, "tasks": 50},
+            },
+            {
+                "name": "test_alpha[0.01]",
+                "fullname": "benchmarks/bench_fig08_alpha.py::test_alpha[0.01]",
+                "stats": {"mean": 0.05},
+                "extra_info": {"f1": 0.7, "tasks": 50},
+            },
+            {
+                "name": "test_other",
+                "fullname": "benchmarks/bench_fig02_ctable.py::test_other",
+                "stats": {"mean": 1.0},
+                "extra_info": {},
+            },
+        ]
+    }
+    path = tmp_path / "bench.json"
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestSummarize:
+    def test_groups_by_module(self, bench_json):
+        groups = summarize(load_benchmarks(bench_json))
+        assert len(groups) == 2
+        assert any("fig08" in g for g in groups)
+
+    def test_rows_sorted_and_carry_extra_info(self, bench_json):
+        groups = summarize(load_benchmarks(bench_json))
+        rows = next(v for k, v in groups.items() if "fig08" in k)
+        assert rows[0]["benchmark"] == "test_alpha[0.01]"
+        assert rows[0]["f1"] == 0.7
+
+    def test_rejects_non_benchmark_json(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text("{}")
+        with pytest.raises(ValueError):
+            load_benchmarks(path)
+
+
+class TestRendering:
+    def test_text(self, bench_json):
+        text = render_text(summarize(load_benchmarks(bench_json)))
+        assert "f1" in text
+        assert "test_alpha[0.05]" in text
+
+    def test_markdown(self, bench_json):
+        md = render_markdown(summarize(load_benchmarks(bench_json)))
+        assert md.count("###") == 2
+        assert "| benchmark |" in md
+
+    def test_cli(self, bench_json, capsys):
+        assert main([str(bench_json)]) == 0
+        assert "benchmark" in capsys.readouterr().out
+        assert main([str(bench_json), "--markdown"]) == 0
+        assert "###" in capsys.readouterr().out

@@ -1,0 +1,56 @@
+"""Tests for the top-level demo CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.dataset == "nba"
+        assert args.strategy == "hhs"
+        assert args.budget == 50
+
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--dataset", "magic"])
+
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--strategy", "magic"])
+
+
+class TestMain:
+    def test_movies_run(self, capsys):
+        assert main(["--dataset", "movies", "--budget", "6", "--latency", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "movies" in out
+        assert "F1" in out
+
+    def test_nba_run(self, capsys):
+        assert main(["--n", "80", "--budget", "8", "--latency", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "nba-80" in out
+        assert "posted" in out
+
+    def test_synthetic_run(self, capsys):
+        assert (
+            main(
+                [
+                    "--dataset",
+                    "synthetic",
+                    "--n",
+                    "80",
+                    "--budget",
+                    "8",
+                    "--latency",
+                    "2",
+                    "--strategy",
+                    "fbs",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "synthetic-80" in out

@@ -1,0 +1,43 @@
+"""Tests for BayesCrowdConfig validation."""
+
+import pytest
+
+from repro.core import BayesCrowdConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        config = BayesCrowdConfig()
+        assert config.strategy == "hhs"
+        assert config.alpha > 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"alpha": 0.0},
+            {"alpha": -1.0},
+            {"budget": -1},
+            {"latency": 0},
+            {"m": 0},
+            {"strategy": "magic"},
+            {"probability_method": "magic"},
+            {"answer_threshold": 1.5},
+            {"utility_mode": "magic"},
+            {"distribution_source": "magic"},
+            {"dominator_method": "magic"},
+            {"worker_accuracy": -0.1},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            BayesCrowdConfig(**kwargs)
+
+
+class TestTasksPerRound:
+    def test_ceiling_division(self):
+        assert BayesCrowdConfig(budget=50, latency=5).tasks_per_round() == 10
+        assert BayesCrowdConfig(budget=51, latency=5).tasks_per_round() == 11
+        assert BayesCrowdConfig(budget=3, latency=5).tasks_per_round() == 1
+
+    def test_zero_budget(self):
+        assert BayesCrowdConfig(budget=0).tasks_per_round() == 0

@@ -1,0 +1,294 @@
+"""Unit tests for the variable constraint store."""
+
+import numpy as np
+import pytest
+
+from repro.ctable import (
+    Relation,
+    VariableConstraints,
+    const_greater_var,
+    var_greater_const,
+    var_greater_var,
+)
+
+V = (0, 0)  # Var(o1, a1), domain size 6
+W = (1, 0)  # Var(o2, a1)
+
+
+@pytest.fixture
+def store():
+    return VariableConstraints(domain_sizes=[6, 4])
+
+
+class TestVarConstAnswers:
+    def test_greater_narrows_allowed(self, store):
+        store.apply_answer(var_greater_const(0, 0, 2), Relation.GREATER)
+        assert store.allowed_values(V).tolist() == [3, 4, 5]
+
+    def test_less_narrows_allowed(self, store):
+        store.apply_answer(var_greater_const(0, 0, 2), Relation.LESS)
+        assert store.allowed_values(V).tolist() == [0, 1]
+
+    def test_equal_pins(self, store):
+        store.apply_answer(var_greater_const(0, 0, 2), Relation.EQUAL)
+        assert store.is_pinned(V)
+        assert store.pinned_value(V) == 2
+
+    def test_const_var_orientation_flipped(self, store):
+        # "3 > Var" answered GREATER means the variable is below 3.
+        store.apply_answer(const_greater_var(3, 0, 0), Relation.GREATER)
+        assert store.allowed_values(V).tolist() == [0, 1, 2]
+
+    def test_constraints_intersect(self, store):
+        store.apply_answer(var_greater_const(0, 0, 1), Relation.GREATER)
+        store.apply_answer(var_greater_const(0, 0, 4), Relation.LESS)
+        assert store.allowed_values(V).tolist() == [2, 3]
+
+    def test_contradiction_keeps_newest(self, store):
+        store.apply_answer(var_greater_const(0, 0, 4), Relation.GREATER)  # {5}
+        store.apply_answer(var_greater_const(0, 0, 2), Relation.LESS)  # conflicts
+        assert store.allowed_values(V).tolist() == [0, 1]
+
+    def test_impossible_relation_degenerates_gracefully(self, store):
+        # "> 5" with domain 0..5 is unsatisfiable: clamp to the max value.
+        store.apply_answer(var_greater_const(0, 0, 5), Relation.GREATER)
+        assert store.allowed_values(V).tolist() == [5]
+
+    def test_version_increments(self, store):
+        assert store.version == 0
+        store.apply_answer(var_greater_const(0, 0, 2), Relation.GREATER)
+        assert store.version == 1
+
+
+class TestVarVarAnswers:
+    def test_relation_recorded_both_orientations(self, store):
+        store.apply_answer(var_greater_var(0, 1, 0), Relation.GREATER)
+        assert store.resolve(var_greater_var(0, 1, 0)) is True
+        assert store.resolve(var_greater_var(1, 0, 0)) is False
+
+    def test_equal_answer_resolves_false(self, store):
+        store.apply_answer(var_greater_var(0, 1, 0), Relation.EQUAL)
+        assert store.resolve(var_greater_var(0, 1, 0)) is False
+        assert store.resolve(var_greater_var(1, 0, 0)) is False
+
+    def test_equal_shares_allowed_sets(self, store):
+        store.apply_answer(var_greater_const(0, 0, 3), Relation.GREATER)
+        store.apply_answer(var_greater_var(0, 1, 0), Relation.EQUAL)
+        assert store.allowed_values(W).tolist() == [4, 5]
+
+
+class TestResolution:
+    def test_unconstrained_unresolved(self, store):
+        assert store.resolve(var_greater_const(0, 0, 2)) is None
+
+    def test_var_const_resolution_from_bounds(self, store):
+        store.apply_answer(var_greater_const(0, 0, 3), Relation.GREATER)  # {4,5}
+        assert store.resolve(var_greater_const(0, 0, 2)) is True
+        assert store.resolve(var_greater_const(0, 0, 5)) is False
+        assert store.resolve(var_greater_const(0, 0, 4)) is None
+
+    def test_const_var_resolution(self, store):
+        store.apply_answer(var_greater_const(0, 0, 3), Relation.LESS)  # {0..2}
+        assert store.resolve(const_greater_var(3, 0, 0)) is True
+        assert store.resolve(const_greater_var(0, 0, 0)) is False
+
+    def test_var_var_from_disjoint_intervals(self, store):
+        store.apply_answer(var_greater_const(0, 0, 3), Relation.GREATER)  # V in {4,5}
+        store.apply_answer(var_greater_const(1, 0, 2), Relation.LESS)  # W in {0,1}
+        assert store.resolve(var_greater_var(0, 1, 0)) is True
+        assert store.resolve(var_greater_var(1, 0, 0)) is False
+
+    def test_var_var_overlapping_unresolved(self, store):
+        store.apply_answer(var_greater_const(0, 0, 2), Relation.GREATER)
+        assert store.resolve(var_greater_var(0, 1, 0)) is None
+
+
+class TestDistributionRestriction:
+    def test_constrain_pmf_renormalizes(self, store):
+        store.apply_answer(var_greater_const(0, 0, 3), Relation.GREATER)
+        pmf = np.full(6, 1 / 6)
+        constrained = store.constrain_pmf(V, pmf)
+        assert constrained[:4].sum() == 0.0
+        assert constrained.sum() == pytest.approx(1.0)
+        assert constrained[4] == pytest.approx(0.5)
+
+    def test_unconstrained_pmf_passthrough(self, store):
+        pmf = np.array([0.5, 0.1, 0.1, 0.1, 0.1, 0.1])
+        assert store.constrain_pmf(V, pmf) == pytest.approx(pmf)
+
+    def test_zero_mass_support_falls_back_to_uniform(self, store):
+        store.apply_answer(var_greater_const(0, 0, 3), Relation.GREATER)
+        pmf = np.array([0.5, 0.5, 0.0, 0.0, 0.0, 0.0])
+        constrained = store.constrain_pmf(V, pmf)
+        assert constrained[4] == pytest.approx(0.5)
+        assert constrained[5] == pytest.approx(0.5)
+
+
+class TestVersionTracking:
+    def test_variables_unchanged_since(self, store):
+        store.apply_answer(var_greater_const(0, 0, 2), Relation.GREATER)
+        v1 = store.version
+        store.apply_answer(var_greater_const(1, 0, 1), Relation.LESS)
+        assert store.variables_unchanged_since([V], v1)
+        assert not store.variables_unchanged_since([W], v1)
+        assert not store.variables_unchanged_since([V], 0)
+
+    def test_constrained_variables(self, store):
+        assert store.constrained_variables() == frozenset()
+        store.apply_answer(var_greater_const(0, 0, 2), Relation.GREATER)
+        assert store.constrained_variables() == frozenset({V})
+
+
+class TestTransitiveInference:
+    A, B, C = (0, 0), (1, 0), (2, 0)
+
+    def test_chain_of_greater(self, store):
+        store.apply_answer(var_greater_var(0, 1, 0), Relation.GREATER)  # A > B
+        store.apply_answer(var_greater_var(1, 2, 0), Relation.GREATER)  # B > C
+        assert store.resolve(var_greater_var(0, 2, 0)) is True  # A > C inferred
+        assert store.resolve(var_greater_var(2, 0, 0)) is False
+
+    def test_equality_bridges_chains(self, store):
+        store.apply_answer(var_greater_var(0, 1, 0), Relation.GREATER)  # A > B
+        store.apply_answer(var_greater_var(1, 2, 0), Relation.EQUAL)    # B = C
+        assert store.resolve(var_greater_var(0, 2, 0)) is True  # A > C
+        assert store.resolve(var_greater_var(2, 1, 0)) is False  # C > B false (equal)
+
+    def test_affected_set_covers_component(self, store):
+        store.apply_answer(var_greater_var(0, 1, 0), Relation.GREATER)
+        affected = store.apply_answer(var_greater_var(1, 2, 0), Relation.GREATER)
+        # The new B > C fact can resolve A-vs-C, so A must be reported.
+        assert self.A in affected and self.B in affected and self.C in affected
+
+    def test_noisy_cycle_tolerated(self, store):
+        store.apply_answer(var_greater_var(0, 1, 0), Relation.GREATER)
+        store.apply_answer(var_greater_var(1, 0, 0), Relation.GREATER)  # contradicts
+        # No crash; direct facts win where recorded, no infinite loops.
+        assert store.resolve(var_greater_var(0, 1, 0)) in (True, False)
+
+
+class TestBoundPropagation:
+    def test_lower_bound_flows_upward(self, store):
+        # A > B and B > 3 forces A > 4 (domain 0..5: A = 5).
+        store.apply_answer(var_greater_var(0, 1, 0), Relation.GREATER)
+        store.apply_answer(var_greater_const(1, 0, 3), Relation.GREATER)
+        assert store.allowed_values((0, 0)).tolist() == [5]
+        assert store.resolve(var_greater_const(0, 0, 4)) is True
+
+    def test_upper_bound_flows_downward(self, store):
+        # A > B and A < 2 forces B < 1 (domain 0..5: B = 0).
+        store.apply_answer(var_greater_var(0, 1, 0), Relation.GREATER)
+        store.apply_answer(var_greater_const(0, 0, 2), Relation.LESS)
+        assert store.allowed_values((1, 0)).tolist() == [0]
+
+    def test_propagation_through_chain(self, store):
+        # A > B > C with C = 3 forces B >= 4 and A = 5.
+        store.apply_answer(var_greater_var(0, 1, 0), Relation.GREATER)
+        store.apply_answer(var_greater_var(1, 2, 0), Relation.GREATER)
+        store.apply_answer(var_greater_const(2, 0, 3), Relation.EQUAL)
+        assert store.allowed_values((1, 0)).tolist() == [4]
+        assert store.allowed_values((0, 0)).tolist() == [5]
+
+    def test_strict_edge_narrows_immediately(self, store):
+        # A > B alone removes 0 from A's domain and 5 from B's.
+        store.apply_answer(var_greater_var(0, 1, 0), Relation.GREATER)
+        assert 0 not in store.allowed_values((0, 0)).tolist()
+        assert 5 not in store.allowed_values((1, 0)).tolist()
+
+    def test_propagation_reports_touched_variables(self, store):
+        store.apply_answer(var_greater_var(0, 1, 0), Relation.GREATER)
+        affected = store.apply_answer(var_greater_const(1, 0, 3), Relation.GREATER)
+        assert (0, 0) in affected  # A's domain changed via propagation
+
+
+class TestTruthPreservation:
+    """With truthful answers, inference must never contradict reality."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @staticmethod
+    def _random_expressions(rng, n_vars, domain, count):
+        expressions = []
+        for __ in range(count):
+            a = int(rng.integers(n_vars))
+            if rng.random() < 0.5:
+                expressions.append(var_greater_const(a, 0, int(rng.integers(domain))))
+            else:
+                b = int(rng.integers(n_vars))
+                while b == a:
+                    b = int(rng.integers(n_vars))
+                expressions.append(var_greater_var(a, b, 0))
+        return expressions
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_true_values_stay_allowed_and_resolutions_correct(self, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        n_vars = int(rng.integers(2, 6))
+        domain = int(rng.integers(3, 7))
+        truth = {(v, 0): int(rng.integers(domain)) for v in range(n_vars)}
+        store = VariableConstraints([domain])
+        expressions = self._random_expressions(rng, n_vars, domain, 12)
+
+        for expression in expressions:
+            left, right = expression.left, expression.right
+            def value_of(operand):
+                if hasattr(operand, "variable"):
+                    return truth[operand.variable]
+                return operand.value
+            lv, rv = value_of(left), value_of(right)
+            store.apply_answer(expression, Relation.of(lv, rv))
+
+        # 1. every variable keeps its true value possible
+        for variable, value in truth.items():
+            assert value in store.allowed_values(variable).tolist()
+        # 2. any resolved expression resolves to its actual truth
+        probes = self._random_expressions(rng, n_vars, domain, 20)
+        for expression in probes:
+            resolution = store.resolve(expression)
+            if resolution is not None:
+                assert resolution == expression.evaluate(truth)
+
+
+class TestInferenceModes:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            VariableConstraints([6], mode="magic")
+
+    def test_direct_mode_resolves_only_the_answered_expression(self):
+        store = VariableConstraints([6], mode="direct")
+        e = var_greater_const(0, 0, 2)
+        store.apply_answer(e, Relation.GREATER)
+        assert store.resolve(e) is True
+        # A weaker comparison on the same variable stays unresolved.
+        assert store.resolve(var_greater_const(0, 0, 1)) is None
+        # And the allowed set is untouched.
+        assert len(store.allowed_values((0, 0))) == 6
+
+    def test_intervals_mode_resolves_implied_comparisons(self):
+        store = VariableConstraints([6], mode="intervals")
+        store.apply_answer(var_greater_const(0, 0, 2), Relation.GREATER)
+        assert store.resolve(var_greater_const(0, 0, 1)) is True
+        assert store.resolve(var_greater_const(0, 0, 5)) is False
+
+    def test_intervals_mode_skips_transitivity(self):
+        store = VariableConstraints([6], mode="intervals")
+        store.apply_answer(var_greater_var(0, 1, 0), Relation.GREATER)
+        store.apply_answer(var_greater_var(1, 2, 0), Relation.GREATER)
+        # Direct pair answers resolve...
+        assert store.resolve(var_greater_var(0, 1, 0)) is True
+        # ...but the transitive consequence does not.
+        assert store.resolve(var_greater_var(0, 2, 0)) is None
+
+    def test_full_mode_is_default(self):
+        assert VariableConstraints([6]).mode == "full"
+
+    def test_answered_expression_resolution_survives_in_all_modes(self):
+        for mode in ("direct", "intervals", "full"):
+            store = VariableConstraints([6], mode=mode)
+            e = var_greater_var(0, 1, 0)
+            store.apply_answer(e, Relation.LESS)
+            assert store.resolve(e) is False

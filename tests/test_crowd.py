@@ -1,0 +1,174 @@
+"""Tests for the simulated crowdsourcing substrate."""
+
+import numpy as np
+import pytest
+
+from repro.crowd import (
+    ComparisonTask,
+    ConflictingBatchError,
+    SimulatedCrowdPlatform,
+    SimulatedWorker,
+    WorkerPool,
+    majority_vote,
+)
+from repro.ctable import Relation, var_greater_const, var_greater_var
+from repro.datasets import sample_dataset
+
+
+class TestTask:
+    def test_question_and_variables(self):
+        task = ComparisonTask(var_greater_const(4, 1, 2), for_object=0)
+        assert "Var(o5, a2)" in task.question()
+        assert task.variables() == ((4, 1),)
+
+    def test_conflicts(self):
+        a = ComparisonTask(var_greater_const(4, 1, 2))
+        b = ComparisonTask(var_greater_const(4, 1, 5))
+        c = ComparisonTask(var_greater_const(3, 1, 2))
+        assert a.conflicts_with(b)
+        assert not a.conflicts_with(c)
+
+    def test_var_var_conflicts_through_either_side(self):
+        a = ComparisonTask(var_greater_var(0, 1, 2))
+        b = ComparisonTask(var_greater_const(1, 2, 3))
+        assert a.conflicts_with(b)
+
+    def test_unique_ids(self):
+        a = ComparisonTask(var_greater_const(0, 0, 1))
+        b = ComparisonTask(var_greater_const(0, 0, 1))
+        assert a.task_id != b.task_id
+
+
+class TestWorker:
+    def test_perfect_worker(self, rng):
+        worker = SimulatedWorker(0, 1.0, rng)
+        assert worker.answer(Relation.GREATER) is Relation.GREATER
+
+    def test_zero_accuracy_never_correct(self, rng):
+        worker = SimulatedWorker(0, 0.0, rng)
+        for __ in range(50):
+            assert worker.answer(Relation.EQUAL) is not Relation.EQUAL
+
+    def test_accuracy_statistics(self):
+        worker = SimulatedWorker(0, 0.8, np.random.default_rng(0))
+        hits = sum(worker.answer(Relation.LESS) is Relation.LESS for __ in range(5000))
+        assert hits / 5000 == pytest.approx(0.8, abs=0.02)
+
+    def test_invalid_accuracy(self, rng):
+        with pytest.raises(ValueError):
+            SimulatedWorker(0, 1.5, rng)
+
+
+class TestWorkerPool:
+    def test_scalar_accuracy_builds_homogeneous_pool(self, rng):
+        pool = WorkerPool(0.9, rng=rng, size=10)
+        assert len(pool.workers) == 10
+        assert pool.mean_accuracy() == pytest.approx(0.9)
+
+    def test_heterogeneous_pool(self, rng):
+        pool = WorkerPool([0.7, 0.9, 1.0], rng=rng)
+        assert pool.mean_accuracy() == pytest.approx(0.8667, abs=1e-3)
+
+    def test_draw_distinct_when_possible(self, rng):
+        pool = WorkerPool(1.0, rng=rng, size=5)
+        drawn = pool.draw(5)
+        assert len({w.worker_id for w in drawn}) == 5
+
+    def test_draw_with_replacement_when_small(self, rng):
+        pool = WorkerPool([1.0], rng=rng)
+        assert len(pool.draw(3)) == 3
+
+    def test_empty_pool_rejected(self, rng):
+        with pytest.raises(ValueError):
+            WorkerPool([], rng=rng)
+
+
+class TestMajorityVote:
+    def test_unanimous(self):
+        assert majority_vote([Relation.LESS] * 3) is Relation.LESS
+
+    def test_two_to_one(self):
+        votes = [Relation.GREATER, Relation.LESS, Relation.GREATER]
+        assert majority_vote(votes) is Relation.GREATER
+
+    def test_three_way_tie_picks_voted_option(self, rng):
+        votes = [Relation.LESS, Relation.EQUAL, Relation.GREATER]
+        assert majority_vote(votes, rng) in votes
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            majority_vote([])
+
+
+class TestPlatform:
+    def _platform(self, accuracy=1.0, **kwargs):
+        return SimulatedCrowdPlatform(
+            sample_dataset(),
+            worker_accuracy=accuracy,
+            rng=np.random.default_rng(0),
+            **kwargs,
+        )
+
+    def test_requires_ground_truth(self):
+        ds = sample_dataset()
+        ds = ds.__class__(
+            values=ds.values, domain_sizes=ds.domain_sizes, complete=None
+        )
+        with pytest.raises(ValueError):
+            SimulatedCrowdPlatform(ds)
+
+    def test_true_relation_from_ground_truth(self):
+        platform = self._platform()
+        # Ground truth: Var(o5, a2) = 7 > 2.
+        task = ComparisonTask(var_greater_const(4, 1, 2))
+        assert platform.true_relation(task) is Relation.GREATER
+
+    def test_perfect_workers_answer_truth(self):
+        platform = self._platform()
+        task = ComparisonTask(var_greater_const(4, 2, 3))  # truth: equal
+        answers = platform.post_batch([task])
+        assert answers[task] is Relation.EQUAL
+
+    def test_accounting(self):
+        platform = self._platform()
+        t1 = ComparisonTask(var_greater_const(4, 1, 2))
+        t2 = ComparisonTask(var_greater_const(1, 1, 3))
+        platform.post_batch([t1, t2])
+        platform.post_batch([ComparisonTask(var_greater_const(4, 2, 1))])
+        assert platform.stats.tasks_posted == 3
+        assert platform.stats.rounds == 2
+        assert platform.stats.worker_answers == 9
+
+    def test_empty_batch_is_free(self):
+        platform = self._platform()
+        assert platform.post_batch([]) == {}
+        assert platform.stats.rounds == 0
+
+    def test_conflicting_batch_rejected(self):
+        platform = self._platform()
+        t1 = ComparisonTask(var_greater_const(4, 1, 2))
+        t2 = ComparisonTask(var_greater_const(4, 1, 5))
+        with pytest.raises(ConflictingBatchError):
+            platform.post_batch([t1, t2])
+
+    def test_conflict_enforcement_can_be_disabled(self):
+        platform = self._platform(enforce_conflict_free=False)
+        t1 = ComparisonTask(var_greater_const(4, 1, 2))
+        t2 = ComparisonTask(var_greater_const(4, 1, 5))
+        answers = platform.post_batch([t1, t2])
+        assert len(answers) == 2
+
+    def test_noisy_workers_majority_accuracy(self):
+        platform = self._platform(accuracy=0.8)
+        task_expr = var_greater_const(4, 1, 2)
+        correct = 0
+        n = 600
+        for __ in range(n):
+            task = ComparisonTask(task_expr)
+            answers = platform.post_batch([task])
+            if answers[task] is Relation.GREATER:
+                correct += 1
+        # Majority of three 0.8-accurate workers: p^3 + 3 p^2 (1-p) + small
+        # tie-break mass ~ 0.9.
+        assert correct / n == pytest.approx(0.9, abs=0.05)
+        assert platform.stats.majority_accuracy() == pytest.approx(correct / n)

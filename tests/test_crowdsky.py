@@ -1,0 +1,140 @@
+"""Tests for the CrowdSky baseline reimplementation."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CrowdSky
+from repro.datasets import attribute_mask, from_complete, generate_nba
+from repro.skyline import skyline
+
+
+def crowd_attr_dataset(n=80, crowd_attrs=(2, 4), seed=1):
+    """NBA data with the given attributes fully missing (CrowdSky setting)."""
+    base = generate_nba(n_objects=n, missing_rate=0.0, seed=seed)
+    mask = attribute_mask(base.n_objects, base.n_attributes, list(crowd_attrs))
+    return from_complete(
+        base.complete,
+        mask,
+        base.domain_sizes,
+        name="nba-crowd",
+        attribute_names=base.attribute_names,
+    )
+
+
+class TestSetting:
+    def test_rejects_scattered_missing(self):
+        ds = generate_nba(n_objects=30, missing_rate=0.1, seed=0)
+        with pytest.raises(ValueError):
+            CrowdSky(ds)
+
+    def test_rejects_fully_observed(self):
+        ds = generate_nba(n_objects=30, missing_rate=0.0, seed=0)
+        with pytest.raises(ValueError):
+            CrowdSky(ds)
+
+    def test_attribute_split_detected(self):
+        ds = crowd_attr_dataset()
+        cs = CrowdSky(ds)
+        assert cs.crowd_attrs == [2, 4]
+        assert len(cs.observed_attrs) == 9
+
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            CrowdSky(crowd_attr_dataset(), tasks_per_round=0)
+
+
+class TestCorrectness:
+    def test_perfect_workers_recover_exact_skyline(self):
+        ds = crowd_attr_dataset(n=100)
+        result = CrowdSky(ds, seed=0).run()
+        assert result.answers == skyline(ds.complete)
+
+    def test_multiple_crowd_attributes(self):
+        ds = crowd_attr_dataset(n=60, crowd_attrs=(0, 5, 9))
+        result = CrowdSky(ds, seed=0).run()
+        assert result.answers == skyline(ds.complete)
+
+    def test_single_crowd_attribute(self):
+        ds = crowd_attr_dataset(n=60, crowd_attrs=(3,))
+        result = CrowdSky(ds, seed=0).run()
+        assert result.answers == skyline(ds.complete)
+
+
+class TestAccounting:
+    def test_batches_respect_round_size(self):
+        ds = crowd_attr_dataset(n=100)
+        result = CrowdSky(ds, tasks_per_round=20, seed=0).run()
+        assert all(record.tasks_posted <= 20 for record in result.history)
+        assert result.rounds == len(result.history)
+
+    def test_no_duplicate_questions(self):
+        ds = crowd_attr_dataset(n=100)
+        cs = CrowdSky(ds, seed=0)
+        result = cs.run()
+        # Every answered comparison is stored once; tasks == knowledge size.
+        assert result.tasks_posted == len(cs._known)
+
+    def test_far_more_tasks_than_bayescrowd_budget(self):
+        """The Figure 4 shape: CrowdSky posts many more tasks than a
+        BayesCrowd budget on the same data (order of magnitude in paper)."""
+        from repro import BayesCrowd, BayesCrowdConfig, f1_score
+
+        ds = crowd_attr_dataset(n=120)
+        crowdsky_result = CrowdSky(ds, seed=0).run()
+        config = BayesCrowdConfig(alpha=0.05, budget=200, latency=10)
+        bayescrowd_result = BayesCrowd(ds, config).run()
+        assert crowdsky_result.tasks_posted > 2 * bayescrowd_result.tasks_posted
+        assert crowdsky_result.rounds > bayescrowd_result.rounds
+        truth = skyline(ds.complete)
+        assert f1_score(crowdsky_result.answers, truth) == 1.0
+        assert f1_score(bayescrowd_result.answers, truth) >= 0.9
+
+
+class TestNoisyWorkers:
+    def test_noisy_workers_still_mostly_correct(self):
+        ds = crowd_attr_dataset(n=60)
+        result = CrowdSky(ds, worker_accuracy=0.9, seed=0).run()
+        truth = set(skyline(ds.complete))
+        from repro.metrics import f1_score
+
+        assert f1_score(result.answers, truth) > 0.8
+
+
+class TestImputationBaseline:
+    def test_map_imputation_fills_everything(self):
+        from repro.baselines import impute_dataset
+        from repro.datasets import generate_nba
+
+        nba = generate_nba(n_objects=80, missing_rate=0.15, seed=3)
+        filled = impute_dataset(nba, mode="map")
+        assert (filled >= 0).all()
+        # Observed cells untouched.
+        observed = ~nba.mask
+        assert (filled[observed] == nba.values[observed]).all()
+
+    def test_modes_differ_and_validate(self):
+        import pytest
+        from repro.baselines import impute_dataset
+        from repro.datasets import generate_nba
+
+        nba = generate_nba(n_objects=60, missing_rate=0.15, seed=3)
+        for mode in ("map", "mean", "sample"):
+            filled = impute_dataset(nba, mode=mode)
+            assert filled.shape == nba.values.shape
+        with pytest.raises(ValueError):
+            impute_dataset(nba, mode="magic")
+
+    def test_crowd_beats_imputation(self):
+        """The point of the whole paper: crowdsourcing should beat
+        impute-then-query on answer accuracy (given a sane budget)."""
+        from repro import BayesCrowd, BayesCrowdConfig, f1_score, skyline
+        from repro.baselines import imputed_skyline
+        from repro.datasets import generate_nba
+
+        nba = generate_nba(n_objects=200, missing_rate=0.15, seed=8)
+        truth = skyline(nba.complete)
+        imputed = imputed_skyline(nba)
+        config = BayesCrowdConfig(alpha=0.05, budget=80, latency=8, seed=1)
+        crowd = BayesCrowd(nba, config).run()
+        assert f1_score(crowd.answers, truth) > f1_score(imputed.answers, truth)
+        assert imputed.tasks_posted == 0

@@ -1,0 +1,125 @@
+"""Tests for the CTable container and answer updates."""
+
+import pytest
+
+from repro.ctable import (
+    Condition,
+    Relation,
+    build_ctable,
+    const_greater_var,
+    var_greater_const,
+)
+from repro.datasets import sample_dataset
+
+
+class TestViews:
+    def test_certain_partitions(self, movies_ctable):
+        assert movies_ctable.certain_answers() == [1, 2]
+        assert movies_ctable.certain_non_answers() == []
+        assert movies_ctable.undecided() == [0, 3, 4]
+
+    def test_open_expressions(self, movies_ctable):
+        pairs = list(movies_ctable.open_expressions())
+        objs = {o for o, __ in pairs}
+        assert objs == {0, 3, 4}
+        assert movies_ctable.n_open_expressions() == sum(
+            len(movies_ctable.condition(o).distinct_expressions()) for o in (0, 3, 4)
+        )
+
+    def test_objects_mentioning(self, movies_ctable):
+        # Var(o5, a2) appears in phi(o1), phi(o4), phi(o5).
+        assert movies_ctable.objects_mentioning((4, 1)) == frozenset({0, 3, 4})
+        # Var(o2, a2) appears in phi(o4) and phi(o5).
+        assert movies_ctable.objects_mentioning((1, 1)) == frozenset({3, 4})
+
+    def test_must_cover_every_object(self, movies):
+        with pytest.raises(ValueError):
+            from repro.ctable.ctable import CTable
+
+            CTable(dataset=movies, conditions={0: Condition.true()})
+
+
+class TestAnswerUpdates:
+    def test_example4_round_one(self, movies_ctable):
+        """Answers Var(o5,a4)<4 and Var(o5,a3)=3 give the Table 5 c-table."""
+        ct = movies_ctable
+        ct.apply_answer(var_greater_const(4, 3, 4), Relation.LESS)
+        ct.apply_answer(var_greater_const(4, 2, 3), Relation.EQUAL)
+        # Table 5: phi(o1) = true.
+        assert ct.condition(0).is_true
+        # phi(o4) keeps Var(o2,a2)<3 and [Var(o5,a2)<3 v Var(o5,a4)<2].
+        phi4 = ct.condition(3)
+        assert not phi4.is_constant
+        assert phi4.variables() == {(1, 1), (4, 1), (4, 3)}
+        # phi(o5) reduces to Var(o5,a2) > 2 ... but only after also using
+        # the Var(o5,a2) > Var(o2,a2) expression remains open.
+        phi5 = ct.condition(4)
+        assert not phi5.is_constant
+        assert (4, 2) not in phi5.variables()
+
+    def test_example4_round_two_resolves(self, movies_ctable):
+        ct = movies_ctable
+        ct.apply_answer(var_greater_const(4, 3, 4), Relation.LESS)
+        ct.apply_answer(var_greater_const(4, 2, 3), Relation.EQUAL)
+        ct.apply_answer(var_greater_const(4, 1, 2), Relation.GREATER)
+        ct.apply_answer(const_greater_var(3, 1, 1), Relation.LESS)
+        # Example 4 conclusion: phi(o4) = false, phi(o5) = true.
+        assert ct.condition(3).is_false
+        assert ct.condition(4).is_true
+        assert ct.certain_answers() == [0, 1, 2, 4]
+        assert not ct.has_open_expressions()
+
+    def test_var_index_pruned_after_updates(self, movies_ctable):
+        ct = movies_ctable
+        ct.apply_answer(var_greater_const(4, 3, 4), Relation.LESS)
+        # phi(o1) became true, so o1 must leave the per-variable index.
+        assert 0 not in ct.objects_mentioning((4, 1))
+
+    def test_equal_answer_resolves_strict_inequality_false(self, movies_ctable):
+        ct = movies_ctable
+        # Var(o5,a3) = 3 makes "Var(o5,a3) > 3" false in phi(o5).
+        ct.apply_answer(var_greater_const(4, 2, 3), Relation.EQUAL)
+        phi5 = ct.condition(4)
+        assert var_greater_const(4, 2, 3) not in phi5.distinct_expressions()
+
+    def test_cross_condition_propagation(self, movies_ctable):
+        """Answering a task selected for one object simplifies others too."""
+        ct = movies_ctable
+        # Var(o5,a2) appears in phi(o1), phi(o4) and phi(o5); pin it high.
+        ct.apply_answer(var_greater_const(4, 1, 2), Relation.GREATER)
+        # phi(o5)'s first clause now satisfied by bound resolution only if
+        # the bound decides "Var(o5,a2) > 2": it does (allowed = {3..9}).
+        phi5 = ct.condition(4)
+        assert var_greater_const(4, 1, 2) not in phi5.distinct_expressions()
+
+
+class TestResultSet:
+    def test_without_probability_only_certain(self, movies_ctable):
+        assert movies_ctable.result_set() == [1, 2]
+
+    def test_with_probability_threshold(self, movies_ctable, movies_store):
+        from repro.probability import ProbabilityEngine
+
+        engine = ProbabilityEngine(movies_store)
+        result = movies_ctable.result_set(engine.probability, threshold=0.5)
+        # Pr(phi(o1)) = 0.8 and Pr(phi(o5)) = 0.823 exceed 0.5; o4 at 0.153 does not.
+        assert result == [0, 1, 2, 4]
+
+    def test_threshold_extremes(self, movies_ctable, movies_store):
+        from repro.probability import ProbabilityEngine
+
+        engine = ProbabilityEngine(movies_store)
+        everything = movies_ctable.result_set(engine.probability, threshold=0.0)
+        assert everything == [0, 1, 2, 3, 4]
+        only_certain = movies_ctable.result_set(engine.probability, threshold=1.0)
+        assert only_certain == [1, 2]
+
+
+class TestSetCondition:
+    def test_set_condition_updates_index(self, movies_ctable):
+        ct = movies_ctable
+        ct.set_condition(0, Condition.true())
+        assert 0 not in ct.objects_mentioning((4, 1))
+        new_cond = Condition.of([[var_greater_const(4, 1, 5)]])
+        ct.set_condition(0, new_cond)
+        assert 0 in ct.objects_mentioning((4, 1))

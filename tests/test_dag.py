@@ -1,0 +1,97 @@
+"""Unit tests for the DAG type."""
+
+import pytest
+
+from repro.bayesnet import DAG, CycleError, dag_from_edges
+
+
+class TestEdges:
+    def test_add_and_query(self):
+        dag = DAG(3)
+        dag.add_edge(0, 1)
+        assert dag.has_edge(0, 1)
+        assert not dag.has_edge(1, 0)
+        assert dag.parents(1) == frozenset({0})
+        assert dag.children(0) == frozenset({1})
+        assert dag.n_edges() == 1
+
+    def test_self_loop_rejected(self):
+        dag = DAG(2)
+        with pytest.raises(CycleError):
+            dag.add_edge(0, 0)
+
+    def test_cycle_rejected(self):
+        dag = DAG(3)
+        dag.add_edge(0, 1)
+        dag.add_edge(1, 2)
+        with pytest.raises(CycleError):
+            dag.add_edge(2, 0)
+
+    def test_remove_edge(self):
+        dag = DAG(2)
+        dag.add_edge(0, 1)
+        dag.remove_edge(0, 1)
+        assert dag.n_edges() == 0
+
+    def test_remove_missing_edge_raises(self):
+        with pytest.raises(ValueError):
+            DAG(2).remove_edge(0, 1)
+
+    def test_out_of_range_node(self):
+        with pytest.raises(ValueError):
+            DAG(2).add_edge(0, 5)
+
+
+class TestReversal:
+    def test_reverse(self):
+        dag = DAG(2)
+        dag.add_edge(0, 1)
+        dag.reverse_edge(0, 1)
+        assert dag.has_edge(1, 0)
+        assert not dag.has_edge(0, 1)
+
+    def test_reverse_creating_cycle_restores_state(self):
+        dag = DAG(3)
+        dag.add_edge(0, 1)
+        dag.add_edge(0, 2)
+        dag.add_edge(2, 1)
+        # Reversing 0 -> 1 would give 1 -> 0 -> 2 -> 1: a cycle.
+        with pytest.raises(CycleError):
+            dag.reverse_edge(0, 1)
+        assert dag.has_edge(0, 1)
+
+    def test_can_reverse_is_side_effect_free(self):
+        dag = DAG(3)
+        dag.add_edge(0, 1)
+        dag.add_edge(1, 2)
+        before = list(dag.edges())
+        assert dag.can_reverse_edge(0, 1)
+        assert list(dag.edges()) == before
+
+
+class TestTopology:
+    def test_topological_order(self):
+        dag = dag_from_edges(4, iter([(0, 1), (1, 2), (0, 3)]))
+        order = dag.topological_order()
+        assert order.index(0) < order.index(1) < order.index(2)
+        assert order.index(0) < order.index(3)
+
+    def test_has_path(self):
+        dag = dag_from_edges(4, iter([(0, 1), (1, 2)]))
+        assert dag.has_path(0, 2)
+        assert not dag.has_path(2, 0)
+        assert dag.has_path(1, 1)
+
+    def test_copy_independent(self):
+        dag = dag_from_edges(3, iter([(0, 1)]))
+        clone = dag.copy()
+        clone.add_edge(1, 2)
+        assert not dag.has_edge(1, 2)
+        assert clone.has_edge(1, 2)
+
+    def test_equality(self):
+        a = dag_from_edges(3, iter([(0, 1)]))
+        b = dag_from_edges(3, iter([(0, 1)]))
+        c = dag_from_edges(3, iter([(1, 0)]))
+        assert a == b
+        assert a != c

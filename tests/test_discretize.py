@@ -1,0 +1,78 @@
+"""Tests for domain discretization."""
+
+import numpy as np
+import pytest
+
+from repro.bayesnet import Discretizer, discretize
+from repro.bayesnet.discretize import equal_frequency_edges, equal_width_edges
+
+
+class TestEdges:
+    def test_equal_width(self):
+        column = np.array([0.0, 10.0])
+        edges = equal_width_edges(column, 2)
+        assert edges == pytest.approx([5.0])
+
+    def test_equal_width_constant_column(self):
+        assert equal_width_edges(np.array([3.0, 3.0]), 4).size == 0
+
+    def test_equal_frequency_balances_counts(self):
+        column = np.arange(100, dtype=float)
+        edges = equal_frequency_edges(column, 4)
+        assert len(edges) == 3
+        levels = np.searchsorted(edges, column, side="right")
+        counts = np.bincount(levels)
+        assert counts.min() >= 20
+
+    def test_equal_frequency_collapses_ties(self):
+        column = np.array([1.0] * 50 + [2.0] * 50)
+        edges = equal_frequency_edges(column, 8)
+        assert len(edges) <= 2
+
+    def test_rejects_bad_bins(self):
+        with pytest.raises(ValueError):
+            equal_width_edges(np.array([1.0]), 0)
+        with pytest.raises(ValueError):
+            equal_frequency_edges(np.array([1.0]), 0)
+
+
+class TestDiscretizer:
+    def test_transform_monotone(self, rng):
+        matrix = rng.normal(size=(200, 3))
+        levels, __ = discretize(matrix, 5)
+        for j in range(3):
+            order = np.argsort(matrix[:, j])
+            assert (np.diff(levels[order, j]) >= 0).all()
+
+    def test_domain_sizes(self, rng):
+        matrix = rng.normal(size=(500, 2))
+        disc = Discretizer.fit(matrix, 8)
+        assert disc.domain_sizes() == [8, 8]
+
+    def test_levels_in_range(self, rng):
+        matrix = rng.normal(size=(100, 2))
+        levels, sizes = discretize(matrix, 6)
+        for j, size in enumerate(sizes):
+            assert levels[:, j].min() >= 0
+            assert levels[:, j].max() < size
+
+    def test_strategy_width(self, rng):
+        matrix = rng.uniform(size=(100, 1))
+        levels, sizes = discretize(matrix, 4, strategy="width")
+        assert sizes == [4]
+
+    def test_unknown_strategy(self, rng):
+        with pytest.raises(ValueError):
+            Discretizer.fit(rng.normal(size=(10, 1)), 2, strategy="magic")
+
+    def test_rejects_1d(self, rng):
+        with pytest.raises(ValueError):
+            Discretizer.fit(rng.normal(size=10), 2)
+
+    def test_transform_new_data(self, rng):
+        train = rng.normal(size=(300, 2))
+        disc = Discretizer.fit(train, 4)
+        test = rng.normal(size=(50, 2))
+        levels = disc.transform(test)
+        assert levels.shape == (50, 2)
+        assert levels.max() < 4

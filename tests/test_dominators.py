@@ -1,0 +1,112 @@
+"""Tests for dominator-set derivation (Definition 5 / Eq. 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ctable import dominator_sets, dominator_sets_baseline, dominator_sets_fast
+from repro.datasets import MISSING, IncompleteDataset, from_complete, mcar_mask
+
+
+def dataset_from_rows(rows, domain=6):
+    values = np.array(rows)
+    return IncompleteDataset(values=values, domain_sizes=[domain] * values.shape[1])
+
+
+class TestPaperExample:
+    def test_table4_dominator_sets(self, movies):
+        # Table 4: D(o1)={o5}, D(o2)=D(o3)=empty, D(o4)={o2,o5}, D(o5)={o1,o2}.
+        sets = dominator_sets(movies)
+        assert sets[0].tolist() == [4]
+        assert sets[1].tolist() == []
+        assert sets[2].tolist() == []
+        assert sets[3].tolist() == [1, 4]
+        assert sets[4].tolist() == [0, 1]
+
+    def test_baseline_matches_on_paper_example(self, movies):
+        fast = dominator_sets_fast(movies)
+        slow = dominator_sets_baseline(movies)
+        for a, b in zip(fast, slow):
+            assert a.tolist() == b.tolist()
+
+
+class TestDefinition:
+    def test_ties_included(self):
+        # Equal observed values keep an object in the dominator set.
+        ds = dataset_from_rows([[2, 2], [2, 2]])
+        sets = dominator_sets(ds)
+        assert sets[0].tolist() == [1]
+        assert sets[1].tolist() == [0]
+
+    def test_worse_object_excluded(self):
+        ds = dataset_from_rows([[2, 2], [1, 3]])
+        sets = dominator_sets(ds)
+        # o2 is worse than o1 on a1, so it cannot dominate o1.
+        assert sets[0].tolist() == []
+        assert sets[1].tolist() == []
+
+    def test_missing_in_candidate_keeps_it(self):
+        ds = dataset_from_rows([[2, 2], [MISSING, 3]])
+        sets = dominator_sets(ds)
+        assert sets[0].tolist() == [1]
+
+    def test_missing_in_target_removes_constraint(self):
+        # o1 misses a1, so every object passes the a1 filter for o1.
+        ds = dataset_from_rows([[MISSING, 2], [0, 3]])
+        sets = dominator_sets(ds)
+        assert sets[0].tolist() == [1]
+
+    def test_fully_missing_object_has_all_dominators(self):
+        ds = dataset_from_rows([[MISSING, MISSING], [0, 0], [1, 1]])
+        sets = dominator_sets(ds)
+        assert sets[0].tolist() == [1, 2]
+
+    def test_never_contains_self(self, nba_small):
+        for o, members in enumerate(dominator_sets(nba_small)):
+            assert o not in members.tolist()
+
+    def test_unknown_method_rejected(self, movies):
+        with pytest.raises(ValueError):
+            dominator_sets(movies, method="magic")
+
+
+class TestFastMatchesBaseline:
+    @given(st.integers(0, 1_000_000))
+    @settings(max_examples=25, deadline=None)
+    def test_random_datasets_agree(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 25))
+        d = int(rng.integers(1, 5))
+        complete = rng.integers(0, 4, size=(n, d))
+        mask = mcar_mask(n, d, float(rng.uniform(0, 0.4)), rng)
+        ds = from_complete(complete, mask, [4] * d)
+        fast = dominator_sets_fast(ds)
+        slow = dominator_sets_baseline(ds)
+        for a, b in zip(fast, slow):
+            assert a.tolist() == b.tolist()
+
+    def test_agree_on_nba(self, nba_small):
+        fast = dominator_sets_fast(nba_small)
+        slow = dominator_sets_baseline(nba_small)
+        for a, b in zip(fast, slow):
+            assert a.tolist() == b.tolist()
+
+
+class TestSoundness:
+    def test_dominator_set_covers_true_dominators(self, nba_small):
+        """Any object that truly dominates o (on ground truth) must be in D(o)."""
+        sets = dominator_sets(nba_small)
+        complete = nba_small.complete
+        for o in range(nba_small.n_objects):
+            members = set(sets[o].tolist())
+            for p in range(nba_small.n_objects):
+                if p == o:
+                    continue
+                truly_dominates = (complete[p] >= complete[o]).all() and (
+                    complete[p] > complete[o]
+                ).any()
+                if truly_dominates:
+                    assert p in members, (
+                        "true dominator %d of %d missing from D(o)" % (p, o)
+                    )

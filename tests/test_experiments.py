@@ -1,0 +1,276 @@
+"""Smoke + unit tests for the experiment harness (tiny scales)."""
+
+import json
+
+import pytest
+
+from repro.experiments import ExperimentResult, scale_factor, scaled
+from repro.experiments.cli import RUNNERS, main
+from repro.experiments.data import (
+    crowdsky_nba,
+    dataset_with_distributions,
+    nba_dataset,
+    synthetic_dataset,
+)
+from repro.experiments.sweep import defaults_for, sweep_point
+
+
+@pytest.fixture(autouse=True)
+def tiny_scale(monkeypatch):
+    """Shrink every experiment to smoke-test size."""
+    monkeypatch.setenv("REPRO_SCALE", "0.12")
+
+
+class TestScale:
+    def test_scale_factor_reads_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "2.5")
+        assert scale_factor() == 2.5
+
+    def test_scaled_applies_factor_and_floor(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.001")
+        assert scaled(1000) == 10  # floor
+
+    def test_quick_reduction(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "1.0")
+        assert scaled(1000, quick=True) == 400
+
+    def test_invalid_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "zero")
+        with pytest.raises(ValueError):
+            scale_factor()
+        monkeypatch.setenv("REPRO_SCALE", "-1")
+        with pytest.raises(ValueError):
+            scale_factor()
+
+
+class TestExperimentResult:
+    def _result(self):
+        result = ExperimentResult("figX", "demo", columns=["a", "b"])
+        result.add(a=1, b=0.123456)
+        result.add(a="x", b=2.0)
+        result.note("a note")
+        return result
+
+    def test_text_table_contains_rows(self):
+        text = self._result().to_text()
+        assert "figX: demo" in text
+        assert "0.123" in text
+        assert "note: a note" in text
+
+    def test_markdown(self):
+        md = self._result().to_markdown()
+        assert md.startswith("### figX")
+        assert "| a | b |" in md
+
+    def test_json_round_trip(self):
+        data = json.loads(self._result().to_json())
+        assert data["experiment"] == "figX"
+        assert len(data["rows"]) == 2
+
+
+class TestDataCaching:
+    def test_dataset_builders_cache(self):
+        a = nba_dataset(60, 0.1)
+        b = nba_dataset(60, 0.1)
+        assert a is b
+        assert synthetic_dataset(60, 0.1) is synthetic_dataset(60, 0.1)
+
+    def test_crowdsky_dataset_shape(self):
+        ds = crowdsky_nba(40)
+        assert ds.mask[:, 2].all() and ds.mask[:, 4].all()
+        assert not ds.mask[:, 0].any()
+
+    def test_distributions_are_copies(self):
+        __, d1 = dataset_with_distributions("nba", 60)
+        __, d2 = dataset_with_distributions("nba", 60)
+        variable = next(iter(d1))
+        d1[variable][0] = 99.0
+        assert d2[variable][0] != 99.0
+
+
+class TestSweep:
+    def test_defaults_for(self):
+        assert defaults_for("nba")["budget"] == 50
+        assert defaults_for("synthetic")["latency"] == 10
+        with pytest.raises(ValueError):
+            defaults_for("magic")
+
+    def test_sweep_point_metrics(self):
+        point = sweep_point("nba", 60, "fbs", budget=5, latency=2)
+        assert set(point) >= {"f1", "time_s", "tasks", "rounds"}
+        assert point["tasks"] <= 5
+        assert 0.0 <= point["f1"] <= 1.0
+
+
+class TestRunnersSmoke:
+    @pytest.mark.parametrize(
+        "name", ["fig2", "fig5", "fig7", "fig9", "fig10", "fig11", "table6"]
+    )
+    def test_runner_produces_rows(self, name):
+        result = RUNNERS[name](True)  # quick
+        assert result.rows
+        assert result.experiment_id == name
+        for column in result.columns:
+            assert any(column in row for row in result.rows)
+
+    def test_fig3_reports_skips(self):
+        result = RUNNERS["fig3"](True)
+        assert all("skipped" in row for row in result.rows)
+
+    def test_fig4_contains_both_systems(self):
+        result = RUNNERS["fig4"](True)
+        systems = {row["system"] for row in result.rows}
+        assert "crowdsky" in systems
+        assert any(s.startswith("bayescrowd") for s in systems)
+
+
+class TestCli:
+    def test_cli_runs_and_writes(self, tmp_path, capsys):
+        exit_code = main(["fig10", "--quick", "--out", str(tmp_path)])
+        assert exit_code == 0
+        captured = capsys.readouterr().out
+        assert "fig10" in captured
+        assert (tmp_path / "fig10.md").exists()
+        assert (tmp_path / "fig10.json").exists()
+
+    def test_cli_without_arguments_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "experiment" in capsys.readouterr().out
+
+    def test_cli_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+
+class TestReport:
+    def test_round_trip_and_report(self, tmp_path):
+        from repro.experiments.base import ExperimentResult
+        from repro.experiments.report import build_report, load_results, write_report
+
+        result = ExperimentResult("fig5", "demo", columns=["budget", "f1"])
+        result.add(budget=10, f1=0.8)
+        result.add(budget=20, f1=0.9)
+        result.plot_spec(x="budget", y="f1")
+        (tmp_path / "fig5.json").write_text(result.to_json())
+
+        other = ExperimentResult("fig2", "other", columns=["a"])
+        other.add(a=1)
+        (tmp_path / "fig2.json").write_text(other.to_json())
+
+        loaded = load_results(tmp_path)
+        assert [r.experiment_id for r in loaded] == ["fig2", "fig5"]
+        report = build_report(tmp_path)
+        assert "### fig5" in report and "### fig2" in report
+        assert "x: budget" in report  # chart rendered
+        out = write_report(tmp_path, tmp_path / "report.md")
+        assert out.exists()
+
+    def test_report_without_charts(self, tmp_path):
+        from repro.experiments.base import ExperimentResult
+        from repro.experiments.report import build_report
+
+        result = ExperimentResult("table6", "demo", columns=["f1"])
+        result.add(f1=0.9)
+        result.plot_spec(x="f1", y="f1")
+        (tmp_path / "table6.json").write_text(result.to_json())
+        report = build_report(tmp_path, charts=False)
+        assert "```" not in report
+
+    def test_missing_directory(self, tmp_path):
+        from repro.experiments.report import load_results
+
+        with pytest.raises(FileNotFoundError):
+            load_results(tmp_path / "nope")
+
+    def test_from_json_infers_columns(self):
+        import json
+
+        from repro.experiments.base import ExperimentResult
+
+        payload = json.dumps(
+            {"experiment": "x", "rows": [{"b": 1, "a": 2}], "notes": []}
+        )
+        result = ExperimentResult.from_json(payload)
+        assert result.columns == ["a", "b"]
+
+    def test_cli_report_flag(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        exit_code = main(
+            [
+                "fig10",
+                "--quick",
+                "--out",
+                str(tmp_path),
+                "--report",
+                str(tmp_path / "report.md"),
+            ]
+        )
+        assert exit_code == 0
+        assert (tmp_path / "report.md").exists()
+        assert "fig10" in (tmp_path / "report.md").read_text()
+
+
+class TestMoreRunnersSmoke:
+    @pytest.mark.parametrize("name", ["fig6", "fig8", "ablations"])
+    def test_runner_produces_rows(self, name):
+        result = RUNNERS[name](True)
+        assert result.rows
+        assert result.experiment_id == name
+
+
+class TestReplication:
+    def test_replicate_point_aggregates(self):
+        from repro.experiments.replication import replicate_point
+
+        stats = replicate_point(
+            "nba", 60, "fbs", seeds=(0, 1, 2), budget=8, latency=2,
+            worker_accuracy=0.8,
+        )
+        assert set(stats) >= {"f1", "time_s", "tasks"}
+        f1 = stats["f1"]
+        assert f1.n == 3
+        assert 0.0 <= f1.mean <= 1.0
+        lo, hi = f1.interval()
+        assert lo <= f1.mean <= hi
+
+    def test_single_seed_zero_variance(self):
+        from repro.experiments.replication import replicate_point
+
+        stats = replicate_point("nba", 60, "fbs", seeds=(0,), budget=5, latency=1)
+        assert stats["f1"].std == 0.0
+        assert stats["f1"].half_width_95 == 0.0
+
+    def test_perfect_workers_are_deterministic_across_seeds(self):
+        from repro.experiments.replication import replicate_point
+
+        stats = replicate_point(
+            "nba", 60, "fbs", seeds=(0, 1, 2), budget=8, latency=2,
+            worker_accuracy=1.0,
+        )
+        assert stats["f1"].std == 0.0
+
+    def test_empty_seeds_rejected(self):
+        from repro.experiments.replication import replicate_point
+
+        with pytest.raises(ValueError):
+            replicate_point("nba", 60, "fbs", seeds=())
+
+    def test_strategy_comparison_table(self):
+        from repro.experiments.replication import replicated_strategy_comparison
+
+        result = replicated_strategy_comparison(
+            n=60, seeds=(0, 1), budget=8, latency=2
+        )
+        assert len(result.rows) == 3
+        assert {row["strategy"] for row in result.rows} == {"fbs", "ubs", "hhs"}
+
+
+class TestExtensionRunners:
+    @pytest.mark.parametrize("name", ["skyband", "topk", "replication"])
+    def test_extension_runner_rows(self, name):
+        result = RUNNERS[name](True)
+        assert result.rows
+        for row in result.rows:
+            if "f1" in row and isinstance(row["f1"], float):
+                assert 0.0 <= row["f1"] <= 1.0

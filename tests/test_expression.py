@@ -1,0 +1,119 @@
+"""Unit tests for expressions and relations."""
+
+import numpy as np
+import pytest
+
+from repro.ctable import (
+    Const,
+    Expression,
+    Relation,
+    Var,
+    const_greater_var,
+    var_greater_const,
+    var_greater_var,
+)
+
+
+class TestRelation:
+    def test_of(self):
+        assert Relation.of(3, 1) is Relation.GREATER
+        assert Relation.of(1, 3) is Relation.LESS
+        assert Relation.of(2, 2) is Relation.EQUAL
+
+    def test_flipped(self):
+        assert Relation.GREATER.flipped() is Relation.LESS
+        assert Relation.LESS.flipped() is Relation.GREATER
+        assert Relation.EQUAL.flipped() is Relation.EQUAL
+
+
+class TestConstruction:
+    def test_const_const_rejected(self):
+        with pytest.raises(ValueError):
+            Expression(Const(1), Const(2))
+
+    def test_helpers(self):
+        assert str(var_greater_const(4, 1, 2)) == "Var(o5, a2) > 2"
+        assert str(const_greater_var(2, 4, 1)) == "2 > Var(o5, a2)"
+        assert str(var_greater_var(0, 1, 2)) == "Var(o1, a3) > Var(o2, a3)"
+
+    def test_equality_and_hash(self):
+        a = var_greater_const(0, 1, 3)
+        b = var_greater_const(0, 1, 3)
+        c = var_greater_const(0, 1, 4)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_operand_types_distinguished(self):
+        # Var > Const vs Const > Var with same numbers are different.
+        assert var_greater_const(0, 0, 1) != const_greater_var(1, 0, 0)
+
+
+class TestStructure:
+    def test_variables_left_first(self):
+        e = var_greater_var(2, 5, 1)
+        assert e.variables() == ((2, 1), (5, 1))
+
+    def test_single_variable(self):
+        e = var_greater_const(3, 0, 2)
+        assert e.variables() == ((3, 0),)
+        assert not e.is_var_var()
+
+    def test_involves(self):
+        e = var_greater_var(1, 2, 0)
+        assert e.involves((1, 0))
+        assert e.involves((2, 0))
+        assert not e.involves((3, 0))
+
+
+class TestSemantics:
+    def test_evaluate_var_const(self):
+        e = var_greater_const(0, 0, 2)
+        assert e.evaluate({(0, 0): 3})
+        assert not e.evaluate({(0, 0): 2})
+
+    def test_evaluate_const_var(self):
+        e = const_greater_var(2, 0, 0)
+        assert e.evaluate({(0, 0): 1})
+        assert not e.evaluate({(0, 0): 2})
+
+    def test_evaluate_var_var(self):
+        e = var_greater_var(0, 1, 0)
+        assert e.evaluate({(0, 0): 3, (1, 0): 1})
+        assert not e.evaluate({(0, 0): 1, (1, 0): 1})
+
+    def test_evaluate_missing_assignment(self):
+        with pytest.raises(KeyError):
+            var_greater_const(0, 0, 1).evaluate({})
+
+    def test_substitute_partial(self):
+        e = var_greater_var(0, 1, 0)
+        reduced = e.substitute((0, 0), 3)
+        assert isinstance(reduced, Expression)
+        assert str(reduced) == "3 > Var(o2, a1)"
+
+    def test_substitute_to_bool(self):
+        e = var_greater_const(0, 0, 2)
+        assert e.substitute((0, 0), 3) is True
+        assert e.substitute((0, 0), 2) is False
+
+    def test_substitute_uninvolved_variable(self):
+        e = var_greater_const(0, 0, 2)
+        assert e.substitute((9, 9), 1) == e
+
+    def test_truth_under(self):
+        e = var_greater_const(0, 0, 2)
+        assert e.truth_under(Relation.GREATER)
+        assert not e.truth_under(Relation.EQUAL)
+        assert not e.truth_under(Relation.LESS)
+
+    def test_true_relation_from_complete(self):
+        complete = np.array([[5, 1], [2, 4]])
+        assert var_greater_const(0, 0, 3).true_relation(complete) is Relation.GREATER
+        assert var_greater_var(0, 1, 1).true_relation(complete) is Relation.LESS
+        assert const_greater_var(2, 1, 0).true_relation(complete) is Relation.EQUAL
+
+    def test_question_text(self):
+        q = var_greater_const(4, 1, 2).question()
+        assert "Var(o5, a2)" in q
+        assert "larger than" in q

@@ -1,0 +1,107 @@
+"""Tests for the NBA and Adult-like synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import adult_like_network, generate_nba, generate_synthetic
+from repro.datasets.nba import ATTRIBUTE_NAMES as NBA_ATTRS
+from repro.datasets.synthetic import ATTRIBUTE_NAMES as SYN_ATTRS
+from repro.datasets.synthetic import DOMAIN_SIZES as SYN_DOMAINS
+
+
+class TestNBA:
+    def test_shape_and_names(self):
+        ds = generate_nba(n_objects=200, seed=0)
+        assert ds.n_objects == 200
+        assert ds.n_attributes == 11
+        assert ds.attribute_names == NBA_ATTRS
+
+    def test_missing_rate_close_to_target(self):
+        ds = generate_nba(n_objects=500, missing_rate=0.15, seed=0)
+        assert ds.missing_rate == pytest.approx(0.15, abs=0.01)
+
+    def test_ground_truth_present(self):
+        ds = generate_nba(n_objects=50, seed=0)
+        assert ds.has_ground_truth()
+
+    def test_reproducible(self):
+        a = generate_nba(n_objects=100, seed=5)
+        b = generate_nba(n_objects=100, seed=5)
+        assert np.array_equal(a.values, b.values)
+        assert np.array_equal(a.complete, b.complete)
+
+    def test_different_seeds_differ(self):
+        a = generate_nba(n_objects=100, seed=5)
+        b = generate_nba(n_objects=100, seed=6)
+        assert not np.array_equal(a.complete, b.complete)
+
+    def test_attributes_are_correlated(self):
+        # The latent-skill model must induce correlation for the Bayesian
+        # network preprocessing to have something to learn.
+        ds = generate_nba(n_objects=2000, missing_rate=0.0, seed=0)
+        minutes = ds.complete[:, 1].astype(float)
+        points = ds.complete[:, 2].astype(float)
+        corr = np.corrcoef(minutes, points)[0, 1]
+        assert corr > 0.5
+
+    def test_levels_respect_domains(self):
+        ds = generate_nba(n_objects=300, levels=6, seed=0)
+        for j, size in enumerate(ds.domain_sizes):
+            assert size <= 6
+            assert ds.complete[:, j].max() < size
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            generate_nba(n_objects=0)
+
+
+class TestSynthetic:
+    def test_shape(self):
+        ds = generate_synthetic(n_objects=150, seed=0)
+        assert ds.n_objects == 150
+        assert ds.n_attributes == 9
+        assert ds.attribute_names == SYN_ATTRS
+        assert list(ds.domain_sizes) == SYN_DOMAINS
+
+    def test_reproducible(self):
+        a = generate_synthetic(n_objects=100, seed=2)
+        b = generate_synthetic(n_objects=100, seed=2)
+        assert np.array_equal(a.values, b.values)
+
+    def test_network_is_valid(self):
+        net = adult_like_network()
+        assert net.n_nodes == 9
+        # education -> income edge present
+        assert net.dag.has_edge(1, 7)
+        # sampling respects domains
+        rows = net.sample(100, np.random.default_rng(0))
+        for j, size in enumerate(SYN_DOMAINS):
+            assert rows[:, j].max() < size
+
+    def test_generated_data_shows_dependency(self):
+        # income depends on education in the generating network: mutual
+        # information between them should clearly beat an independent pair.
+        ds = generate_synthetic(n_objects=5000, missing_rate=0.0, seed=1)
+        edu = ds.complete[:, 1]
+        income = ds.complete[:, 7]
+
+        def mutual_information(x, y):
+            joint = np.zeros((x.max() + 1, y.max() + 1))
+            for a, b in zip(x, y):
+                joint[a, b] += 1
+            joint /= joint.sum()
+            px = joint.sum(axis=1, keepdims=True)
+            py = joint.sum(axis=0, keepdims=True)
+            nz = joint > 0
+            return float((joint[nz] * np.log(joint[nz] / (px @ py)[nz])).sum())
+
+        # Independence noise floor at this sample size is ~(6*5)/(2*5000) ≈ 0.003.
+        assert mutual_information(edu, income) > 0.015
+
+    def test_missing_rate(self):
+        ds = generate_synthetic(n_objects=400, missing_rate=0.2, seed=0)
+        assert ds.missing_rate == pytest.approx(0.2, abs=0.01)
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            generate_synthetic(n_objects=-1)

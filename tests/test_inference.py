@@ -1,0 +1,85 @@
+"""Direct unit tests for factors and variable elimination internals."""
+
+import numpy as np
+import pytest
+
+from repro.bayesnet import Factor, VariableElimination
+
+
+class TestFactor:
+    def test_rank_validation(self):
+        with pytest.raises(ValueError):
+            Factor((0, 1), np.ones(3))
+
+    def test_restrict_drops_axis(self):
+        table = np.arange(6).reshape(2, 3).astype(float)
+        factor = Factor((0, 1), table)
+        restricted = factor.restrict(0, 1)
+        assert restricted.variables == (1,)
+        assert restricted.table.tolist() == [3.0, 4.0, 5.0]
+
+    def test_restrict_second_variable(self):
+        table = np.arange(6).reshape(2, 3).astype(float)
+        restricted = Factor((0, 1), table).restrict(1, 2)
+        assert restricted.variables == (0,)
+        assert restricted.table.tolist() == [2.0, 5.0]
+
+    def test_marginalize(self):
+        table = np.arange(6).reshape(2, 3).astype(float)
+        summed = Factor((0, 1), table).marginalize(1)
+        assert summed.variables == (0,)
+        assert summed.table.tolist() == [3.0, 12.0]
+
+    def test_multiply_disjoint_scopes(self):
+        a = Factor((0,), np.array([1.0, 2.0]))
+        b = Factor((1,), np.array([3.0, 4.0, 5.0]))
+        product = a.multiply(b)
+        assert product.variables == (0, 1)
+        assert product.table.shape == (2, 3)
+        assert product.table[1, 2] == pytest.approx(10.0)
+
+    def test_multiply_shared_scope(self):
+        a = Factor((0, 1), np.ones((2, 2)) * 2.0)
+        b = Factor((1,), np.array([1.0, 3.0]))
+        product = a.multiply(b)
+        assert product.variables == (0, 1)
+        assert product.table[0, 1] == pytest.approx(6.0)
+
+    def test_multiply_handles_axis_permutation(self):
+        # b's scope lists variables in the opposite order.
+        a = Factor((0, 1), np.array([[1.0, 2.0], [3.0, 4.0]]))
+        b = Factor((1, 0), np.array([[10.0, 100.0], [20.0, 200.0]]))
+        product = a.multiply(b)
+        assert product.variables == (0, 1)
+        # product[i, j] = a[i, j] * b[j, i]
+        assert product.table[0, 1] == pytest.approx(2.0 * 20.0)
+        assert product.table[1, 0] == pytest.approx(3.0 * 100.0)
+
+
+class TestVariableElimination:
+    def test_independent_factors(self):
+        factors = [
+            Factor((0,), np.array([0.25, 0.75])),
+            Factor((1,), np.array([0.5, 0.5])),
+        ]
+        ve = VariableElimination(factors, [2, 2])
+        assert ve.query(0, {}) == pytest.approx([0.25, 0.75])
+
+    def test_evidence_on_target(self):
+        ve = VariableElimination([Factor((0,), np.array([0.5, 0.5]))], [2])
+        assert ve.query(0, {0: 1}).tolist() == [0.0, 1.0]
+
+    def test_chain_query(self):
+        # P(0), P(1 | 0): query P(1).
+        prior = Factor((0,), np.array([0.4, 0.6]))
+        conditional = Factor((0, 1), np.array([[0.9, 0.1], [0.2, 0.8]]))
+        ve = VariableElimination([prior, conditional], [2, 2])
+        expected_1 = 0.4 * 0.1 + 0.6 * 0.8
+        assert ve.query(1, {})[1] == pytest.approx(expected_1)
+
+    def test_zero_probability_evidence_uniform_fallback(self):
+        prior = Factor((0,), np.array([1.0, 0.0]))
+        conditional = Factor((0, 1), np.array([[1.0, 0.0], [0.5, 0.5]]))
+        ve = VariableElimination([prior, conditional], [2, 2])
+        # Evidence 1=1 has zero probability; fall back to uniform.
+        assert ve.query(0, {1: 1}) == pytest.approx([0.5, 0.5])

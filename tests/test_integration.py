@@ -1,0 +1,233 @@
+"""Cross-module integration tests on generated datasets."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BayesCrowd,
+    BayesCrowdConfig,
+    f1_score,
+    generate_nba,
+    generate_synthetic,
+    skyline,
+)
+from repro.baselines import machine_only_skyline
+from repro.crowd import SimulatedCrowdPlatform, WorkerPool
+
+
+class TestMachineOnlyBaseline:
+    def test_no_tasks_posted(self, nba_small):
+        result = machine_only_skyline(nba_small, BayesCrowdConfig(alpha=0.05))
+        assert result.tasks_posted == 0
+        assert result.rounds == 0
+
+    def test_crowd_beats_machine_only(self):
+        nba = generate_nba(n_objects=250, missing_rate=0.15, seed=9)
+        truth = skyline(nba.complete)
+        config = BayesCrowdConfig(alpha=0.05, budget=80, latency=8)
+        machine = machine_only_skyline(nba, config)
+        crowd = BayesCrowd(nba, config).run()
+        assert f1_score(crowd.answers, truth) >= f1_score(machine.answers, truth)
+
+
+class TestWorkerAccuracyEffect:
+    def test_accuracy_monotone_in_worker_quality(self):
+        """Figure 9 shape: lower worker accuracy -> lower (or equal) F1."""
+        nba = generate_nba(n_objects=200, missing_rate=0.1, seed=12)
+        truth = skyline(nba.complete)
+        scores = []
+        for accuracy in (0.6, 1.0):
+            config = BayesCrowdConfig(
+                alpha=0.05, budget=60, latency=6, worker_accuracy=accuracy, seed=3
+            )
+            result = BayesCrowd(nba, config).run()
+            scores.append(f1_score(result.answers, truth))
+        assert scores[0] <= scores[1]
+
+    def test_heterogeneous_pool(self):
+        nba = generate_nba(n_objects=120, missing_rate=0.1, seed=12)
+        pool = WorkerPool(
+            [0.7, 0.8, 0.9, 0.95, 1.0] * 4, rng=np.random.default_rng(0)
+        )
+        platform = SimulatedCrowdPlatform(nba, worker_pool=pool, rng=np.random.default_rng(1))
+        config = BayesCrowdConfig(alpha=0.05, budget=30, latency=3)
+        result = BayesCrowd(nba, config, platform=platform).run()
+        assert result.tasks_posted <= 30
+
+
+class TestBudgetEffect:
+    def test_f1_non_decreasing_in_budget(self):
+        """Figure 5 shape: more budget -> weakly better accuracy."""
+        nba = generate_nba(n_objects=200, missing_rate=0.15, seed=21)
+        truth = skyline(nba.complete)
+        scores = []
+        for budget in (0, 30, 120):
+            config = BayesCrowdConfig(
+                alpha=0.05, budget=budget, latency=5, strategy="hhs", seed=2
+            )
+            result = BayesCrowd(nba, config).run()
+            scores.append(f1_score(result.answers, truth))
+        assert scores == sorted(scores)
+
+
+class TestProbabilityMethodsAgreeEndToEnd:
+    def test_adpll_and_naive_same_answers(self):
+        # Naive enumerates the full assignment space, so this runs on the
+        # small movie example where conditions have at most four variables.
+        from repro.datasets import example_distributions, sample_dataset
+
+        results = []
+        for method in ("adpll", "naive"):
+            config = BayesCrowdConfig(
+                alpha=1.0,
+                budget=4,
+                latency=2,
+                probability_method=method,
+                distribution_source="uniform",
+                seed=5,
+            )
+            bc = BayesCrowd(
+                sample_dataset(), config, distributions=example_distributions()
+            )
+            results.append(bc.run().answers)
+        assert results[0] == results[1]
+
+
+class TestSyntheticEndToEnd:
+    def test_full_pipeline(self, synthetic_small):
+        config = BayesCrowdConfig(alpha=0.1, budget=40, latency=4, seed=1)
+        result = BayesCrowd(synthetic_small, config).run()
+        truth = skyline(synthetic_small.complete)
+        assert f1_score(result.answers, truth) > 0.7
+        assert result.rounds <= 4
+
+    def test_utility_mode_ablation_runs(self, synthetic_small):
+        for mode in ("syntactic", "conditional"):
+            config = BayesCrowdConfig(
+                alpha=0.1, budget=20, latency=2, utility_mode=mode, seed=1
+            )
+            result = BayesCrowd(synthetic_small, config).run()
+            assert result.tasks_posted <= 20
+
+
+class TestPerfectCrowdConvergence:
+    def test_answering_everything_recovers_exact_skyline(self):
+        """With no pruning, a perfect crowd and budget for every expression,
+        the answer set must equal the complete-data skyline exactly.
+
+        This is the end-to-end soundness property of the whole pipeline:
+        c-table construction + answer propagation + result inference.
+        """
+        nba = generate_nba(n_objects=150, missing_rate=0.15, seed=33)
+        truth = skyline(nba.complete)
+        config = BayesCrowdConfig(
+            alpha=1.0,             # no pruning
+            budget=100_000,        # effectively unbounded
+            latency=10_000,
+            strategy="fbs",
+            worker_accuracy=1.0,
+            seed=0,
+        )
+        result = BayesCrowd(nba, config).run()
+        assert result.answers == truth
+        assert result.f1(truth) == 1.0
+
+    def test_convergence_on_synthetic(self):
+        synthetic = generate_synthetic(n_objects=150, missing_rate=0.15, seed=34)
+        truth = skyline(synthetic.complete)
+        config = BayesCrowdConfig(
+            alpha=1.0, budget=100_000, latency=10_000, strategy="fbs", seed=0
+        )
+        result = BayesCrowd(synthetic, config).run()
+        # Small-domain synthetic data can contain exact duplicate rows whose
+        # clauses read as domination (documented all-equal-tie caveat);
+        # everything else must be exact.
+        missed = set(truth) - set(result.answers)
+        for obj in missed:
+            duplicates = (synthetic.complete == synthetic.complete[obj]).all(
+                axis=1
+            ).sum()
+            assert duplicates > 1
+        assert not set(result.answers) - set(truth)
+
+
+class TestRandomDatasetConvergence:
+    """Hypothesis: perfect crowd + no pruning recovers the exact skyline on
+    arbitrary random incomplete datasets (modulo duplicate-row ties)."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_random_tiny_datasets(self, seed):
+        import numpy as np
+
+        from repro.datasets import from_complete, mcar_mask
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(3, 12))
+        d = int(rng.integers(2, 4))
+        domain = int(rng.integers(3, 6))
+        complete = rng.integers(0, domain, size=(n, d))
+        mask = mcar_mask(n, d, float(rng.uniform(0.0, 0.35)), rng)
+        dataset = from_complete(complete, mask, [domain] * d)
+
+        config = BayesCrowdConfig(
+            alpha=1.0,
+            budget=10_000,
+            latency=10_000,
+            strategy="fbs",
+            distribution_source="uniform",
+            seed=0,
+        )
+        result = BayesCrowd(dataset, config).run()
+        truth = set(skyline(complete))
+        answers = set(result.answers)
+        # No false positives ever.
+        assert answers <= truth
+        # False negatives only through exact duplicate rows.
+        for obj in truth - answers:
+            duplicates = (complete == complete[obj]).all(axis=1).sum()
+            assert duplicates > 1
+
+
+class TestConfigurationGrid:
+    """Every sensible configuration combination must run end to end."""
+
+    @pytest.mark.parametrize("strategy", ["fbs", "ubs", "hhs"])
+    @pytest.mark.parametrize("inference_mode", ["direct", "intervals", "full"])
+    def test_strategy_x_inference_grid(self, strategy, inference_mode):
+        nba = generate_nba(n_objects=80, missing_rate=0.1, seed=19)
+        config = BayesCrowdConfig(
+            alpha=0.1,
+            budget=8,
+            latency=2,
+            strategy=strategy,
+            inference_mode=inference_mode,
+            seed=0,
+        )
+        result = BayesCrowd(nba, config).run()
+        assert result.tasks_posted <= 8
+        assert result.rounds <= 2
+        truth = skyline(nba.complete)
+        assert f1_score(result.answers, truth) > 0.5
+
+    @pytest.mark.parametrize("source", ["bayesnet", "empirical", "uniform"])
+    def test_distribution_sources_grid(self, source):
+        nba = generate_nba(n_objects=80, missing_rate=0.1, seed=19)
+        config = BayesCrowdConfig(
+            alpha=0.1, budget=6, latency=2, distribution_source=source, seed=0
+        )
+        result = BayesCrowd(nba, config).run()
+        assert result.tasks_posted <= 6
+
+    def test_approx_probability_method_end_to_end(self):
+        nba = generate_nba(n_objects=60, missing_rate=0.1, seed=19)
+        config = BayesCrowdConfig(
+            alpha=0.1, budget=6, latency=2, probability_method="approx", seed=0
+        )
+        result = BayesCrowd(nba, config).run()
+        truth = skyline(nba.complete)
+        # Sampling noise tolerated; the pipeline must still be sane.
+        assert f1_score(result.answers, truth) > 0.5

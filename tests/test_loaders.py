@@ -1,0 +1,110 @@
+"""Tests for the CSV loader."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import MISSING
+from repro.datasets.loaders import load_csv
+
+
+def write_csv(tmp_path, text, name="data.csv"):
+    path = tmp_path / name
+    path.write_text(text)
+    return path
+
+
+BASIC = """name,price,rating,reviews
+hotel_a,100,4.5,200
+hotel_b,,3.0,50
+hotel_c,80,?,500
+hotel_d,120,5.0,NA
+hotel_e,60,2.0,10
+"""
+
+
+class TestLoadCsv:
+    def test_basic_shapes(self, tmp_path):
+        ds = load_csv(write_csv(tmp_path, BASIC), levels=3, id_column="name")
+        assert ds.n_objects == 5
+        assert ds.n_attributes == 3
+        assert ds.attribute_names == ["price", "rating", "reviews"]
+        assert ds.object_names[0] == "hotel_a"
+
+    def test_missing_tokens_detected(self, tmp_path):
+        ds = load_csv(write_csv(tmp_path, BASIC), levels=3, id_column="name")
+        assert ds.is_missing(1, 0)  # empty price
+        assert ds.is_missing(2, 1)  # "?"
+        assert ds.is_missing(3, 2)  # "NA"
+        assert ds.n_variables() == 3
+
+    def test_discretization_monotone(self, tmp_path):
+        ds = load_csv(write_csv(tmp_path, BASIC), levels=3, id_column="name")
+        reviews = ds.values[:, 2]
+        observed = [(10, 4), (50, 1), (200, 0), (500, 2)]  # (value, row)
+        levels = {v: reviews[row] for v, row in observed}
+        ordered = [levels[v] for v in sorted(levels)]
+        assert ordered == sorted(ordered)
+
+    def test_smaller_is_better_flips(self, tmp_path):
+        ds = load_csv(
+            write_csv(tmp_path, BASIC),
+            levels=3,
+            id_column="name",
+            smaller_is_better=["price"],
+        )
+        price = ds.values[:, 0]
+        # hotel_e (cheapest, 60) must get the best (highest) level among
+        # observed prices; hotel_d (most expensive, 120) the lowest.
+        assert price[4] == max(p for p in price if p != MISSING)
+        assert price[3] == min(p for p in price if p != MISSING)
+
+    def test_no_ground_truth(self, tmp_path):
+        ds = load_csv(write_csv(tmp_path, BASIC), id_column="name")
+        assert not ds.has_ground_truth()
+
+    def test_default_object_names(self, tmp_path):
+        text = "a,b\n1,2\n3,4\n"
+        ds = load_csv(write_csv(tmp_path, text))
+        assert ds.object_names == ["o1", "o2"]
+
+    def test_header_only_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            load_csv(write_csv(tmp_path, "a,b\n"))
+
+    def test_ragged_row_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            load_csv(write_csv(tmp_path, "a,b\n1,2,3\n"))
+
+    def test_non_numeric_cell_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            load_csv(write_csv(tmp_path, "a,b\n1,hello\n"))
+
+    def test_unknown_id_column(self, tmp_path):
+        with pytest.raises(ValueError):
+            load_csv(write_csv(tmp_path, BASIC), id_column="magic")
+
+    def test_unknown_flip_column(self, tmp_path):
+        with pytest.raises(ValueError):
+            load_csv(
+                write_csv(tmp_path, BASIC), id_column="name", smaller_is_better=["x"]
+            )
+
+    def test_all_missing_column_rejected(self, tmp_path):
+        text = "a,b\n1,?\n2,NA\n"
+        with pytest.raises(ValueError):
+            load_csv(write_csv(tmp_path, text))
+
+    def test_loaded_dataset_queryable_with_external_platform(self, tmp_path):
+        """A loaded CSV (no ground truth) still supports the modeling phase
+        and machine-only inference."""
+        from repro.baselines import machine_only_skyline
+        from repro.core import BayesCrowdConfig
+
+        ds = load_csv(write_csv(tmp_path, BASIC), levels=3, id_column="name")
+        # alpha=1 disables pruning: with 5 objects, any fractional alpha
+        # would prune every candidate with a single potential dominator.
+        result = machine_only_skyline(
+            ds, BayesCrowdConfig(alpha=1.0, distribution_source="empirical")
+        )
+        assert result.tasks_posted == 0
+        assert result.answers  # something survives

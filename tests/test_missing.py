@@ -1,0 +1,90 @@
+"""Unit tests for missing-value injection."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import attribute_mask, mcar_mask
+
+
+class TestMcarMask:
+    def test_exact_count(self, rng):
+        mask = mcar_mask(50, 10, 0.1, rng)
+        assert mask.sum() == 50
+
+    def test_zero_rate(self, rng):
+        mask = mcar_mask(20, 5, 0.0, rng)
+        assert not mask.any()
+
+    def test_rejects_bad_rate(self, rng):
+        with pytest.raises(ValueError):
+            mcar_mask(10, 5, 1.0, rng)
+        with pytest.raises(ValueError):
+            mcar_mask(10, 5, -0.1, rng)
+
+    def test_keeps_one_observed_cell_per_object(self, rng):
+        # Even at a high rate, no object loses every attribute by default.
+        mask = mcar_mask(30, 4, 0.7, rng)
+        assert (mask.sum(axis=1) < 4).all()
+
+    def test_per_object_cap(self, rng):
+        mask = mcar_mask(40, 6, 0.3, rng, max_missing_per_object=2)
+        assert (mask.sum(axis=1) <= 2).all()
+
+    def test_reproducible_with_seed(self):
+        a = mcar_mask(25, 4, 0.2, np.random.default_rng(9))
+        b = mcar_mask(25, 4, 0.2, np.random.default_rng(9))
+        assert np.array_equal(a, b)
+
+    def test_roughly_uniform_over_objects(self):
+        # MCAR: "the missing rate of each object is roughly equal to the
+        # missing rate of the dataset" (Section 7).
+        rng = np.random.default_rng(1)
+        mask = mcar_mask(2000, 10, 0.1, rng)
+        per_object = mask.sum(axis=1)
+        assert per_object.mean() == pytest.approx(1.0, abs=0.05)
+
+
+class TestAttributeMask:
+    def test_hides_whole_columns(self):
+        mask = attribute_mask(10, 5, [1, 3])
+        assert mask[:, 1].all() and mask[:, 3].all()
+        assert not mask[:, 0].any()
+        assert mask.sum() == 20
+
+    def test_rejects_bad_attribute(self):
+        with pytest.raises(ValueError):
+            attribute_mask(10, 5, [5])
+
+
+class TestBalancedMcarMask:
+    def test_exact_total(self, rng):
+        from repro.datasets import balanced_mcar_mask
+
+        mask = balanced_mcar_mask(100, 10, 0.1, rng)
+        assert mask.sum() == 100
+
+    def test_per_object_balance(self, rng):
+        from repro.datasets import balanced_mcar_mask
+
+        mask = balanced_mcar_mask(200, 11, 0.2, rng)
+        per_object = mask.sum(axis=1)
+        # 0.2 * 11 = 2.2: every object loses exactly 2 or 3 attributes.
+        assert set(per_object.tolist()) <= {2, 3}
+
+    def test_never_blanks_an_object(self, rng):
+        from repro.datasets import balanced_mcar_mask
+
+        mask = balanced_mcar_mask(50, 4, 0.75, rng)
+        assert (mask.sum(axis=1) < 4).all()
+
+    def test_zero_rate(self, rng):
+        from repro.datasets import balanced_mcar_mask
+
+        assert not balanced_mcar_mask(20, 5, 0.0, rng).any()
+
+    def test_rejects_bad_rate(self, rng):
+        from repro.datasets import balanced_mcar_mask
+        import pytest
+
+        with pytest.raises(ValueError):
+            balanced_mcar_mask(10, 5, 1.0, rng)

@@ -1,0 +1,136 @@
+"""End-to-end reproduction of every worked number in the paper.
+
+Covers Table 1 (sample data), Table 3 (c-table), Table 4 (dominator sets),
+Example 3 (ADPLL trace result ``Pr(phi(o5)) = 0.823``), Example 4 (the
+entropies, the HHS utilities, the round-by-round c-table of Table 5 and
+the final result set).
+"""
+
+import pytest
+
+from repro.core import entropy, marginal_utility
+from repro.ctable import Relation, build_ctable, const_greater_var, var_greater_const
+from repro.datasets import MISSING, example_distributions, sample_dataset
+from repro.probability import DistributionStore, ProbabilityEngine, adpll_probability
+
+
+@pytest.fixture
+def engine(movies_store):
+    return ProbabilityEngine(movies_store)
+
+
+class TestTable1:
+    def test_sample_dataset_values(self, movies):
+        assert movies.n_objects == 5
+        assert movies.n_attributes == 5
+        assert movies.values[0].tolist() == [5, 2, 3, 4, 1]
+        assert movies.values[1].tolist() == [6, MISSING, 2, 2, 2]
+        assert movies.values[2].tolist() == [1, 1, MISSING, 5, 3]
+        assert movies.values[3].tolist() == [4, 3, 1, 2, 1]
+        assert movies.values[4].tolist() == [5, MISSING, MISSING, MISSING, 1]
+
+    def test_variable_set(self, movies):
+        assert set(movies.variables()) == {(1, 1), (2, 2), (4, 1), (4, 2), (4, 3)}
+
+
+class TestTable4DominatorSets:
+    def test_all_five(self, movies):
+        from repro.ctable import dominator_sets
+
+        sets = dominator_sets(movies)
+        assert [s.tolist() for s in sets] == [[4], [], [], [1, 4], [0, 1]]
+
+
+class TestTable3CTable:
+    def test_constants(self, movies_ctable):
+        assert movies_ctable.condition(1).is_true
+        assert movies_ctable.condition(2).is_true
+
+    def test_phi_o1_text(self, movies_ctable):
+        text = str(movies_ctable.condition(0))
+        assert "2 > Var(o5, a2)" in text
+        assert "3 > Var(o5, a3)" in text
+        assert "4 > Var(o5, a4)" in text
+
+    def test_phi_o5_two_clauses(self, movies_ctable):
+        phi5 = movies_ctable.condition(4)
+        assert phi5.n_clauses() == 2
+        assert phi5.variables() == {(4, 1), (4, 2), (4, 3), (1, 1)}
+
+
+class TestExample3Probability:
+    def test_pr_phi_o5(self, movies_ctable, movies_store):
+        assert adpll_probability(
+            movies_ctable.condition(4), movies_store
+        ) == pytest.approx(0.823, abs=5e-4)
+
+    def test_example_distributions_normalized(self):
+        for pmf in example_distributions().values():
+            assert pmf.sum() == pytest.approx(1.0)
+
+
+class TestExample4:
+    def test_entropies(self, movies_ctable, engine):
+        assert entropy(engine.probability(movies_ctable.condition(0))) == pytest.approx(
+            0.72, abs=0.005
+        )
+        assert entropy(engine.probability(movies_ctable.condition(3))) == pytest.approx(
+            0.62, abs=0.005
+        )
+        assert entropy(engine.probability(movies_ctable.condition(4))) == pytest.approx(
+            0.67, abs=0.005
+        )
+
+    def test_initial_result_set(self, movies_ctable):
+        # "Currently, the result set R is {o2, o3}."
+        assert movies_ctable.result_set() == [1, 2]
+
+    def test_o1_marginal_utilities(self, movies_ctable, engine):
+        condition = movies_ctable.condition(0)
+        e1 = const_greater_var(2, 4, 1)
+        e2 = const_greater_var(3, 4, 2)
+        e3 = const_greater_var(4, 4, 3)
+        assert marginal_utility(condition, e1, engine) == pytest.approx(0.072, abs=2e-3)
+        assert marginal_utility(condition, e2, engine) == pytest.approx(0.157, abs=2e-3)
+        assert marginal_utility(condition, e3, engine) == pytest.approx(0.322, abs=2e-3)
+        # "Hence, the expression e3 is chosen to crowdsource."
+        best = max([e1, e2, e3], key=lambda e: marginal_utility(condition, e, engine))
+        assert best == e3
+
+    def test_table5_after_round_one(self, movies_ctable, engine):
+        """Answers: Var(o5,a4) < 4 and Var(o5,a3) = 3 (Example 4)."""
+        ct = movies_ctable
+        ct.apply_answer(var_greater_const(4, 3, 4), Relation.LESS)
+        ct.apply_answer(var_greater_const(4, 2, 3), Relation.EQUAL)
+        # Table 5 row o1: true.
+        assert ct.condition(0).is_true
+        # "The result set R is updated as {o1, o2, o3}."
+        assert ct.result_set() == [0, 1, 2]
+        # Table 5 row o4 keeps exactly: (Var(o2,a2)<3) ^ [(Var(o5,a2)<3) v (Var(o5,a4)<2)].
+        phi4 = ct.condition(3)
+        assert phi4.variables() == {(1, 1), (4, 1), (4, 3)}
+        assert phi4.n_clauses() == 2
+
+    def test_round_two_entropies(self, movies_ctable, engine):
+        """After round one, H(o4)=0.63 and H(o5)=0.88 in the paper."""
+        ct = movies_ctable
+        ct.apply_answer(var_greater_const(4, 3, 4), Relation.LESS)
+        ct.apply_answer(var_greater_const(4, 2, 3), Relation.EQUAL)
+        h4 = entropy(engine.probability(ct.condition(3)))
+        h5 = entropy(engine.probability(ct.condition(4)))
+        assert h4 == pytest.approx(0.63, abs=0.01)
+        assert h5 == pytest.approx(0.88, abs=0.01)
+
+    def test_final_state(self, movies_ctable):
+        """Round two answers: Var(o5,a2) > 2 and Var(o2,a2) > 3.
+
+        "Finally, phi(o4) becomes false, and phi(o5) turns true."
+        """
+        ct = movies_ctable
+        ct.apply_answer(var_greater_const(4, 3, 4), Relation.LESS)
+        ct.apply_answer(var_greater_const(4, 2, 3), Relation.EQUAL)
+        ct.apply_answer(var_greater_const(4, 1, 2), Relation.GREATER)
+        ct.apply_answer(const_greater_var(3, 1, 1), Relation.LESS)
+        assert ct.condition(3).is_false
+        assert ct.condition(4).is_true
+        assert ct.result_set() == [0, 1, 2, 4]

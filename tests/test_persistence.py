@@ -1,0 +1,92 @@
+"""Round-trip tests for dataset and result persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import BayesCrowd, BayesCrowdConfig, generate_nba
+from repro.persistence import (
+    FORMAT_VERSION,
+    load_dataset,
+    load_result,
+    result_to_dict,
+    save_dataset,
+    save_result,
+)
+
+
+class TestDatasetRoundTrip:
+    def test_full_round_trip(self, tmp_path, nba_small):
+        path = tmp_path / "nba.npz"
+        save_dataset(nba_small, path)
+        loaded = load_dataset(path)
+        assert np.array_equal(loaded.values, nba_small.values)
+        assert np.array_equal(loaded.complete, nba_small.complete)
+        assert loaded.domain_sizes == nba_small.domain_sizes
+        assert loaded.attribute_names == nba_small.attribute_names
+        assert loaded.name == nba_small.name
+
+    def test_without_ground_truth(self, tmp_path, movies):
+        blind = movies.__class__(
+            values=movies.values, domain_sizes=movies.domain_sizes, complete=None
+        )
+        path = tmp_path / "blind.npz"
+        save_dataset(blind, path)
+        loaded = load_dataset(path)
+        assert loaded.complete is None
+        assert np.array_equal(loaded.mask, blind.mask)
+
+    def test_version_check(self, tmp_path, movies):
+        path = tmp_path / "m.npz"
+        save_dataset(movies, path)
+        # Corrupt the version.
+        with np.load(path, allow_pickle=True) as archive:
+            payload = {k: archive[k] for k in archive.files}
+        payload["format_version"] = np.array([99])
+        np.savez_compressed(path, **payload, allow_pickle=True)
+        with pytest.raises(ValueError):
+            load_dataset(path)
+
+    def test_loaded_dataset_runs_a_query(self, tmp_path):
+        dataset = generate_nba(n_objects=60, missing_rate=0.1, seed=1)
+        path = tmp_path / "ds.npz"
+        save_dataset(dataset, path)
+        loaded = load_dataset(path)
+        config = BayesCrowdConfig(alpha=0.1, budget=6, latency=2)
+        result = BayesCrowd(loaded, config).run()
+        assert result.tasks_posted <= 6
+
+
+class TestResultRoundTrip:
+    def _result(self):
+        dataset = generate_nba(n_objects=60, missing_rate=0.1, seed=1)
+        config = BayesCrowdConfig(alpha=0.1, budget=8, latency=2)
+        return BayesCrowd(dataset, config).run()
+
+    def test_round_trip(self, tmp_path):
+        result = self._result()
+        path = tmp_path / "result.json"
+        save_result(result, path)
+        loaded = load_result(path)
+        assert loaded.answers == result.answers
+        assert loaded.tasks_posted == result.tasks_posted
+        assert loaded.rounds == result.rounds
+        assert loaded.initial_answers == result.initial_answers
+        assert len(loaded.history) == len(result.history)
+        if result.history:
+            assert loaded.history[0].objects == result.history[0].objects
+
+    def test_dict_is_json_serializable(self):
+        payload = result_to_dict(self._result())
+        text = json.dumps(payload)
+        assert str(FORMAT_VERSION) in text or payload["format_version"] == FORMAT_VERSION
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "result.json"
+        save_result(self._result(), path)
+        data = json.loads(path.read_text())
+        data["format_version"] = 99
+        path.write_text(json.dumps(data))
+        with pytest.raises(ValueError):
+            load_result(path)

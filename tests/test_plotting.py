@@ -1,0 +1,75 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.experiments.plotting import ascii_line_chart, chart_from_rows
+
+
+class TestAsciiLineChart:
+    def test_empty(self):
+        assert ascii_line_chart({}) == "(no data to plot)"
+        assert ascii_line_chart({"a": []}) == "(no data to plot)"
+
+    def test_contains_markers_and_legend(self):
+        chart = ascii_line_chart(
+            {"alpha": [(0, 0), (1, 1)], "beta": [(0, 1), (1, 0)]},
+            title="demo",
+        )
+        assert "demo" in chart
+        assert "o alpha" in chart
+        assert "x beta" in chart
+        assert chart.count("o") >= 2
+
+    def test_extremes_at_corners(self):
+        chart = ascii_line_chart({"s": [(0.0, 0.0), (10.0, 5.0)]}, width=20, height=6)
+        lines = chart.splitlines()
+        plot_rows = [l for l in lines if "|" in l]
+        # min y at the bottom row, max y at the top row
+        assert "o" in plot_rows[0].split("|")[1]
+        assert "o" in plot_rows[-1].split("|")[1]
+        top_marker_col = plot_rows[0].split("|")[1].index("o")
+        bottom_marker_col = plot_rows[-1].split("|")[1].index("o")
+        assert bottom_marker_col == 0
+        assert top_marker_col == 19
+
+    def test_axis_labels(self):
+        chart = ascii_line_chart(
+            {"s": [(1, 2), (3, 4)]}, x_label="budget", y_label="f1"
+        )
+        assert "x: budget" in chart
+        assert "y: f1" in chart
+
+    def test_log_scale_annotated(self):
+        chart = ascii_line_chart(
+            {"s": [(1, 0.001), (2, 100.0)]}, y_label="time", log_y=True
+        )
+        assert "(log scale)" in chart
+
+    def test_constant_series_no_crash(self):
+        chart = ascii_line_chart({"s": [(1, 5), (2, 5)]})
+        assert "o" in chart
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            ascii_line_chart({"s": [(0, 0)]}, width=2)
+
+
+class TestChartFromRows:
+    ROWS = [
+        {"strategy": "fbs", "budget": 10, "f1": 0.8},
+        {"strategy": "fbs", "budget": 20, "f1": 0.9},
+        {"strategy": "ubs", "budget": 10, "f1": 0.85},
+        {"strategy": "ubs", "budget": 20, "f1": "-"},  # non-numeric: skipped
+    ]
+
+    def test_groups_by_series_key(self):
+        chart = chart_from_rows(self.ROWS, x="budget", y="f1", series_key="strategy")
+        assert "fbs" in chart and "ubs" in chart
+
+    def test_without_series_key(self):
+        chart = chart_from_rows(self.ROWS, x="budget", y="f1")
+        assert "all" in chart
+
+    def test_all_rows_invalid(self):
+        chart = chart_from_rows([{"a": "x"}], x="a", y="b")
+        assert chart == "(no data to plot)"

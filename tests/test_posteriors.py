@@ -1,0 +1,93 @@
+"""Tests for the missing-value posterior service and fallback distributions."""
+
+import numpy as np
+import pytest
+
+from repro.bayesnet import (
+    CPT,
+    BayesianNetwork,
+    MissingValuePosteriors,
+    dag_from_edges,
+    empirical_distributions,
+    uniform_distributions,
+)
+from repro.datasets import MISSING, IncompleteDataset
+
+
+def two_attr_dataset():
+    values = np.array([[1, MISSING], [MISSING, 0], [0, 1]])
+    return IncompleteDataset(values=values, domain_sizes=[2, 2])
+
+
+def chain_network():
+    dag = dag_from_edges(2, iter([(0, 1)]))
+    cpts = [
+        CPT(0, (), np.array([0.3, 0.7])),
+        CPT(1, (0,), np.array([[0.9, 0.1], [0.2, 0.8]])),
+    ]
+    return BayesianNetwork(dag, [2, 2], cpts)
+
+
+class TestMissingValuePosteriors:
+    def test_posterior_uses_object_evidence(self):
+        service = MissingValuePosteriors(chain_network(), two_attr_dataset())
+        # Object 0 observes a1=1, misses a2: pmf should be CPT row for a1=1.
+        pmf = service.distribution((0, 1))
+        assert pmf == pytest.approx([0.2, 0.8])
+
+    def test_posterior_inverts_with_bayes(self):
+        service = MissingValuePosteriors(chain_network(), two_attr_dataset())
+        # Object 1 observes a2=0, misses a1: P(a1|a2=0) via Bayes rule.
+        pmf = service.distribution((1, 0))
+        p_a1_1 = 0.7 * 0.2 / (0.3 * 0.9 + 0.7 * 0.2)
+        assert pmf[1] == pytest.approx(p_a1_1)
+
+    def test_rejects_observed_cell(self):
+        service = MissingValuePosteriors(chain_network(), two_attr_dataset())
+        with pytest.raises(ValueError):
+            service.distribution((2, 0))
+
+    def test_all_distributions_covers_every_variable(self):
+        ds = two_attr_dataset()
+        service = MissingValuePosteriors(chain_network(), ds)
+        dists = service.all_distributions()
+        assert set(dists) == set(ds.variables())
+        for pmf in dists.values():
+            assert pmf.sum() == pytest.approx(1.0)
+
+    def test_cardinality_mismatch_rejected(self):
+        ds = IncompleteDataset(
+            values=np.array([[MISSING, 0]]), domain_sizes=[3, 2]
+        )
+        with pytest.raises(ValueError):
+            MissingValuePosteriors(chain_network(), ds)
+
+    def test_cache_returns_copies(self):
+        service = MissingValuePosteriors(chain_network(), two_attr_dataset())
+        a = service.distribution((0, 1))
+        a[0] = 123.0
+        b = service.distribution((0, 1))
+        assert b[0] != 123.0
+
+
+class TestFallbackDistributions:
+    def test_uniform(self):
+        ds = two_attr_dataset()
+        dists = uniform_distributions(ds)
+        assert set(dists) == set(ds.variables())
+        for pmf in dists.values():
+            assert np.allclose(pmf, 0.5)
+
+    def test_empirical_uses_column_marginals(self):
+        ds = two_attr_dataset()
+        dists = empirical_distributions(ds, smoothing=0.0)
+        # Column a1 observes values {1, 0}: pmf [0.5, 0.5].
+        assert dists[(1, 0)] == pytest.approx([0.5, 0.5])
+        # Column a2 observes values {0, 1}: pmf [0.5, 0.5].
+        assert dists[(0, 1)] == pytest.approx([0.5, 0.5])
+
+    def test_empirical_smoothing_keeps_support(self):
+        values = np.array([[1, MISSING], [1, 0]])
+        ds = IncompleteDataset(values=values, domain_sizes=[2, 2])
+        dists = empirical_distributions(ds, smoothing=1.0)
+        assert (dists[(0, 1)] > 0).all()

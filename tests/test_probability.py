@@ -1,0 +1,345 @@
+"""Tests for the distribution store and the three probability methods."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ctable import (
+    Condition,
+    Expression,
+    Relation,
+    Var,
+    VariableConstraints,
+    const_greater_var,
+    var_greater_const,
+    var_greater_var,
+)
+from repro.probability import (
+    ADPLL,
+    DistributionStore,
+    EnumerationLimitExceeded,
+    ProbabilityEngine,
+    adaptive_approx_probability,
+    adpll_probability,
+    approx_probability,
+    naive_probability,
+)
+
+V = (0, 0)
+W = (1, 0)
+U = (2, 0)
+
+
+def uniform_store(domain=4, variables=(V, W, U), constraints=None):
+    pmf = np.full(domain, 1.0 / domain)
+    return DistributionStore({v: pmf.copy() for v in variables}, constraints)
+
+
+class TestDistributionStore:
+    def test_rejects_unnormalized(self):
+        with pytest.raises(ValueError):
+            DistributionStore({V: np.array([0.5, 0.4])})
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            DistributionStore({V: np.array([1.5, -0.5])})
+
+    def test_pmf_lookup(self):
+        store = uniform_store()
+        assert store.pmf(V) == pytest.approx([0.25] * 4)
+        with pytest.raises(KeyError):
+            store.pmf((9, 9))
+
+    def test_prob_var_greater_const(self):
+        store = uniform_store()
+        assert store.prob_expression(var_greater_const(0, 0, 1)) == pytest.approx(0.5)
+        assert store.prob_expression(var_greater_const(0, 0, 3)) == 0.0
+
+    def test_prob_const_greater_var(self):
+        store = uniform_store()
+        assert store.prob_expression(const_greater_var(2, 0, 0)) == pytest.approx(0.5)
+        assert store.prob_expression(const_greater_var(0, 0, 0)) == 0.0
+        assert store.prob_expression(const_greater_var(9, 0, 0)) == pytest.approx(1.0)
+
+    def test_prob_var_greater_var_uniform(self):
+        store = uniform_store()
+        # P(X > Y) for iid uniform over 4 values: (1 - P(tie)) / 2 = 0.375.
+        assert store.prob_expression(var_greater_var(0, 1, 0)) == pytest.approx(0.375)
+
+    def test_prob_var_var_different_domains(self):
+        store = DistributionStore(
+            {V: np.full(6, 1 / 6), W: np.full(3, 1 / 3)}
+        )
+        # Brute force check.
+        expected = sum(
+            (1 / 6) * (1 / 3) for x in range(6) for y in range(3) if x > y
+        )
+        assert store.prob_expression(var_greater_var(0, 1, 0)) == pytest.approx(expected)
+
+    def test_constraints_restrict_pmf(self):
+        constraints = VariableConstraints([4])
+        store = uniform_store(constraints=constraints)
+        constraints.apply_answer(var_greater_const(0, 0, 1), Relation.GREATER)
+        assert store.pmf(V) == pytest.approx([0, 0, 0.5, 0.5])
+        assert store.support(V).tolist() == [2, 3]
+
+    def test_expression_cache_respects_constraint_changes(self):
+        constraints = VariableConstraints([4])
+        store = uniform_store(constraints=constraints)
+        e = var_greater_const(0, 0, 1)
+        assert store.prob_expression(e) == pytest.approx(0.5)
+        constraints.apply_answer(var_greater_const(0, 0, 2), Relation.GREATER)
+        assert store.prob_expression(e) == pytest.approx(1.0)
+
+    def test_sample_assignment(self, rng):
+        store = uniform_store()
+        sample = store.sample_assignment([V, W], rng)
+        assert set(sample) == {V, W}
+        assert all(0 <= v < 4 for v in sample.values())
+
+
+class TestNaive:
+    def test_constants(self):
+        store = uniform_store()
+        assert naive_probability(Condition.true(), store) == 1.0
+        assert naive_probability(Condition.false(), store) == 0.0
+
+    def test_single_expression(self):
+        store = uniform_store()
+        c = Condition.of([[var_greater_const(0, 0, 1)]])
+        assert naive_probability(c, store) == pytest.approx(0.5)
+
+    def test_enumeration_limit(self):
+        store = uniform_store()
+        c = Condition.of([[var_greater_var(0, 1, 0), var_greater_var(1, 2, 0)]])
+        with pytest.raises(EnumerationLimitExceeded):
+            naive_probability(c, store, max_assignments=10)
+
+    def test_paper_example_o5(self, movies_ctable, movies_store):
+        assert naive_probability(
+            movies_ctable.condition(4), movies_store
+        ) == pytest.approx(0.823, abs=5e-4)
+
+
+class TestADPLL:
+    def test_constants(self):
+        store = uniform_store()
+        assert adpll_probability(Condition.true(), store) == 1.0
+        assert adpll_probability(Condition.false(), store) == 0.0
+
+    def test_independent_product_rule(self):
+        store = uniform_store()
+        c = Condition.of(
+            [[var_greater_const(0, 0, 1)], [var_greater_const(1, 0, 0)]]
+        )
+        assert adpll_probability(c, store) == pytest.approx(0.5 * 0.75)
+
+    def test_disjunctive_rule(self):
+        store = uniform_store()
+        c = Condition.of([[var_greater_const(0, 0, 1), var_greater_const(1, 0, 1)]])
+        assert adpll_probability(c, store) == pytest.approx(1 - 0.5 * 0.5)
+
+    def test_correlated_clauses_branch(self):
+        store = uniform_store()
+        # Same variable in two clauses: Pr(X>1 and X>2) = Pr(X>2) = 0.25.
+        c = Condition.of(
+            [[var_greater_const(0, 0, 1)], [var_greater_const(0, 0, 2)]]
+        )
+        assert adpll_probability(c, store) == pytest.approx(0.25)
+
+    def test_paper_example_o5(self, movies_ctable, movies_store):
+        assert adpll_probability(
+            movies_ctable.condition(4), movies_store
+        ) == pytest.approx(0.823, abs=5e-4)
+
+    def test_ablation_flags_agree(self, movies_ctable, movies_store):
+        condition = movies_ctable.condition(4)
+        expected = adpll_probability(condition, movies_store)
+        for components in (True, False):
+            for memo in (True, False):
+                value = ADPLL(
+                    movies_store, use_components=components, use_memo=memo
+                ).probability(condition)
+                assert value == pytest.approx(expected)
+
+    def test_branch_counter_advances(self, movies_ctable, movies_store):
+        solver = ADPLL(movies_store)
+        solver.probability(movies_ctable.condition(4))
+        assert solver.branch_count > 0
+
+    def test_memo_respects_constraint_updates(self):
+        constraints = VariableConstraints([4])
+        store = uniform_store(constraints=constraints)
+        solver = ADPLL(store)
+        c = Condition.of(
+            [[var_greater_const(0, 0, 1)], [var_greater_const(0, 0, 2)]]
+        )
+        assert solver.probability(c) == pytest.approx(0.25)
+        constraints.apply_answer(var_greater_const(0, 0, 2), Relation.GREATER)
+        assert solver.probability(c) == pytest.approx(1.0)
+
+
+class TestApproxCount:
+    def test_constants_skip_sampling(self):
+        store = uniform_store()
+        assert approx_probability(Condition.true(), store).probability == 1.0
+        assert approx_probability(Condition.false(), store).probability == 0.0
+
+    def test_converges_to_exact(self, rng):
+        store = uniform_store()
+        c = Condition.of([[var_greater_var(0, 1, 0)], [var_greater_var(0, 2, 0)]])
+        exact = naive_probability(c, store)
+        estimate = approx_probability(c, store, n_samples=20_000, rng=rng)
+        assert estimate.probability == pytest.approx(exact, abs=0.02)
+
+    def test_interval_contains_estimate(self, rng):
+        store = uniform_store()
+        c = Condition.of([[var_greater_const(0, 0, 1)]])
+        estimate = approx_probability(c, store, n_samples=500, rng=rng)
+        lo, hi = estimate.interval()
+        assert lo <= estimate.probability <= hi
+
+    def test_adaptive_stops_on_tolerance(self, rng):
+        store = uniform_store()
+        c = Condition.of([[var_greater_const(0, 0, 1)]])
+        estimate = adaptive_approx_probability(
+            c, store, tolerance=0.05, batch_size=200, rng=rng
+        )
+        assert estimate.half_width < 0.05
+        assert estimate.n_samples <= 50_000
+
+    def test_rejects_bad_parameters(self, rng):
+        store = uniform_store()
+        c = Condition.of([[var_greater_const(0, 0, 1)]])
+        with pytest.raises(ValueError):
+            approx_probability(c, store, n_samples=0)
+        with pytest.raises(ValueError):
+            adaptive_approx_probability(c, store, tolerance=0.0)
+
+
+class TestEngine:
+    def test_method_dispatch(self, movies_ctable, movies_store):
+        condition = movies_ctable.condition(4)
+        for method in ("adpll", "naive"):
+            engine = ProbabilityEngine(movies_store, method=method)
+            assert engine.probability(condition) == pytest.approx(0.823, abs=5e-4)
+        approx_engine = ProbabilityEngine(
+            movies_store, method="approx", approx_samples=20_000
+        )
+        assert approx_engine.probability(condition) == pytest.approx(0.823, abs=0.02)
+
+    def test_unknown_method(self, movies_store):
+        with pytest.raises(ValueError):
+            ProbabilityEngine(movies_store, method="magic")
+
+    def test_cache_hits(self, movies_ctable, movies_store):
+        engine = ProbabilityEngine(movies_store)
+        condition = movies_ctable.condition(4)
+        engine.probability(condition)
+        engine.probability(condition)
+        assert engine.n_cache_hits == 1
+        assert engine.n_computations == 1
+
+    def test_cache_invalidation_is_selective(self, movies_ctable, movies_store):
+        engine = ProbabilityEngine(movies_store)
+        c1 = movies_ctable.condition(0)  # only Var(o5, *) variables
+        c4 = movies_ctable.condition(3)  # mentions Var(o2, a2) too
+        engine.probability(c1)
+        engine.probability(c4)
+        # Constrain a variable only c4 mentions.
+        movies_ctable.constraints.apply_answer(
+            var_greater_const(1, 1, 2), Relation.LESS
+        )
+        engine.probability(c1)  # unaffected -> cache hit
+        assert engine.n_cache_hits == 1
+        before = engine.n_computations
+        engine.probability(c4)  # affected -> recompute
+        assert engine.n_computations == before + 1
+
+    def test_callable_interface(self, movies_ctable, movies_store):
+        engine = ProbabilityEngine(movies_store)
+        assert engine(Condition.true()) == 1.0
+
+
+# ----------------------------------------------------------------------
+# property: ADPLL (all flag combinations) agrees with Naive enumeration
+# ----------------------------------------------------------------------
+@st.composite
+def condition_and_store(draw):
+    variables = [(o, 0) for o in range(4)]
+    domain = draw(st.integers(2, 4))
+    pmfs = {}
+    for v in variables:
+        weights = np.array(
+            [draw(st.integers(1, 5)) for __ in range(domain)], dtype=float
+        )
+        pmfs[v] = weights / weights.sum()
+    n_clauses = draw(st.integers(1, 3))
+    clauses = []
+    for __ in range(n_clauses):
+        clause = []
+        for __ in range(draw(st.integers(1, 3))):
+            kind = draw(st.sampled_from(["vc", "cv", "vv"]))
+            v1 = draw(st.sampled_from(variables))
+            if kind == "vc":
+                clause.append(
+                    var_greater_const(v1[0], v1[1], draw(st.integers(0, domain - 1)))
+                )
+            elif kind == "cv":
+                clause.append(
+                    const_greater_var(draw(st.integers(0, domain - 1)), v1[0], v1[1])
+                )
+            else:
+                v2 = draw(st.sampled_from([v for v in variables if v != v1]))
+                clause.append(Expression(Var(*v1), Var(*v2)))
+        clauses.append(clause)
+    return Condition.of(clauses), DistributionStore(pmfs)
+
+
+class TestADPLLAgreesWithNaive:
+    @given(condition_and_store())
+    @settings(max_examples=150, deadline=None)
+    def test_probabilities_match(self, pair):
+        condition, store = pair
+        exact = naive_probability(condition, store)
+        assert adpll_probability(condition, store) == pytest.approx(exact, abs=1e-9)
+
+    @given(condition_and_store())
+    @settings(max_examples=60, deadline=None)
+    def test_faithful_algorithm3_matches(self, pair):
+        """The paper's plain Algorithm 3 (no components, no memo) is exact too."""
+        condition, store = pair
+        exact = naive_probability(condition, store)
+        value = ADPLL(store, use_components=False, use_memo=False).probability(condition)
+        assert value == pytest.approx(exact, abs=1e-9)
+
+
+class TestBranchHeuristics:
+    @pytest.mark.parametrize("heuristic", ["frequency", "min_domain", "first"])
+    def test_all_heuristics_exact(self, heuristic, movies_ctable, movies_store):
+        solver = ADPLL(movies_store, branch_heuristic=heuristic)
+        assert solver.probability(movies_ctable.condition(4)) == pytest.approx(
+            0.823, abs=5e-4
+        )
+
+    def test_unknown_heuristic_rejected(self, movies_store):
+        with pytest.raises(ValueError):
+            ADPLL(movies_store, branch_heuristic="magic")
+
+    def test_absorption_flag_exact(self, movies_ctable, movies_store):
+        solver = ADPLL(movies_store, use_absorption=True)
+        assert solver.probability(movies_ctable.condition(4)) == pytest.approx(
+            0.823, abs=5e-4
+        )
+
+    @given(condition_and_store())
+    @settings(max_examples=60, deadline=None)
+    def test_heuristics_agree_with_naive(self, pair):
+        condition, store = pair
+        exact = naive_probability(condition, store)
+        for heuristic in ("frequency", "min_domain", "first"):
+            value = ADPLL(
+                store, branch_heuristic=heuristic, use_absorption=True
+            ).probability(condition)
+            assert value == pytest.approx(exact, abs=1e-9)

@@ -1,0 +1,114 @@
+"""Tests for worker-quality estimation and weighted aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.crowd import (
+    SimulatedCrowdPlatform,
+    WorkerPool,
+    estimate_worker_accuracies,
+    filter_pool,
+    make_weighted_aggregator,
+    weighted_vote,
+)
+from repro.crowd.quality import _log_odds
+from repro.ctable import Relation
+
+
+class TestEstimation:
+    def test_estimates_track_true_accuracy(self):
+        pool = WorkerPool([0.6, 0.95], rng=np.random.default_rng(0))
+        estimates = estimate_worker_accuracies(
+            pool, n_gold_questions=300, rng=np.random.default_rng(1)
+        )
+        assert estimates[0] == pytest.approx(0.6, abs=0.08)
+        assert estimates[1] == pytest.approx(0.95, abs=0.05)
+
+    def test_smoothing_bounds_estimates(self):
+        pool = WorkerPool([0.0, 1.0], rng=np.random.default_rng(0))
+        estimates = estimate_worker_accuracies(
+            pool, n_gold_questions=5, rng=np.random.default_rng(1)
+        )
+        assert 0.0 < estimates[0] < 1.0
+        assert 0.0 < estimates[1] < 1.0
+
+    def test_rejects_zero_questions(self):
+        pool = WorkerPool(0.9, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            estimate_worker_accuracies(pool, n_gold_questions=0)
+
+
+class TestWeightedVote:
+    def test_reliable_worker_outvotes_two_poor_ones(self):
+        accuracies = {0: 0.99, 1: 0.4, 2: 0.4}
+        votes = [(0, Relation.GREATER), (1, Relation.LESS), (2, Relation.LESS)]
+        assert weighted_vote(votes, accuracies) is Relation.GREATER
+
+    def test_equal_weights_reduce_to_majority(self):
+        accuracies = {0: 0.8, 1: 0.8, 2: 0.8}
+        votes = [(0, Relation.LESS), (1, Relation.LESS), (2, Relation.GREATER)]
+        assert weighted_vote(votes, accuracies) is Relation.LESS
+
+    def test_unknown_worker_uses_default(self):
+        votes = [(7, Relation.EQUAL)]
+        assert weighted_vote(votes, {}) is Relation.EQUAL
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_vote([], {})
+
+    def test_log_odds_monotone(self):
+        assert _log_odds(0.9) > _log_odds(0.6) > _log_odds(1 / 3)
+        # At accuracy 1/3 (chance level for 3 options) the weight is ~0.
+        assert _log_odds(1 / 3) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestFilterPool:
+    def test_keeps_qualified_workers(self):
+        pool = WorkerPool([0.5, 0.9, 0.95], rng=np.random.default_rng(0))
+        accuracies = {0: 0.5, 1: 0.9, 2: 0.95}
+        filtered = filter_pool(pool, accuracies, minimum_accuracy=0.8)
+        assert len(filtered.workers) == 2
+        assert filtered.mean_accuracy() == pytest.approx(0.925)
+
+    def test_falls_back_to_best_worker(self):
+        pool = WorkerPool([0.5, 0.6], rng=np.random.default_rng(0))
+        filtered = filter_pool(pool, {0: 0.5, 1: 0.6}, minimum_accuracy=0.99)
+        assert len(filtered.workers) == 1
+        assert filtered.workers[0].accuracy == pytest.approx(0.6)
+
+
+class TestPlatformIntegration:
+    def test_weighted_aggregation_beats_majority_with_mixed_pool(self):
+        """One expert among noisy workers: weighted voting should match or
+        beat plain majority on answer accuracy."""
+        from repro.datasets import sample_dataset
+        from repro.crowd import ComparisonTask
+        from repro.ctable import var_greater_const
+
+        def run(aggregator_factory):
+            rng = np.random.default_rng(3)
+            dataset = sample_dataset()
+            pool = WorkerPool([0.99, 0.45, 0.45], rng=rng)
+            aggregator = aggregator_factory(pool, rng)
+            platform = SimulatedCrowdPlatform(
+                dataset, worker_pool=pool, rng=rng, aggregator=aggregator
+            )
+            correct = 0
+            n = 400
+            for __ in range(n):
+                task = ComparisonTask(var_greater_const(4, 1, 2))  # truth: GREATER
+                answer = platform.post_batch([task])[task]
+                if answer is Relation.GREATER:
+                    correct += 1
+            return correct / n
+
+        majority_accuracy = run(lambda pool, rng: None)
+        true_accuracies = {w.worker_id: w.accuracy for w in
+                           WorkerPool([0.99, 0.45, 0.45],
+                                      rng=np.random.default_rng(3)).workers}
+        weighted_accuracy = run(
+            lambda pool, rng: make_weighted_aggregator(true_accuracies, rng=rng)
+        )
+        assert weighted_accuracy >= majority_accuracy
+        assert weighted_accuracy > 0.9

@@ -1,0 +1,281 @@
+"""Tests for the k-skyband extension."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ctable import Condition, Relation, var_greater_const
+from repro.datasets import MISSING, IncompleteDataset, generate_nba
+from repro.metrics import f1_score
+from repro.probability import DistributionStore
+from repro.skyband import (
+    CrowdSkyband,
+    SkybandConfig,
+    build_skyband_candidates,
+    skyband,
+    skyband_membership_probability,
+)
+from repro.skyband.probability import _poisson_binomial_below
+from repro.skyline import skyline
+
+
+class TestGroundTruthSkyband:
+    def test_one_skyband_is_skyline(self, nba_small):
+        assert skyband(nba_small.complete, 1) == skyline(nba_small.complete)
+
+    def test_monotone_in_k(self, nba_small):
+        sizes = [len(skyband(nba_small.complete, k)) for k in (1, 2, 3, 4)]
+        assert sizes == sorted(sizes)
+        # k-skyband contains the (k-1)-skyband
+        for k in (2, 3):
+            smaller = set(skyband(nba_small.complete, k - 1))
+            larger = set(skyband(nba_small.complete, k))
+            assert smaller <= larger
+
+    def test_large_k_returns_everything(self):
+        values = np.array([[1, 1], [2, 2], [3, 3]])
+        assert skyband(values, 10) == [0, 1, 2]
+
+    def test_chain(self):
+        values = np.array([[1, 1], [2, 2], [3, 3]])
+        assert skyband(values, 1) == [2]
+        assert skyband(values, 2) == [1, 2]
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            skyband(np.zeros((2, 2)), 0)
+
+
+class TestPoissonBinomial:
+    def test_zero_budget(self):
+        assert _poisson_binomial_below([0.5], 0) == 0.0
+
+    def test_no_events(self):
+        assert _poisson_binomial_below([], 1) == 1.0
+
+    def test_single_event(self):
+        assert _poisson_binomial_below([0.3], 1) == pytest.approx(0.7)
+        assert _poisson_binomial_below([0.3], 2) == pytest.approx(1.0)
+
+    @given(
+        st.lists(st.floats(0.0, 1.0), min_size=1, max_size=6),
+        st.integers(1, 6),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_matches_enumeration(self, probs, budget):
+        expected = 0.0
+        for outcome in itertools.product([0, 1], repeat=len(probs)):
+            if sum(outcome) >= budget:
+                continue
+            weight = 1.0
+            for hit, q in zip(outcome, probs):
+                weight *= q if hit else (1.0 - q)
+            expected += weight
+        assert _poisson_binomial_below(probs, budget) == pytest.approx(expected)
+
+
+class TestMembershipProbability:
+    def _store(self, n_vars=3, domain=4):
+        pmf = np.full(domain, 1.0 / domain)
+        return DistributionStore({(o, 0): pmf.copy() for o in range(n_vars)})
+
+    def test_base_already_out(self):
+        store = self._store()
+        assert skyband_membership_probability(2, [], 2, store) == 0.0
+
+    def test_no_clauses_in(self):
+        store = self._store()
+        assert skyband_membership_probability(1, [], 2, store) == 1.0
+
+    def test_single_clause_k1(self):
+        # Clause "Var > 1" true with prob 0.5; member iff clause holds.
+        store = self._store()
+        clause = Condition.of([[var_greater_const(0, 0, 1)]])
+        p = skyband_membership_probability(0, [clause], 1, store)
+        assert p == pytest.approx(0.5)
+
+    def test_k2_single_clause_always_in(self):
+        store = self._store()
+        clause = Condition.of([[var_greater_const(0, 0, 1)]])
+        assert skyband_membership_probability(0, [clause], 2, store) == 1.0
+
+    def test_independent_two_clauses(self):
+        store = self._store()
+        c1 = Condition.of([[var_greater_const(0, 0, 1)]])  # fails w.p. 0.5
+        c2 = Condition.of([[var_greater_const(1, 0, 0)]])  # fails w.p. 0.25
+        # member of 2-skyband unless both fail: 1 - 0.5*0.25
+        p = skyband_membership_probability(0, [c1, c2], 2, store)
+        assert p == pytest.approx(1 - 0.125)
+
+    def test_shared_variable_branches_exactly(self):
+        store = self._store()
+        # Same variable in both clauses: X>1 and X>2; dominated count is
+        # #failures of these clauses. For 2-skyband: out iff both fail,
+        # i.e. X <= 1: probability 0.5 -> membership 0.5.
+        c1 = Condition.of([[var_greater_const(0, 0, 1)]])
+        c2 = Condition.of([[var_greater_const(0, 0, 2)]])
+        p = skyband_membership_probability(0, [c1, c2], 2, store)
+        assert p == pytest.approx(0.5)
+
+    def test_matches_brute_force_enumeration(self):
+        """Exactness check against full assignment enumeration."""
+        rng = np.random.default_rng(5)
+        domain = 3
+        pmfs = {}
+        for o in range(3):
+            w = rng.random(domain) + 0.1
+            pmfs[(o, 0)] = w / w.sum()
+        store = DistributionStore(pmfs)
+        from repro.ctable import Expression, Var
+
+        clauses = [
+            Condition.of([[var_greater_const(0, 0, 1), Expression(Var(1, 0), Var(2, 0))]]),
+            Condition.of([[var_greater_const(1, 0, 0)]]),
+            Condition.of([[Expression(Var(0, 0), Var(2, 0))]]),
+        ]
+        k = 2
+        exact = skyband_membership_probability(0, clauses, k, store)
+        expected = 0.0
+        variables = [(o, 0) for o in range(3)]
+        for assignment_values in itertools.product(range(domain), repeat=3):
+            assignment = dict(zip(variables, assignment_values))
+            weight = 1.0
+            for v, value in assignment.items():
+                weight *= float(pmfs[v][value])
+            failures = sum(0 if c.evaluate(assignment) else 1 for c in clauses)
+            if failures < k:
+                expected += weight
+        assert exact == pytest.approx(expected, abs=1e-12)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            skyband_membership_probability(0, [], 0, self._store())
+
+
+class TestCandidates:
+    def test_build_marks_certain_members(self, nba_small):
+        candidates = build_skyband_candidates(nba_small, 2, alpha=1.0)
+        assert set(candidates) == set(range(nba_small.n_objects))
+        certain = [c.obj for c in candidates.values() if c.certainly_in]
+        truth = set(skyband(nba_small.complete, 2))
+        assert set(certain) <= truth
+
+    def test_alpha_pruning_declares_out(self):
+        values = np.array(
+            [[0, MISSING], [1, MISSING], [2, MISSING], [3, MISSING], [4, MISSING]]
+        )
+        ds = IncompleteDataset(values=values, domain_sizes=[6, 6])
+        candidates = build_skyband_candidates(ds, 1, alpha=0.2)
+        assert candidates[0].certainly_out
+
+    def test_simplify_counts_failed_clauses(self, nba_small):
+        candidates = build_skyband_candidates(nba_small, 1, alpha=1.0)
+        # Resolve everything against ground truth: each candidate must end
+        # decided, and membership must match the true skyline.
+        assignment = {v: nba_small.true_value(*v) for v in nba_small.variables()}
+
+        def oracle(expression):
+            return expression.evaluate(assignment)
+
+        truth = set(skyline(nba_small.complete))
+        for candidate in candidates.values():
+            candidate.simplify_with(oracle)
+            assert candidate.decided or not candidate.open_clauses
+            assert candidate.certainly_in == (candidate.obj in truth)
+
+
+class TestCrowdSkybandQuery:
+    def test_perfect_budget_recovers_truth(self):
+        nba = generate_nba(n_objects=100, missing_rate=0.1, seed=4)
+        config = SkybandConfig(k=2, alpha=1.0, budget=10_000, latency=1000, seed=0)
+        result = CrowdSkyband(nba, config).run()
+        assert result.answers == skyband(nba.complete, 2)
+
+    def test_budget_and_latency_respected(self):
+        nba = generate_nba(n_objects=100, missing_rate=0.1, seed=4)
+        config = SkybandConfig(k=2, alpha=0.1, budget=12, latency=3, seed=0)
+        result = CrowdSkyband(nba, config).run()
+        assert result.tasks_posted <= 12
+        assert result.rounds <= 3
+
+    def test_crowd_improves_over_initial(self):
+        nba = generate_nba(n_objects=150, missing_rate=0.15, seed=6)
+        truth = skyband(nba.complete, 2)
+        config = SkybandConfig(k=2, alpha=0.1, budget=60, latency=6, seed=0)
+        result = CrowdSkyband(nba, config).run()
+        assert f1_score(result.answers, truth) >= f1_score(result.initial_answers, truth)
+
+    def test_k1_agrees_with_skyline_truth(self):
+        nba = generate_nba(n_objects=80, missing_rate=0.1, seed=9)
+        config = SkybandConfig(k=1, alpha=1.0, budget=10_000, latency=1000, seed=0)
+        result = CrowdSkyband(nba, config).run()
+        assert result.answers == skyline(nba.complete)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            SkybandConfig(k=0)
+        with pytest.raises(ValueError):
+            SkybandConfig(latency=0)
+
+
+class TestMembershipProbabilityProperty:
+    """Hypothesis: exactness against brute-force world enumeration."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @given(st.integers(0, 100_000))
+    @settings(max_examples=40, deadline=None)
+    def test_random_clause_sets(self, seed):
+        import itertools
+
+        import numpy as np
+
+        from repro.ctable import Expression, Var
+
+        rng = np.random.default_rng(seed)
+        n_vars = int(rng.integers(2, 5))
+        domain = int(rng.integers(2, 5))
+        pmfs = {}
+        for o in range(n_vars):
+            w = rng.random(domain) + 0.05
+            pmfs[(o, 0)] = w / w.sum()
+        store = DistributionStore(pmfs)
+
+        n_clauses = int(rng.integers(1, 4))
+        clauses = []
+        for __ in range(n_clauses):
+            exprs = []
+            for __ in range(int(rng.integers(1, 3))):
+                a = int(rng.integers(n_vars))
+                if rng.random() < 0.5:
+                    exprs.append(var_greater_const(a, 0, int(rng.integers(domain))))
+                else:
+                    b = int(rng.integers(n_vars))
+                    while b == a:
+                        b = int(rng.integers(n_vars))
+                    exprs.append(Expression(Var(a, 0), Var(b, 0)))
+            clauses.append(Condition.of([exprs]))
+        clauses = [c for c in clauses if not c.is_constant]
+        if not clauses:
+            return
+        k = int(rng.integers(1, len(clauses) + 2))
+        base = int(rng.integers(0, 2))
+
+        exact = skyband_membership_probability(base, clauses, k, store)
+        expected = 0.0
+        variables = [(o, 0) for o in range(n_vars)]
+        for values in itertools.product(range(domain), repeat=n_vars):
+            assignment = dict(zip(variables, values))
+            weight = 1.0
+            for v, value in assignment.items():
+                weight *= float(pmfs[v][value])
+            failures = base + sum(
+                0 if c.evaluate(assignment) else 1 for c in clauses
+            )
+            if failures < k:
+                expected += weight
+        assert exact == pytest.approx(expected, abs=1e-10)

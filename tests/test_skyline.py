@@ -1,0 +1,141 @@
+"""Unit + property tests for dominance and skyline computation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.skyline import (
+    dominance_matrix,
+    dominates,
+    is_skyline_member,
+    skyline,
+    skyline_layers,
+)
+
+matrices = st.integers(2, 25).flatmap(
+    lambda n: st.integers(1, 4).flatmap(
+        lambda d: st.lists(
+            st.lists(st.integers(0, 5), min_size=d, max_size=d),
+            min_size=n,
+            max_size=n,
+        )
+    )
+)
+
+
+class TestDominates:
+    def test_strictly_better_everywhere(self):
+        assert dominates([3, 3], [1, 1])
+
+    def test_better_somewhere_equal_elsewhere(self):
+        assert dominates([3, 1], [1, 1])
+
+    def test_equal_rows_do_not_dominate(self):
+        assert not dominates([2, 2], [2, 2])
+
+    def test_incomparable(self):
+        assert not dominates([3, 0], [0, 3])
+        assert not dominates([0, 3], [3, 0])
+
+    def test_movie_example(self):
+        # Introduction: m2 = (4,2,3) dominates m1 = (3,2,1).
+        assert dominates([4, 2, 3], [3, 2, 1])
+        assert not dominates([2, 3, 2], [3, 2, 1])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            dominates([1, 2], [1, 2, 3])
+
+
+class TestSkyline:
+    def test_paper_intro_movies(self):
+        # m1=(3,2,1), m2=(4,2,3), m3=(2,3,2): skyline is {m2, m3}.
+        values = np.array([[3, 2, 1], [4, 2, 3], [2, 3, 2]])
+        assert skyline(values) == [1, 2]
+
+    def test_single_object(self):
+        assert skyline(np.array([[1, 1]])) == [0]
+
+    def test_empty(self):
+        assert skyline(np.zeros((0, 3))) == []
+
+    def test_duplicates_all_kept(self):
+        values = np.array([[2, 2], [2, 2], [1, 1]])
+        assert skyline(values) == [0, 1]
+
+    def test_chain(self):
+        values = np.array([[1, 1], [2, 2], [3, 3]])
+        assert skyline(values) == [2]
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            skyline(np.array([1, 2, 3]))
+
+    @given(matrices)
+    @settings(max_examples=80, deadline=None)
+    def test_members_are_undominated(self, rows):
+        values = np.array(rows)
+        members = skyline(values)
+        assert members, "skyline of a non-empty set is non-empty"
+        for index in members:
+            assert is_skyline_member(values, index)
+
+    @given(matrices)
+    @settings(max_examples=80, deadline=None)
+    def test_non_members_are_dominated(self, rows):
+        values = np.array(rows)
+        members = set(skyline(values))
+        matrix = dominance_matrix(values)
+        for index in range(values.shape[0]):
+            if index not in members:
+                assert matrix[:, index].any(), "non-member must be dominated"
+
+    @given(matrices)
+    @settings(max_examples=40, deadline=None)
+    def test_skyline_idempotent(self, rows):
+        values = np.array(rows)
+        members = skyline(values)
+        again = skyline(values[members])
+        assert [members[i] for i in again] == members
+
+
+class TestSkylineLayers:
+    def test_layers_partition_everything(self):
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, 6, size=(40, 3))
+        layers = skyline_layers(values)
+        flat = sorted(i for layer in layers for i in layer)
+        assert flat == list(range(40))
+
+    def test_first_layer_is_skyline(self):
+        rng = np.random.default_rng(1)
+        values = rng.integers(0, 6, size=(30, 3))
+        layers = skyline_layers(values)
+        assert layers[0] == skyline(values)
+
+    def test_chain_gives_singleton_layers(self):
+        values = np.array([[1, 1], [2, 2], [3, 3]])
+        assert skyline_layers(values) == [[2], [1], [0]]
+
+    @given(matrices)
+    @settings(max_examples=40, deadline=None)
+    def test_no_layer_member_dominated_within_layer(self, rows):
+        values = np.array(rows)
+        for layer in skyline_layers(values):
+            sub = values[layer]
+            assert skyline(sub) == list(range(len(layer)))
+
+
+class TestDominanceMatrix:
+    def test_matches_pairwise_definition(self, rng):
+        values = rng.integers(0, 5, size=(15, 3))
+        matrix = dominance_matrix(values)
+        for i in range(15):
+            for j in range(15):
+                expected = i != j and dominates(values[i], values[j])
+                assert matrix[i, j] == expected
+
+    def test_diagonal_false(self, rng):
+        values = rng.integers(0, 4, size=(8, 2))
+        assert not dominance_matrix(values).diagonal().any()

@@ -1,0 +1,156 @@
+"""Tests for task selection: object ranking and FBS / UBS / HHS."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FrequencyStrategy,
+    HybridStrategy,
+    SelectionContext,
+    UtilityStrategy,
+    expression_frequencies,
+    make_strategy,
+    rank_objects,
+    select_top_k,
+)
+from repro.ctable import Condition, var_greater_const
+from repro.probability import DistributionStore, ProbabilityEngine
+
+V, W, U = (0, 0), (1, 0), (2, 0)
+EV = var_greater_const(0, 0, 1)
+EW = var_greater_const(1, 0, 1)
+EU = var_greater_const(2, 0, 1)
+
+
+def make_engine():
+    pmf = np.full(4, 0.25)
+    return ProbabilityEngine(DistributionStore({V: pmf, W: pmf.copy(), U: pmf.copy()}))
+
+
+class TestRanking:
+    def test_rank_by_entropy(self, movies_ctable, movies_store):
+        engine = ProbabilityEngine(movies_store)
+        ranked = rank_objects(movies_ctable, engine)
+        # Entropies: H(o1)=0.72 > H(o5)=0.67 > H(o4)=0.62 (Example 4).
+        assert [r.obj for r in ranked] == [0, 4, 3]
+
+    def test_select_top_k(self, movies_ctable, movies_store):
+        engine = ProbabilityEngine(movies_store)
+        top2 = select_top_k(movies_ctable, engine, 2)
+        assert [r.obj for r in top2] == [0, 4]
+        assert select_top_k(movies_ctable, engine, 0) == []
+
+    def test_constant_conditions_excluded(self, movies_ctable, movies_store):
+        engine = ProbabilityEngine(movies_store)
+        objs = {r.obj for r in rank_objects(movies_ctable, engine)}
+        assert 1 not in objs and 2 not in objs
+
+
+class TestExpressionFrequencies:
+    def test_counts_across_conditions(self):
+        c1 = Condition.of([[EV, EW]])
+        c2 = Condition.of([[EV], [EU]])
+        counts = expression_frequencies([c1, c2])
+        assert counts[EV] == 2
+        assert counts[EW] == 1
+        assert counts[EU] == 1
+
+    def test_repeats_within_condition_count(self):
+        c = Condition.of([[EV, EW], [EV, EU]])
+        assert expression_frequencies([c])[EV] == 2
+
+
+class TestFBS:
+    def test_picks_most_frequent(self):
+        engine = make_engine()
+        condition = Condition.of([[EV, EW]])
+        context = SelectionContext(engine=engine)
+        context.frequencies.update({EV: 1, EW: 5})
+        chosen = FrequencyStrategy().select_expression(condition, context, set())
+        assert chosen == EW
+
+    def test_respects_banned_variables(self):
+        engine = make_engine()
+        condition = Condition.of([[EV, EW]])
+        context = SelectionContext(engine=engine)
+        context.frequencies.update({EV: 1, EW: 5})
+        chosen = FrequencyStrategy().select_expression(condition, context, {W})
+        assert chosen == EV
+
+    def test_returns_none_when_everything_banned(self):
+        engine = make_engine()
+        condition = Condition.of([[EV]])
+        chosen = FrequencyStrategy().select_expression(
+            condition, SelectionContext(engine=engine), {V}
+        )
+        assert chosen is None
+
+    def test_no_utility_evaluations(self):
+        engine = make_engine()
+        condition = Condition.of([[EV, EW]])
+        context = SelectionContext(engine=engine)
+        FrequencyStrategy().select_expression(condition, context, set())
+        assert context.utility_evaluations == 0
+
+
+class TestUBS:
+    def test_picks_highest_utility(self, movies_ctable, movies_store):
+        """On phi(o1), Example 4 gives e3 the top utility (0.322)."""
+        from repro.ctable import const_greater_var
+
+        engine = ProbabilityEngine(movies_store)
+        condition = movies_ctable.condition(0)
+        chosen = UtilityStrategy().select_expression(
+            condition, SelectionContext(engine=engine), set()
+        )
+        assert chosen == const_greater_var(4, 4, 3)  # Var(o5, a4) < 4
+
+    def test_evaluates_every_candidate(self, movies_ctable, movies_store):
+        engine = ProbabilityEngine(movies_store)
+        condition = movies_ctable.condition(0)
+        context = SelectionContext(engine=engine)
+        UtilityStrategy().select_expression(condition, context, set())
+        assert context.utility_evaluations == 3
+
+
+class TestHHS:
+    def test_matches_ubs_with_large_m(self, movies_ctable, movies_store):
+        engine = ProbabilityEngine(movies_store)
+        context_u = SelectionContext(engine=engine)
+        context_h = SelectionContext(engine=engine)
+        for obj in movies_ctable.undecided():
+            condition = movies_ctable.condition(obj)
+            expected = UtilityStrategy().select_expression(condition, context_u, set())
+            actual = HybridStrategy(m=100).select_expression(condition, context_h, set())
+            assert actual == expected
+
+    def test_early_stop_limits_evaluations(self):
+        engine = make_engine()
+        # Many independent expressions, all with identical utility: after the
+        # first, m consecutive non-improvements stop the scan.
+        exprs = [var_greater_const(o, 0, 1) for o in range(3)]
+        pmf = np.full(4, 0.25)
+        engine = ProbabilityEngine(
+            DistributionStore({(o, 0): pmf.copy() for o in range(3)})
+        )
+        condition = Condition.of([[e] for e in exprs])
+        context = SelectionContext(engine=engine)
+        HybridStrategy(m=1).select_expression(condition, context, set())
+        assert context.utility_evaluations == 2  # first + one miss
+
+    def test_rejects_bad_m(self):
+        with pytest.raises(ValueError):
+            HybridStrategy(m=0)
+
+
+class TestFactory:
+    def test_names(self):
+        assert make_strategy("fbs").name == "fbs"
+        assert make_strategy("UBS").name == "ubs"
+        hhs = make_strategy("hhs", m=7)
+        assert hhs.name == "hhs"
+        assert hhs.m == 7
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_strategy("magic")

@@ -1,0 +1,129 @@
+"""Tests for the crowd-assisted top-k dominating query extension."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import MISSING, IncompleteDataset, generate_nba
+from repro.metrics import f1_score
+from repro.probability import DistributionStore, ProbabilityEngine
+from repro.topk import (
+    CrowdTopKDominating,
+    TopKConfig,
+    build_score_models,
+    dominance_scores,
+    expected_scores,
+    top_k_dominating,
+)
+
+
+class TestGroundTruth:
+    def test_chain_scores(self):
+        values = np.array([[1, 1], [2, 2], [3, 3]])
+        assert dominance_scores(values).tolist() == [0, 1, 2]
+
+    def test_incomparable_objects_score_zero(self):
+        values = np.array([[3, 0], [0, 3]])
+        assert dominance_scores(values).tolist() == [0, 0]
+
+    def test_equal_rows_score_zero(self):
+        values = np.array([[2, 2], [2, 2]])
+        assert dominance_scores(values).tolist() == [0, 0]
+
+    def test_top_k_selection(self):
+        values = np.array([[1, 1], [2, 2], [3, 3], [0, 0]])
+        assert top_k_dominating(values, 2) == [1, 2]
+
+    def test_top_k_tie_break_by_index(self):
+        values = np.array([[3, 0], [0, 3], [1, 1]])
+        # scores: 1, 1, 0 -> top-2 = {0, 1}
+        assert top_k_dominating(values, 2) == [0, 1]
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            top_k_dominating(np.zeros((2, 2)), 0)
+
+
+class TestScoreModels:
+    def _tiny(self):
+        # o1 = (2, ?), o2 = (1, 1), o3 = (3, 3)
+        values = np.array([[2, MISSING], [1, 1], [3, 3]])
+        ds = IncompleteDataset(values=values, domain_sizes=[4, 4])
+        return ds
+
+    def test_certain_victims_counted_in_base(self):
+        ds = self._tiny()
+        models = build_score_models(ds)
+        # o3 = (3,3) certainly dominates o2 = (1,1).
+        assert models[2].base_score >= 1
+
+    def test_uncertain_victims_become_clauses(self):
+        ds = self._tiny()
+        models = build_score_models(ds)
+        # o1 = (2, ?) possibly dominates o2 = (1, 1): escape clause open.
+        assert len(models[0].open_clauses) >= 1
+
+    def test_expected_scores_bounded(self, nba_small):
+        models = build_score_models(nba_small)
+        store = DistributionStore(
+            {v: np.full(nba_small.domain_sizes[v[1]], 1.0 / nba_small.domain_sizes[v[1]])
+             for v in nba_small.variables()}
+        )
+        engine = ProbabilityEngine(store)
+        for obj, score in expected_scores(models, engine).items():
+            lo, hi = models[obj].score_bounds()
+            assert lo - 1e-9 <= score <= hi + 1e-9
+
+    def test_oracle_simplification_recovers_true_scores(self, nba_small):
+        """Resolving every clause against ground truth must yield the exact
+        dominance scores of the complete data."""
+        models = build_score_models(nba_small)
+        assignment = {v: nba_small.true_value(*v) for v in nba_small.variables()}
+        truth = dominance_scores(nba_small.complete)
+        for obj, model in models.items():
+            model.simplify_with(lambda e: e.evaluate(assignment))
+            assert model.decided()
+            assert model.base_score == truth[obj], "score mismatch for %d" % obj
+
+    def test_variance_zero_when_decided(self):
+        model_engine_store = DistributionStore({})
+        engine = ProbabilityEngine(model_engine_store)
+        from repro.topk.scores import ScoredObject
+
+        model = ScoredObject(obj=0, base_score=3)
+        assert model.score_variance(engine) == 0.0
+        assert model.decided()
+
+
+class TestCrowdTopK:
+    def test_unbounded_budget_recovers_truth(self):
+        nba = generate_nba(n_objects=100, missing_rate=0.1, seed=4)
+        truth = top_k_dominating(nba.complete, 8)
+        config = TopKConfig(k=8, budget=10_000, latency=1_000, seed=0)
+        result = CrowdTopKDominating(nba, config).run()
+        assert result.answers == truth
+
+    def test_budget_improves_over_initial(self):
+        nba = generate_nba(n_objects=150, missing_rate=0.15, seed=7)
+        truth = top_k_dominating(nba.complete, 10)
+        config = TopKConfig(k=10, budget=60, latency=6, seed=0)
+        result = CrowdTopKDominating(nba, config).run()
+        assert f1_score(result.answers, truth) >= f1_score(result.initial_answers, truth)
+
+    def test_constraints_respected(self):
+        nba = generate_nba(n_objects=100, missing_rate=0.1, seed=4)
+        config = TopKConfig(k=5, budget=14, latency=3, seed=0)
+        result = CrowdTopKDominating(nba, config).run()
+        assert result.tasks_posted <= 14
+        assert result.rounds <= 3
+        assert len(result.answers) == 5
+
+    def test_k_larger_than_dataset_rejected(self):
+        nba = generate_nba(n_objects=20, missing_rate=0.1, seed=4)
+        with pytest.raises(ValueError):
+            CrowdTopKDominating(nba, TopKConfig(k=30))
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            TopKConfig(k=0)
+        with pytest.raises(ValueError):
+            TopKConfig(budget=-1)

@@ -1,0 +1,141 @@
+"""Tests for entropy and the marginal utility function (Eqs. 3-5)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import entropy, marginal_utility, object_entropy
+from repro.ctable import Condition, var_greater_const, var_greater_var
+from repro.probability import DistributionStore, ProbabilityEngine
+
+V, W = (0, 0), (1, 0)
+
+
+def engine_for(pmfs):
+    return ProbabilityEngine(DistributionStore(pmfs))
+
+
+class TestEntropy:
+    def test_fair_coin_is_one(self):
+        assert entropy(0.5) == pytest.approx(1.0)
+
+    def test_endpoints_are_zero(self):
+        assert entropy(0.0) == 0.0
+        assert entropy(1.0) == 0.0
+        assert entropy(-0.1) == 0.0
+        assert entropy(1.1) == 0.0
+
+    def test_symmetric(self):
+        assert entropy(0.2) == pytest.approx(entropy(0.8))
+
+    def test_paper_values(self):
+        # Example 4: H(o1)=0.72 at p=0.8, H(o4)=0.62 at p=0.153,
+        # H(o5)=0.67 at p=0.823.
+        assert entropy(0.8) == pytest.approx(0.72, abs=0.005)
+        assert entropy(0.153) == pytest.approx(0.62, abs=0.005)
+        assert entropy(0.823) == pytest.approx(0.67, abs=0.005)
+
+    @given(st.floats(0.0, 1.0))
+    def test_bounds(self, p):
+        assert 0.0 <= entropy(p) <= 1.0
+
+
+class TestObjectEntropy:
+    def test_constant_conditions_zero(self, movies_store):
+        engine = ProbabilityEngine(movies_store)
+        assert object_entropy(Condition.true(), engine) == 0.0
+        assert object_entropy(Condition.false(), engine) == 0.0
+
+    def test_paper_example(self, movies_ctable, movies_store):
+        engine = ProbabilityEngine(movies_store)
+        assert object_entropy(movies_ctable.condition(0), engine) == pytest.approx(
+            0.722, abs=1e-3
+        )
+
+
+class TestMarginalUtility:
+    def test_resolving_expression_of_certain_condition_is_zero(self):
+        engine = engine_for({V: np.array([0.0, 1.0])})
+        c = Condition.of([[var_greater_const(0, 0, 0)]])  # Pr = 1
+        assert marginal_utility(c, var_greater_const(0, 0, 0), engine) == 0.0
+
+    def test_single_expression_utility_is_full_entropy(self):
+        engine = engine_for({V: np.full(4, 0.25)})
+        c = Condition.of([[var_greater_const(0, 0, 1)]])  # Pr = 0.5
+        gain = marginal_utility(c, var_greater_const(0, 0, 1), engine)
+        # Resolving the only expression resolves the condition entirely.
+        assert gain == pytest.approx(1.0)
+
+    def test_paper_example_o1_utilities(self, movies_ctable, movies_store):
+        """Example 4: G(o1,e1)=0.072, G(o1,e2)=0.157, G(o1,e3)=0.322."""
+        from repro.ctable import const_greater_var
+
+        engine = ProbabilityEngine(movies_store)
+        condition = movies_ctable.condition(0)
+        e1 = const_greater_var(2, 4, 1)  # Var(o5,a2) < 2
+        e2 = const_greater_var(3, 4, 2)  # Var(o5,a3) < 3
+        e3 = const_greater_var(4, 4, 3)  # Var(o5,a4) < 4
+        assert marginal_utility(condition, e1, engine) == pytest.approx(0.072, abs=2e-3)
+        assert marginal_utility(condition, e2, engine) == pytest.approx(0.157, abs=2e-3)
+        assert marginal_utility(condition, e3, engine) == pytest.approx(0.322, abs=2e-3)
+
+    def test_unknown_mode_rejected(self, movies_ctable, movies_store):
+        engine = ProbabilityEngine(movies_store)
+        with pytest.raises(ValueError):
+            marginal_utility(
+                movies_ctable.condition(0),
+                next(iter(movies_ctable.condition(0).expressions())),
+                engine,
+                mode="magic",
+            )
+
+    def test_conditional_mode_single_expression(self):
+        engine = engine_for({V: np.full(4, 0.25)})
+        c = Condition.of([[var_greater_const(0, 0, 1)]])
+        gain = marginal_utility(c, var_greater_const(0, 0, 1), engine, mode="conditional")
+        # Proper conditioning also fully resolves a single-expression condition.
+        assert gain == pytest.approx(1.0)
+
+    def test_conditional_mode_never_exceeds_entropy(self, movies_ctable, movies_store):
+        engine = ProbabilityEngine(movies_store)
+        for obj in movies_ctable.undecided():
+            condition = movies_ctable.condition(obj)
+            h = object_entropy(condition, engine)
+            for expression in condition.distinct_expressions():
+                gain = marginal_utility(condition, expression, engine, mode="conditional")
+                assert gain <= h + 1e-9
+                # Information never hurts under proper conditioning.
+                assert gain >= -1e-9
+
+    def test_syntactic_matches_conditional_when_variable_unique(
+        self, movies_ctable, movies_store
+    ):
+        """When an expression's variables occur nowhere else in the condition,
+        the paper's syntactic substitution IS proper conditioning."""
+        engine = ProbabilityEngine(movies_store)
+        condition = movies_ctable.condition(0)  # each variable occurs once
+        for expression in condition.distinct_expressions():
+            syntactic = marginal_utility(condition, expression, engine)
+            conditional = marginal_utility(
+                condition, expression, engine, mode="conditional"
+            )
+            assert syntactic == pytest.approx(conditional, abs=1e-9)
+
+    def test_syntactic_mode_may_go_negative_with_repeated_variables(
+        self, movies_ctable, movies_store
+    ):
+        """The syntactic approximation ignores the correlation between an
+        expression and other occurrences of its variables, so its "gain"
+        can dip below zero (unlike proper conditioning) -- a documented
+        property of the paper's Eq. 5 evaluation, exercised by phi(o5)."""
+        engine = ProbabilityEngine(movies_store)
+        condition = movies_ctable.condition(4)
+        gains = [
+            marginal_utility(condition, e, engine)
+            for e in condition.distinct_expressions()
+        ]
+        assert min(gains) < 0.0
+        assert max(gains) > 0.0

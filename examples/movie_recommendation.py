@@ -15,7 +15,7 @@ Run:
 
 import numpy as np
 
-from repro import BayesCrowd, BayesCrowdConfig, f1_score, skyline
+from repro import BayesCrowd, BayesCrowdConfig, skyline
 from repro.bayesnet import BayesianNetwork, dag_from_edges, random_cpt
 from repro.datasets import balanced_mcar_mask, from_complete
 

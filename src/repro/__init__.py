@@ -17,8 +17,22 @@ from .core import (
     marginal_utility,
     run_bayescrowd,
 )
-from .crowd import ComparisonTask, SimulatedCrowdPlatform, WorkerPool
+from .crowd import (
+    ComparisonTask,
+    FaultModel,
+    SimulatedCrowdPlatform,
+    UnreliableCrowdPlatform,
+    WorkerPool,
+)
 from .ctable import CTable, Condition, Expression, Relation, build_ctable
+from .errors import (
+    CheckpointError,
+    ConflictingBatchError,
+    DuplicateTaskError,
+    PlatformFatalError,
+    PlatformTransientError,
+    TaskExpiredError,
+)
 from .datasets import (
     MISSING,
     IncompleteDataset,
@@ -28,7 +42,15 @@ from .datasets import (
     sample_dataset,
 )
 from .metrics import accuracy_report, f1_score
-from .persistence import load_dataset, load_result, save_dataset, save_result
+from .persistence import (
+    QueryCheckpoint,
+    load_checkpoint,
+    load_dataset,
+    load_result,
+    save_checkpoint,
+    save_dataset,
+    save_result,
+)
 from .probability import ADPLL, DistributionStore, ProbabilityEngine
 from .skyband import CrowdSkyband, SkybandConfig, skyband
 from .skyline import skyline, skyline_layers
@@ -67,6 +89,17 @@ __all__ = [
     "load_dataset",
     "save_result",
     "load_result",
+    "QueryCheckpoint",
+    "save_checkpoint",
+    "load_checkpoint",
+    "FaultModel",
+    "UnreliableCrowdPlatform",
+    "CheckpointError",
+    "ConflictingBatchError",
+    "DuplicateTaskError",
+    "PlatformFatalError",
+    "PlatformTransientError",
+    "TaskExpiredError",
     "ADPLL",
     "DistributionStore",
     "ProbabilityEngine",

@@ -17,6 +17,8 @@ import sys
 from typing import List, Optional
 
 from .core import BayesCrowd, BayesCrowdConfig
+from .crowd.unreliable import FaultModel
+from .errors import CheckpointError
 from .datasets import (
     example_distributions,
     generate_nba,
@@ -50,11 +52,59 @@ def build_parser() -> argparse.ArgumentParser:
         "--worker-accuracy", type=float, default=1.0, help="simulated worker accuracy"
     )
     parser.add_argument("--seed", type=int, default=0)
+    fault = parser.add_argument_group("fault injection (unreliable crowd)")
+    fault.add_argument(
+        "--drop-rate", type=float, default=0.0,
+        help="per-task probability that no worker answers it",
+    )
+    fault.add_argument(
+        "--spam-fraction", type=float, default=0.0,
+        help="per-task probability the answer comes from a random spammer",
+    )
+    fault.add_argument(
+        "--transient-every", type=int, default=0,
+        help="every Nth batch post fails transiently (0 disables)",
+    )
+    resilience = parser.add_argument_group("resilience")
+    resilience.add_argument(
+        "--max-retries", type=int, default=3,
+        help="batch re-posts after transient platform errors",
+    )
+    resilience.add_argument(
+        "--requeue-policy", choices=["requeue", "refund"], default="requeue",
+        help="what happens to unanswered tasks",
+    )
+    resilience.add_argument(
+        "--checkpoint", metavar="PATH", default=None,
+        help="write a round-level checkpoint to PATH after every round",
+    )
+    resilience.add_argument(
+        "--resume", action="store_true",
+        help="resume from --checkpoint PATH if it exists",
+    )
     return parser
+
+
+def _fault_model(args) -> "FaultModel | None":
+    if args.drop_rate == 0.0 and args.spam_fraction == 0.0 and args.transient_every == 0:
+        return None
+    return FaultModel(
+        drop_rate=args.drop_rate,
+        spam_fraction=args.spam_fraction,
+        transient_every=args.transient_every,
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.resume and not args.checkpoint:
+        print("--resume needs --checkpoint PATH", file=sys.stderr)
+        return 2
+    try:
+        faults = _fault_model(args)
+    except ValueError as err:
+        print("invalid fault rate: %s" % err, file=sys.stderr)
+        return 2
 
     if args.dataset == "movies":
         dataset = sample_dataset()
@@ -67,6 +117,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             m=args.m,
             worker_accuracy=args.worker_accuracy,
             distribution_source="uniform",
+            max_retries=args.max_retries,
+            requeue_policy=args.requeue_policy,
+            faults=faults,
             seed=args.seed,
         )
         query = BayesCrowd(dataset, config, distributions=distributions)
@@ -86,6 +139,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             strategy=args.strategy,
             m=args.m,
             worker_accuracy=args.worker_accuracy,
+            max_retries=args.max_retries,
+            requeue_policy=args.requeue_policy,
+            faults=faults,
             seed=args.seed,
         )
         query = BayesCrowd(dataset, config)
@@ -94,16 +150,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         "dataset %s: %d objects x %d attributes, missing rate %.2f"
         % (dataset.name, dataset.n_objects, dataset.n_attributes, dataset.missing_rate)
     )
-    result = query.run()
+    try:
+        result = query.run(checkpoint_path=args.checkpoint, resume=args.resume)
+    except CheckpointError as err:
+        print("cannot resume: %s" % err, file=sys.stderr)
+        return 2
     truth = skyline(dataset.complete)
     report = accuracy_report(result.answers, truth)
     initial = accuracy_report(result.initial_answers, truth)
 
     print("strategy %s | budget %d | latency %d" % (args.strategy, args.budget, args.latency))
     print(
-        "posted %d tasks in %d rounds; algorithm time %.2fs (modeling %.2fs)"
-        % (result.tasks_posted, result.rounds, result.seconds, result.modeling_seconds)
+        "posted %d tasks (%d answered) in %d rounds; algorithm time %.2fs "
+        "(modeling %.2fs)"
+        % (
+            result.tasks_posted,
+            result.tasks_answered,
+            result.rounds,
+            result.seconds,
+            result.modeling_seconds,
+        )
     )
+    if result.resumed:
+        print("resumed from checkpoint %s" % args.checkpoint)
+    if result.degraded:
+        faults_text = ", ".join(
+            "%s=%d" % (key, value) for key, value in sorted(result.fault_counts.items())
+        )
+        print("DEGRADED run: platform faults cost information (%s)" % faults_text)
     print("machine-only F1 %.3f -> crowd-assisted F1 %.3f (%s)" % (
         initial.f1, report.f1, report))
     print("answers: %d objects (%d certain)" % (

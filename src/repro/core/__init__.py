@@ -1,6 +1,6 @@
 """BayesCrowd core: the paper's primary contribution."""
 
-from .config import DISTRIBUTION_SOURCES, BayesCrowdConfig
+from .config import DISTRIBUTION_SOURCES, REQUEUE_POLICIES, BayesCrowdConfig
 from .framework import BayesCrowd, learn_distributions, run_bayescrowd
 from .result import QueryResult, RoundRecord
 from .selection import RankedObject, rank_objects, select_top_k
@@ -17,6 +17,7 @@ from .utility import UTILITY_MODES, entropy, marginal_utility, object_entropy
 
 __all__ = [
     "DISTRIBUTION_SOURCES",
+    "REQUEUE_POLICIES",
     "BayesCrowdConfig",
     "BayesCrowd",
     "learn_distributions",

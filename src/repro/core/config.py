@@ -3,13 +3,19 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
+from ..crowd.unreliable import FaultModel
 from ..ctable.constraints import INFERENCE_MODES
 from ..probability.engine import METHODS
 from .utility import UTILITY_MODES
 
 #: How the per-variable distributions are obtained in preprocessing.
 DISTRIBUTION_SOURCES = ("bayesnet", "empirical", "uniform")
+
+#: What happens to tasks the platform never answered: repost them in the
+#: next round ("requeue") or just not charge their budget ("refund").
+REQUEUE_POLICIES = ("requeue", "refund")
 
 
 @dataclass
@@ -60,6 +66,18 @@ class BayesCrowdConfig:
     calibration_questions: int = 20
     #: accuracy of simulated workers (used when no platform is supplied)
     worker_accuracy: float = 1.0
+    #: max re-posts of a batch after transient platform errors
+    max_retries: int = 3
+    #: first backoff delay in seconds (doubled per retry, jittered, capped)
+    backoff_base: float = 0.05
+    #: upper bound on one backoff delay in seconds
+    backoff_cap: float = 2.0
+    #: unanswered tasks: "requeue" (repost next round) or "refund" (drop,
+    #: budget is only ever charged for answered tasks either way)
+    requeue_policy: str = "requeue"
+    #: fault injection applied to the auto-constructed simulated platform
+    #: (None = reliable oracle platform; see repro.crowd.FaultModel)
+    faults: Optional[FaultModel] = None
     #: RNG seed for every stochastic component of the run
     seed: int = 0
 
@@ -94,6 +112,25 @@ class BayesCrowdConfig:
             raise ValueError("unknown aggregation %r" % self.aggregation)
         if self.calibration_questions < 1:
             raise ValueError("calibration_questions must be positive")
+        if self.assignments_per_task < 1:
+            raise ValueError("assignments_per_task must be at least 1")
+        if self.bn_smoothing < 0.0:
+            raise ValueError("bn_smoothing must be non-negative")
+        if self.bn_max_parents < 0:
+            raise ValueError("bn_max_parents must be non-negative")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.backoff_base < 0.0:
+            raise ValueError("backoff_base must be non-negative")
+        if self.backoff_cap < self.backoff_base:
+            raise ValueError("backoff_cap must be at least backoff_base")
+        if self.requeue_policy not in REQUEUE_POLICIES:
+            raise ValueError(
+                "unknown requeue policy %r; expected one of %r"
+                % (self.requeue_policy, REQUEUE_POLICIES)
+            )
+        if self.faults is not None and not isinstance(self.faults, FaultModel):
+            raise ValueError("faults must be a FaultModel or None")
 
     def tasks_per_round(self) -> int:
         """``mu = ceil(B / L)`` (Algorithm 4, line 1)."""

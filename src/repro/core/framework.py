@@ -13,6 +13,15 @@ Orchestrates the full pipeline:
 4. Answer inference: objects with ``phi = true`` or ``Pr(phi)`` above the
    answer threshold.
 
+The crowdsourcing loop is fault tolerant: the platform may answer only a
+subset of a batch (unanswered tasks are requeued or refunded -- budget is
+only ever charged for *answered* tasks, matching the paper's cost model),
+transient platform errors are retried with bounded exponential backoff,
+expired tasks are refunded and abandoned, and fatal errors end the run
+gracefully with ``QueryResult.degraded`` set instead of crashing.  With a
+``checkpoint_path`` the run snapshots its answer state after every round
+and can resume (``resume=True``) without re-spending crowd budget.
+
 Reported execution time excludes the (simulated) workers' answering time,
 matching the paper's measurement ("execution time of algorithms, which
 excludes the time of workers answering tasks").
@@ -22,7 +31,8 @@ from __future__ import annotations
 
 import logging
 import time
-from typing import Dict, List, Optional
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -34,9 +44,16 @@ from ..bayesnet.posteriors import (
 )
 from ..crowd.platform import SimulatedCrowdPlatform
 from ..crowd.task import ComparisonTask
+from ..crowd.unreliable import UnreliableCrowdPlatform
 from ..ctable.construction import build_ctable
 from ..ctable.ctable import CTable
 from ..datasets.dataset import IncompleteDataset, Variable
+from ..errors import (
+    CheckpointError,
+    PlatformFatalError,
+    PlatformTransientError,
+    TaskExpiredError,
+)
 from ..probability.distributions import DistributionStore
 from ..probability.engine import ProbabilityEngine
 from .config import BayesCrowdConfig
@@ -149,6 +166,12 @@ class BayesCrowd:
                 rng=platform_rng,
                 aggregator=aggregator,
             )
+            if self.config.faults is not None and self.config.faults.any_faults():
+                platform = UnreliableCrowdPlatform(
+                    platform,
+                    self.config.faults,
+                    rng=np.random.default_rng(self.config.seed + 2),
+                )
         self.platform = platform
         if distributions is None:
             distributions = learn_distributions(dataset, self.config, network=network)
@@ -159,8 +182,18 @@ class BayesCrowd:
         self.engine: Optional[ProbabilityEngine] = None
 
     # ------------------------------------------------------------------
-    def run(self) -> QueryResult:
-        """Execute the query and return the answer set with run statistics."""
+    def run(
+        self,
+        checkpoint_path: Optional[Union[str, Path]] = None,
+        resume: bool = False,
+    ) -> QueryResult:
+        """Execute the query and return the answer set with run statistics.
+
+        With ``checkpoint_path`` the answer state, remaining budget and
+        round history are snapshotted after every crowdsourcing round;
+        ``resume=True`` continues from such a snapshot (if the file
+        exists) instead of re-spending crowd budget.
+        """
         config = self.config
         start = time.perf_counter()
 
@@ -187,18 +220,39 @@ class BayesCrowd:
         budget = config.budget
         mu = config.tasks_per_round()
         history: List[RoundRecord] = []
-        while (
-            budget > 0
-            and len(history) < config.latency
-            and ctable.has_open_expressions()
-        ):
+        #: every answer folded into the c-table, in order (for checkpoints)
+        answer_log: List[Tuple] = []
+        #: unanswered tasks carried into the next round (requeue policy)
+        pending: List[ComparisonTask] = []
+        fault_totals: Dict[str, int] = {}
+        degraded = False
+        resumed = False
+        if resume and checkpoint_path is not None:
+            restored = self._restore_checkpoint(checkpoint_path, ctable)
+            if restored is not None:
+                budget, history, answer_log, pending, fault_totals, degraded = restored
+                resumed = True
+        fatal = False
+        while budget > 0 and len(history) < config.latency and not fatal:
             round_start = time.perf_counter()
-            k = min(budget, mu)
-            ranked = rank_objects(ctable, engine)
-            if not ranked:
+            # Requeued tasks that other answers already decided are moot:
+            # drop them instead of paying the crowd for known relations.
+            pending = [t for t in pending if self._task_still_open(ctable, t)]
+            if not pending and not ctable.has_open_expressions():
                 break
+            k = min(budget, mu)
+            tasks: List[ComparisonTask] = list(pending[:k])
+            leftover_pending = pending[k:]
+            banned = set()
+            objects: List[int] = []
+            for task in tasks:
+                banned.update(task.variables())
+                objects.append(task.for_object)
+            ranked = rank_objects(ctable, engine)
             if (
-                config.entropy_epsilon > 0.0
+                not tasks
+                and ranked
+                and config.entropy_epsilon > 0.0
                 and ranked[0].entropy < config.entropy_epsilon
             ):
                 # Every undecided object is already near-certain; further
@@ -209,31 +263,30 @@ class BayesCrowd:
                     config.entropy_epsilon,
                 )
                 break
-            # Expression frequencies are counted over the chosen top-k
-            # objects' conditions (Section 6.2, step two).
-            context = SelectionContext(
-                engine=engine,
-                frequencies=expression_frequencies(
-                    [ctable.condition(r.obj) for r in ranked[:k]]
-                ),
-                utility_mode=config.utility_mode,
-            )
-            banned = set()
-            tasks: List[ComparisonTask] = []
-            objects: List[int] = []
-            # Walk the full ranking so a conflict-skipped slot is refilled
-            # by the next most uncertain object, keeping rounds at size k.
-            for r in ranked:
-                if len(tasks) >= k:
-                    break
-                expression = self._strategy.select_expression(
-                    ctable.condition(r.obj), context, banned
+            if ranked and len(tasks) < k:
+                # Expression frequencies are counted over the chosen top-k
+                # objects' conditions (Section 6.2, step two).
+                context = SelectionContext(
+                    engine=engine,
+                    frequencies=expression_frequencies(
+                        [ctable.condition(r.obj) for r in ranked[:k]]
+                    ),
+                    utility_mode=config.utility_mode,
                 )
-                if expression is None:
-                    continue
-                banned.update(expression.variables())
-                tasks.append(ComparisonTask(expression, for_object=r.obj))
-                objects.append(r.obj)
+                # Walk the full ranking so a conflict-skipped slot is
+                # refilled by the next most uncertain object, keeping
+                # rounds at size k.
+                for r in ranked:
+                    if len(tasks) >= k:
+                        break
+                    expression = self._strategy.select_expression(
+                        ctable.condition(r.obj), context, banned
+                    )
+                    if expression is None:
+                        continue
+                    banned.update(expression.variables())
+                    tasks.append(ComparisonTask(expression, for_object=r.obj))
+                    objects.append(r.obj)
             if not tasks:
                 break
             if self.platform is None:
@@ -243,18 +296,36 @@ class BayesCrowd:
                 )
 
             post_start = time.perf_counter()
-            answers = self.platform.post_batch(tasks)
+            answers, round_faults, fatal, abandoned = self._post_with_retries(tasks)
             crowd_wait += time.perf_counter() - post_start
 
             open_before = len(ctable.undecided())
             for task, relation in answers.items():
                 ctable.apply_answer(task.expression, relation)
+                answer_log.append((task.expression, relation))
             open_after = len(ctable.undecided())
-            budget -= len(tasks)
+            # The paper's cost model charges per answered task; no-shows
+            # and expired tasks are refunds, not spend.
+            budget -= len(answers)
+            unanswered = [
+                t for t in tasks if t not in answers and t.task_id not in abandoned
+            ]
+            if unanswered:
+                round_faults["unanswered"] = len(unanswered)
+            if config.requeue_policy == "requeue":
+                pending = leftover_pending + unanswered
+            else:
+                pending = leftover_pending
+            for key, value in round_faults.items():
+                fault_totals[key] = fault_totals.get(key, 0) + value
+            if unanswered or abandoned or round_faults.get("failed_round") or fatal:
+                degraded = True
             logger.debug(
-                "round %d: %d tasks, %d conditions still open, budget %d left",
+                "round %d: %d tasks posted, %d answered, %d conditions still "
+                "open, budget %d left",
                 len(history) + 1,
                 len(tasks),
+                len(answers),
                 open_after,
                 budget,
             )
@@ -266,8 +337,21 @@ class BayesCrowd:
                     newly_decided=open_before - open_after,
                     open_conditions=open_after,
                     seconds=time.perf_counter() - round_start,
+                    tasks_answered=len(answers),
+                    retries=round_faults.get("transient_retries", 0),
+                    faults=dict(round_faults),
                 )
             )
+            if checkpoint_path is not None:
+                self._write_checkpoint(
+                    checkpoint_path,
+                    budget,
+                    history,
+                    answer_log,
+                    pending,
+                    fault_totals,
+                    degraded,
+                )
 
         answers = ctable.result_set(engine.probability, config.answer_threshold)
         probabilities: Dict[int, float] = {}
@@ -283,6 +367,7 @@ class BayesCrowd:
             tasks_posted=sum(r.tasks_posted for r in history),
             rounds=len(history),
             seconds=total_seconds,
+            tasks_answered=sum(r.tasks_answered for r in history),
             modeling_seconds=modeling_seconds,
             history=history,
             initial_answers=initial_answers,
@@ -291,6 +376,172 @@ class BayesCrowd:
                 "computations": engine.n_computations,
                 "cache_hits": engine.n_cache_hits,
             },
+            degraded=degraded,
+            fault_counts=fault_totals,
+            resumed=resumed,
+        )
+
+    # ------------------------------------------------------------------
+    # fault handling
+    # ------------------------------------------------------------------
+    def _post_with_retries(self, tasks: List[ComparisonTask]):
+        """Post a batch, absorbing the platform's typed failures.
+
+        Returns ``(answers, faults, fatal, abandoned)``: the (possibly
+        partial) answers, per-round fault counters, whether the platform
+        failed fatally, and the ids of tasks abandoned as expired.
+        """
+        config = self.config
+        faults: Dict[str, int] = {}
+        abandoned: set = set()
+        remaining = list(tasks)
+        retries = 0
+        while True:
+            if not remaining:
+                return {}, faults, False, abandoned
+            try:
+                return self.platform.post_batch(remaining), faults, False, abandoned
+            except TaskExpiredError as err:
+                expired_ids = {t.task_id for t in err.tasks}
+                expired = [t for t in remaining if t.task_id in expired_ids]
+                if not expired:
+                    # A platform expiring tasks we did not post cannot make
+                    # progress; give the round up instead of looping.
+                    faults["failed_round"] = 1
+                    return {}, faults, False, abandoned
+                faults["expired"] = faults.get("expired", 0) + len(expired)
+                abandoned.update(t.task_id for t in expired)
+                remaining = [t for t in remaining if t.task_id not in expired_ids]
+                logger.warning(
+                    "%d task(s) expired and were refunded; reposting %d",
+                    len(expired),
+                    len(remaining),
+                )
+            except PlatformTransientError as err:
+                if retries >= config.max_retries:
+                    logger.warning(
+                        "round abandoned after %d retries: %s", retries, err
+                    )
+                    faults["failed_round"] = 1
+                    return {}, faults, False, abandoned
+                retries += 1
+                faults["transient_retries"] = retries
+                delay = min(
+                    config.backoff_cap, config.backoff_base * (2 ** (retries - 1))
+                )
+                delay *= 0.5 + self._rng.random()  # jitter in [0.5x, 1.5x)
+                logger.debug(
+                    "transient platform error (%s); retry %d/%d in %.2fs",
+                    err,
+                    retries,
+                    config.max_retries,
+                    delay,
+                )
+                if delay > 0:
+                    time.sleep(delay)
+            except PlatformFatalError as err:
+                logger.error("fatal platform error, degrading: %s", err)
+                faults["fatal"] = 1
+                return {}, faults, True, abandoned
+
+    @staticmethod
+    def _task_still_open(ctable: CTable, task: ComparisonTask) -> bool:
+        """Is answering this (requeued) task still worth crowd money?"""
+        if ctable.constraints.resolve(task.expression) is not None:
+            return False
+        for variable in task.expression.variables():
+            for obj in ctable.objects_mentioning(variable):
+                if task.expression in ctable.condition(obj).distinct_expressions():
+                    return True
+        return False
+
+    # ------------------------------------------------------------------
+    # checkpoint / resume
+    # ------------------------------------------------------------------
+    def _fingerprint(self) -> Dict[str, object]:
+        """Identity of the query a checkpoint belongs to.
+
+        Latency is deliberately excluded so an interrupted run may resume
+        with a larger round allowance.
+        """
+        config = self.config
+        return {
+            "dataset": self.dataset.name,
+            "n_objects": self.dataset.n_objects,
+            "seed": config.seed,
+            "budget": config.budget,
+            "strategy": config.strategy,
+            "alpha": config.alpha,
+            "answer_threshold": config.answer_threshold,
+        }
+
+    def _write_checkpoint(
+        self, path, budget_left, history, answer_log, pending, fault_totals, degraded
+    ) -> None:
+        from ..persistence import QueryCheckpoint, save_checkpoint
+
+        platform_state = None
+        state_fn = getattr(self.platform, "state_dict", None)
+        if callable(state_fn):
+            platform_state = state_fn()
+        save_checkpoint(
+            path,
+            QueryCheckpoint(
+                fingerprint=self._fingerprint(),
+                budget_left=budget_left,
+                answer_log=list(answer_log),
+                pending=[(t.expression, t.for_object) for t in pending],
+                history=list(history),
+                fault_totals=dict(fault_totals),
+                degraded=degraded,
+                rng_state=self._rng.bit_generator.state,
+                platform_state=platform_state,
+            ),
+        )
+
+    def _restore_checkpoint(self, path, ctable: CTable):
+        """Fold a checkpoint back into a freshly built c-table.
+
+        Returns the restored loop state, or ``None`` when no checkpoint
+        file exists yet (a first run with ``resume=True`` just starts).
+        """
+        from ..persistence import load_checkpoint
+
+        if not Path(path).exists():
+            return None
+        checkpoint = load_checkpoint(path)
+        if checkpoint.fingerprint != self._fingerprint():
+            raise CheckpointError(
+                "checkpoint at %s belongs to a different query: %r != %r"
+                % (path, checkpoint.fingerprint, self._fingerprint())
+            )
+        for expression, relation in checkpoint.answer_log:
+            ctable.apply_answer(expression, relation)
+        pending = [
+            ComparisonTask(expression, for_object=obj)
+            for expression, obj in checkpoint.pending
+        ]
+        if checkpoint.rng_state is not None:
+            self._rng.bit_generator.state = checkpoint.rng_state
+        if checkpoint.platform_state is not None and hasattr(
+            self.platform, "load_state_dict"
+        ):
+            self.platform.load_state_dict(checkpoint.platform_state)
+        logger.info(
+            "resumed from %s: %d round(s) done, %d answer(s) replayed, "
+            "budget %d left",
+            path,
+            len(checkpoint.history),
+            len(checkpoint.answer_log),
+            checkpoint.budget_left,
+        )
+        return (
+            checkpoint.budget_left,
+            list(checkpoint.history),
+            list(checkpoint.answer_log),
+            pending,
+            dict(checkpoint.fault_totals),
+            checkpoint.degraded,
         )
 
 

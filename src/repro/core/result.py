@@ -21,6 +21,18 @@ class RoundRecord:
     #: remaining symbolic conditions after the round
     open_conditions: int
     seconds: float
+    #: tasks that actually came back answered (== tasks_posted on a
+    #: reliable platform; only these are charged against the budget)
+    tasks_answered: Optional[int] = None
+    #: batch re-posts forced by transient platform errors this round
+    retries: int = 0
+    #: per-round fault accounting, e.g. {"unanswered": 2, "expired": 1,
+    #: "transient_retries": 1, "failed_round": 1, "fatal": 1}
+    faults: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.tasks_answered is None:
+            self.tasks_answered = self.tasks_posted
 
 
 @dataclass
@@ -37,6 +49,9 @@ class QueryResult:
     rounds: int
     #: algorithm execution time, excluding (simulated) worker answering
     seconds: float
+    #: total tasks answered by the crowd (== budget actually spent;
+    #: equals tasks_posted on a fully reliable platform)
+    tasks_answered: Optional[int] = None
     #: wall time of the modeling phase (c-table construction)
     modeling_seconds: float = 0.0
     history: List[RoundRecord] = field(default_factory=list)
@@ -46,6 +61,17 @@ class QueryResult:
     answer_probabilities: Dict[int, float] = field(default_factory=dict)
     #: probability-engine counters (computations, cache hits)
     engine_stats: Dict[str, int] = field(default_factory=dict)
+    #: True when platform faults cost the run information it had budget
+    #: for (unanswered/expired tasks, exhausted retries, fatal failure)
+    degraded: bool = False
+    #: run-level fault totals (sums of the per-round RoundRecord.faults)
+    fault_counts: Dict[str, int] = field(default_factory=dict)
+    #: True when this run was resumed from a round-level checkpoint
+    resumed: bool = False
+
+    def __post_init__(self) -> None:
+        if self.tasks_answered is None:
+            self.tasks_answered = self.tasks_posted
 
     def evaluate(self, ground_truth: List[int]) -> AccuracyReport:
         """F1 of the answer set against the complete-data skyline."""

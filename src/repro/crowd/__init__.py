@@ -1,7 +1,13 @@
 """Simulated crowdsourcing substrate: tasks, workers, platform, quality."""
 
 from .aggregation import majority_vote
-from .platform import ConflictingBatchError, CrowdStats, SimulatedCrowdPlatform
+from .platform import (
+    ConflictingBatchError,
+    CrowdPlatform,
+    CrowdStats,
+    DuplicateTaskError,
+    SimulatedCrowdPlatform,
+)
 from .quality import (
     estimate_worker_accuracies,
     filter_pool,
@@ -9,13 +15,18 @@ from .quality import (
     weighted_vote,
 )
 from .task import ComparisonTask
+from .unreliable import FaultModel, UnreliableCrowdPlatform
 from .worker import SimulatedWorker, WorkerPool
 
 __all__ = [
     "majority_vote",
     "ConflictingBatchError",
+    "CrowdPlatform",
     "CrowdStats",
+    "DuplicateTaskError",
+    "FaultModel",
     "SimulatedCrowdPlatform",
+    "UnreliableCrowdPlatform",
     "estimate_worker_accuracies",
     "filter_pool",
     "make_weighted_aggregator",

@@ -5,6 +5,12 @@ confidence ``w``" (Section 7); an incorrect worker picks uniformly among
 the two wrong options of the triple choice.  The paper's default is
 perfect workers (``w = 1.0``) so worker noise never confounds the other
 factors; Figure 9 sweeps ``w`` from 0.7 to 1.0.
+
+Real workers also *abstain*: they accept an assignment and never submit
+(the dominant failure mode on AMT).  ``abstain_rate`` models this; an
+abstaining worker contributes no vote, and a task all of whose workers
+abstained comes back unanswered (the platform's partial-answer
+contract).
 """
 
 from __future__ import annotations
@@ -26,13 +32,22 @@ class SimulatedWorker:
     worker_id: int
     accuracy: float
     rng: np.random.Generator
+    #: probability the worker never submits an accepted assignment
+    abstain_rate: float = 0.0
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.accuracy <= 1.0:
             raise ValueError("accuracy must lie in [0, 1]")
+        if not 0.0 <= self.abstain_rate <= 1.0:
+            raise ValueError("abstain_rate must lie in [0, 1]")
 
-    def answer(self, true_relation: Relation) -> Relation:
-        """Answer a triple-choice task given its ground-truth relation."""
+    def answer(self, true_relation: Relation) -> Optional[Relation]:
+        """Answer a triple-choice task given its ground-truth relation.
+
+        Returns ``None`` when the worker abstains (no vote submitted).
+        """
+        if self.abstain_rate > 0.0 and self.rng.random() < self.abstain_rate:
+            return None
         if self.rng.random() < self.accuracy:
             return true_relation
         wrong = [r for r in _ALL_RELATIONS if r is not true_relation]
@@ -52,12 +67,15 @@ class WorkerPool:
         accuracies,
         rng: Optional[np.random.Generator] = None,
         size: int = 30,
+        abstain_rate: float = 0.0,
     ) -> None:
         rng = rng or np.random.default_rng(0)
         if np.isscalar(accuracies):
             accuracies = [float(accuracies)] * size
         self.workers: List[SimulatedWorker] = [
-            SimulatedWorker(worker_id=i, accuracy=float(a), rng=rng)
+            SimulatedWorker(
+                worker_id=i, accuracy=float(a), rng=rng, abstain_rate=abstain_rate
+            )
             for i, a in enumerate(accuracies)
         ]
         if not self.workers:

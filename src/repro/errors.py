@@ -1,0 +1,76 @@
+"""Error taxonomy of the crowd/platform boundary.
+
+A real crowdsourcing market fails in qualitatively different ways, and
+the framework reacts differently to each:
+
+* :class:`PlatformTransientError` -- the platform hiccuped (rate limit,
+  network partition, service restart).  Retrying the same batch after a
+  backoff is expected to succeed; :meth:`BayesCrowd.run` does exactly
+  that, bounded by ``max_retries``.
+* :class:`PlatformFatalError` -- the platform is gone for good (account
+  suspended, campaign cancelled).  Crowdsourcing stops and the run
+  completes *degraded* on whatever answers were already folded in.
+* :class:`TaskExpiredError` -- specific tasks can no longer be answered
+  (posted too many times, HIT lifetime exceeded).  The framework refunds
+  and abandons exactly those tasks and reposts the rest.
+
+Batches can also be rejected outright before posting, which is a caller
+bug rather than a platform fault:
+
+* :class:`ConflictingBatchError` -- two tasks in one batch share a
+  variable (forbidden by Section 6.1's conflict rule);
+* :class:`DuplicateTaskError` -- the same task appears twice in one
+  batch (the answers dict would silently collapse the duplicates while
+  the money accounting charged for both).
+
+Independently of batches, :class:`CheckpointError` marks an unusable
+round-level checkpoint (wrong version, or written by a different
+query/config than the one trying to resume).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+class CrowdPlatformError(RuntimeError):
+    """Base class of runtime failures raised by a crowd platform."""
+
+
+class PlatformTransientError(CrowdPlatformError):
+    """A retryable platform failure (timeout, rate limit, outage blip)."""
+
+
+class PlatformFatalError(CrowdPlatformError):
+    """An unrecoverable platform failure; retrying cannot help."""
+
+
+class TaskExpiredError(CrowdPlatformError):
+    """Some tasks of a batch can no longer be answered.
+
+    Carries the expired tasks so the caller can refund and drop exactly
+    those while reposting the remainder of the batch.
+    """
+
+    def __init__(self, tasks: Sequence, message: str = "") -> None:
+        self.tasks = tuple(tasks)
+        super().__init__(
+            message or "%d task(s) expired: %s"
+            % (len(self.tasks), ", ".join(str(t) for t in self.tasks))
+        )
+
+
+class BatchRejectedError(ValueError):
+    """A batch was malformed and rejected before any task was posted."""
+
+
+class ConflictingBatchError(BatchRejectedError):
+    """A batch contained two tasks sharing a variable (Section 6.1)."""
+
+
+class DuplicateTaskError(BatchRejectedError):
+    """A batch contained the same task more than once."""
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint could not be used to resume a query run."""

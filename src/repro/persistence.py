@@ -1,26 +1,36 @@
-"""Saving and loading datasets and query results.
+"""Saving and loading datasets, query results and run checkpoints.
 
 A library users adopt needs durable artifacts: datasets round-trip
-through ``.npz`` (values + mask + ground truth + metadata) and query
-results through JSON, so experiment pipelines can snapshot inputs and
-outcomes without pickling live objects.
+through ``.npz`` (values + mask + ground truth + metadata), query
+results through JSON, and in-flight query runs through round-level
+*checkpoints* (the c-table answer state, remaining budget and round
+history), so experiment pipelines can snapshot inputs and outcomes --
+and resume interrupted crowd campaigns -- without pickling live objects.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Union
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from .core.result import QueryResult, RoundRecord
+from .ctable.expression import Const, Expression, Relation, Var
 from .datasets.dataset import IncompleteDataset
+from .errors import CheckpointError
 
 PathLike = Union[str, Path]
 
 #: file-format version written into every artifact
 FORMAT_VERSION = 1
+
+#: file-format version of run checkpoints
+CHECKPOINT_VERSION = 1
 
 
 # ----------------------------------------------------------------------
@@ -65,6 +75,34 @@ def load_dataset(path: PathLike) -> IncompleteDataset:
 # ----------------------------------------------------------------------
 # query results
 # ----------------------------------------------------------------------
+def _round_to_dict(record: RoundRecord) -> dict:
+    return {
+        "round_index": record.round_index,
+        "tasks_posted": record.tasks_posted,
+        "objects": list(record.objects),
+        "newly_decided": record.newly_decided,
+        "open_conditions": record.open_conditions,
+        "seconds": record.seconds,
+        "tasks_answered": record.tasks_answered,
+        "retries": record.retries,
+        "faults": dict(record.faults),
+    }
+
+
+def _round_from_dict(entry: dict) -> RoundRecord:
+    return RoundRecord(
+        round_index=entry["round_index"],
+        tasks_posted=entry["tasks_posted"],
+        objects=list(entry["objects"]),
+        newly_decided=entry["newly_decided"],
+        open_conditions=entry["open_conditions"],
+        seconds=entry["seconds"],
+        tasks_answered=entry.get("tasks_answered", entry["tasks_posted"]),
+        retries=entry.get("retries", 0),
+        faults=dict(entry.get("faults", {})),
+    )
+
+
 def result_to_dict(result: QueryResult) -> dict:
     """JSON-serializable view of a query result."""
     return {
@@ -74,21 +112,15 @@ def result_to_dict(result: QueryResult) -> dict:
         "tasks_posted": result.tasks_posted,
         "rounds": result.rounds,
         "seconds": result.seconds,
+        "tasks_answered": result.tasks_answered,
         "modeling_seconds": result.modeling_seconds,
+        "degraded": result.degraded,
+        "fault_counts": dict(result.fault_counts),
+        "resumed": result.resumed,
         "initial_answers": (
             list(result.initial_answers) if result.initial_answers is not None else None
         ),
-        "history": [
-            {
-                "round_index": record.round_index,
-                "tasks_posted": record.tasks_posted,
-                "objects": list(record.objects),
-                "newly_decided": record.newly_decided,
-                "open_conditions": record.open_conditions,
-                "seconds": record.seconds,
-            }
-            for record in result.history
-        ],
+        "history": [_round_to_dict(record) for record in result.history],
     }
 
 
@@ -106,28 +138,161 @@ def load_result(path: PathLike) -> QueryResult:
             "unsupported result format version %d (expected %d)"
             % (version, FORMAT_VERSION)
         )
-    history = [
-        RoundRecord(
-            round_index=entry["round_index"],
-            tasks_posted=entry["tasks_posted"],
-            objects=list(entry["objects"]),
-            newly_decided=entry["newly_decided"],
-            open_conditions=entry["open_conditions"],
-            seconds=entry["seconds"],
-        )
-        for entry in data.get("history", [])
-    ]
+    history = [_round_from_dict(entry) for entry in data.get("history", [])]
     return QueryResult(
         answers=list(data["answers"]),
         certain_answers=list(data["certain_answers"]),
         tasks_posted=int(data["tasks_posted"]),
         rounds=int(data["rounds"]),
         seconds=float(data["seconds"]),
+        tasks_answered=(
+            int(data["tasks_answered"])
+            if data.get("tasks_answered") is not None
+            else None
+        ),
         modeling_seconds=float(data.get("modeling_seconds", 0.0)),
+        degraded=bool(data.get("degraded", False)),
+        fault_counts={k: int(v) for k, v in data.get("fault_counts", {}).items()},
+        resumed=bool(data.get("resumed", False)),
         history=history,
         initial_answers=(
             list(data["initial_answers"])
             if data.get("initial_answers") is not None
             else None
         ),
+    )
+
+
+# ----------------------------------------------------------------------
+# run checkpoints
+# ----------------------------------------------------------------------
+def _operand_to_json(operand) -> dict:
+    if isinstance(operand, Const):
+        return {"const": operand.value}
+    return {"var": [operand.obj, operand.attr]}
+
+
+def _operand_from_json(data: dict):
+    if "const" in data:
+        return Const(int(data["const"]))
+    obj, attr = data["var"]
+    return Var(int(obj), int(attr))
+
+
+def expression_to_json(expression: Expression) -> dict:
+    """JSON view of one c-table expression (``left > right``)."""
+    return {
+        "left": _operand_to_json(expression.left),
+        "right": _operand_to_json(expression.right),
+    }
+
+
+def expression_from_json(data: dict) -> Expression:
+    """Inverse of :func:`expression_to_json`."""
+    return Expression(_operand_from_json(data["left"]), _operand_from_json(data["right"]))
+
+
+@dataclass
+class QueryCheckpoint:
+    """Everything needed to resume a crowdsourcing run after a round.
+
+    The c-table itself is *not* serialized: it is rebuilt
+    deterministically from the dataset and config, and ``answer_log`` is
+    replayed through :meth:`CTable.apply_answer`, which reproduces the
+    exact constraint state.  RNG and platform snapshots make the resumed
+    run bit-identical to an uninterrupted one with the same seed.
+    """
+
+    #: identity of the owning query (dataset + key config values)
+    fingerprint: Dict[str, object]
+    #: budget remaining after the checkpointed round
+    budget_left: int
+    #: every crowd answer folded in so far, in application order
+    answer_log: List[Tuple[Expression, Relation]]
+    #: requeued-but-unanswered tasks as (expression, for_object) pairs
+    pending: List[Tuple[Expression, Optional[int]]] = field(default_factory=list)
+    history: List[RoundRecord] = field(default_factory=list)
+    fault_totals: Dict[str, int] = field(default_factory=dict)
+    degraded: bool = False
+    #: ``numpy.random.Generator.bit_generator.state`` of the framework RNG
+    rng_state: Optional[dict] = None
+    #: opaque ``platform.state_dict()`` snapshot, when supported
+    platform_state: Optional[dict] = None
+
+
+def save_checkpoint(checkpoint_or_path, path_or_checkpoint) -> None:
+    """Write a :class:`QueryCheckpoint` to JSON (atomically).
+
+    Accepts ``(checkpoint, path)`` or ``(path, checkpoint)``; the write
+    goes through a temp file + rename so a crash mid-write never leaves
+    a truncated checkpoint behind.
+    """
+    if isinstance(checkpoint_or_path, QueryCheckpoint):
+        checkpoint, path = checkpoint_or_path, path_or_checkpoint
+    else:
+        path, checkpoint = checkpoint_or_path, path_or_checkpoint
+    path = Path(path)
+    payload = {
+        "format_version": CHECKPOINT_VERSION,
+        "kind": "bayescrowd-checkpoint",
+        "fingerprint": checkpoint.fingerprint,
+        "budget_left": checkpoint.budget_left,
+        "answer_log": [
+            [expression_to_json(expression), relation.value]
+            for expression, relation in checkpoint.answer_log
+        ],
+        "pending": [
+            [expression_to_json(expression), obj]
+            for expression, obj in checkpoint.pending
+        ],
+        "history": [_round_to_dict(record) for record in checkpoint.history],
+        "fault_totals": dict(checkpoint.fault_totals),
+        "degraded": checkpoint.degraded,
+        "rng_state": checkpoint.rng_state,
+        "platform_state": checkpoint.platform_state,
+    }
+    fd, tmp = tempfile.mkstemp(
+        dir=str(path.parent) or ".", prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+def load_checkpoint(path: PathLike) -> QueryCheckpoint:
+    """Read a checkpoint written by :func:`save_checkpoint`."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        raise CheckpointError("unreadable checkpoint at %s: %s" % (path, err)) from err
+    if data.get("kind") != "bayescrowd-checkpoint":
+        raise CheckpointError("%s is not a BayesCrowd checkpoint" % path)
+    version = int(data.get("format_version", -1))
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            "unsupported checkpoint version %d (expected %d)"
+            % (version, CHECKPOINT_VERSION)
+        )
+    return QueryCheckpoint(
+        fingerprint=dict(data["fingerprint"]),
+        budget_left=int(data["budget_left"]),
+        answer_log=[
+            (expression_from_json(entry), Relation(value))
+            for entry, value in data.get("answer_log", [])
+        ],
+        pending=[
+            (expression_from_json(entry), obj)
+            for entry, obj in data.get("pending", [])
+        ],
+        history=[_round_from_dict(entry) for entry in data.get("history", [])],
+        fault_totals={k: int(v) for k, v in data.get("fault_totals", {}).items()},
+        degraded=bool(data.get("degraded", False)),
+        rng_state=data.get("rng_state"),
+        platform_state=data.get("platform_state"),
     )

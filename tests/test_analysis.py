@@ -1,7 +1,5 @@
 """Tests for post-hoc run analysis."""
 
-import pytest
-
 from repro import BayesCrowd, BayesCrowdConfig, generate_nba, skyline
 from repro.analysis import (
     accuracy_trajectory,

@@ -34,6 +34,45 @@ class TestMain:
         assert "nba-80" in out
         assert "posted" in out
 
+    def test_resume_requires_checkpoint(self, capsys):
+        assert main(["--resume"]) == 2
+        assert "--checkpoint" in capsys.readouterr().err
+
+    def test_invalid_fault_rate_is_clean_error(self, capsys):
+        assert main(["--drop-rate", "1.5"]) == 2
+        assert "drop_rate" in capsys.readouterr().err
+
+    def test_corrupt_checkpoint_is_clean_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{broken")
+        code = main(
+            ["--n", "80", "--budget", "8", "--latency", "2",
+             "--checkpoint", str(bad), "--resume"]
+        )
+        assert code == 2
+        assert "cannot resume" in capsys.readouterr().err
+
+    def test_fault_injection_reports_degraded(self, capsys):
+        code = main(
+            [
+                "--n", "80", "--budget", "10", "--latency", "3",
+                "--drop-rate", "0.5", "--transient-every", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "DEGRADED run" in out
+        assert "answered" in out
+
+    def test_checkpoint_write_and_resume(self, tmp_path, capsys):
+        checkpoint = str(tmp_path / "run.ckpt.json")
+        base = ["--n", "80", "--budget", "8", "--latency", "2",
+                "--checkpoint", checkpoint]
+        assert main(base) == 0
+        capsys.readouterr()
+        assert main(base + ["--resume"]) == 0
+        assert "resumed from checkpoint" in capsys.readouterr().out
+
     def test_synthetic_run(self, capsys):
         assert (
             main(

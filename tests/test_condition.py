@@ -1,7 +1,5 @@
 """Unit + property tests for CNF conditions."""
 
-import itertools
-
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

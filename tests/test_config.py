@@ -26,11 +26,33 @@ class TestValidation:
             {"distribution_source": "magic"},
             {"dominator_method": "magic"},
             {"worker_accuracy": -0.1},
+            {"assignments_per_task": 0},
+            {"assignments_per_task": -3},
+            {"bn_smoothing": -0.5},
+            {"bn_max_parents": -1},
+            {"max_retries": -1},
+            {"backoff_base": -0.01},
+            {"backoff_cap": 0.01, "backoff_base": 0.5},
+            {"requeue_policy": "magic"},
+            {"faults": "not-a-fault-model"},
         ],
     )
     def test_invalid_values_rejected(self, kwargs):
         with pytest.raises(ValueError):
             BayesCrowdConfig(**kwargs)
+
+    def test_resilience_knobs_accepted(self):
+        from repro.crowd import FaultModel
+
+        config = BayesCrowdConfig(
+            max_retries=0,
+            backoff_base=0.0,
+            backoff_cap=0.0,
+            requeue_policy="refund",
+            faults=FaultModel(drop_rate=0.2),
+        )
+        assert config.faults.drop_rate == 0.2
+        assert config.requeue_policy == "refund"
 
 
 class TestTasksPerRound:

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.ctable import Condition, build_ctable, var_greater_const
-from repro.datasets import MISSING, IncompleteDataset, sample_dataset
+from repro.datasets import MISSING, IncompleteDataset
 from repro.skyline import skyline
 
 

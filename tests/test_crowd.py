@@ -6,11 +6,14 @@ import pytest
 from repro.crowd import (
     ComparisonTask,
     ConflictingBatchError,
+    CrowdPlatform,
+    DuplicateTaskError,
     SimulatedCrowdPlatform,
     SimulatedWorker,
     WorkerPool,
     majority_vote,
 )
+from repro.crowd.platform import CrowdStats
 from repro.ctable import Relation, var_greater_const, var_greater_var
 from repro.datasets import sample_dataset
 
@@ -172,3 +175,103 @@ class TestPlatform:
         # tie-break mass ~ 0.9.
         assert correct / n == pytest.approx(0.9, abs=0.05)
         assert platform.stats.majority_accuracy() == pytest.approx(correct / n)
+
+    def test_duplicate_task_in_batch_rejected(self):
+        platform = self._platform()
+        task = ComparisonTask(var_greater_const(4, 1, 2))
+        with pytest.raises(DuplicateTaskError):
+            platform.post_batch([task, task])
+
+    def test_duplicate_check_runs_before_conflict_check(self):
+        # The same task twice is a duplicate, not a variable conflict.
+        platform = self._platform()
+        task = ComparisonTask(var_greater_const(4, 1, 2))
+        with pytest.raises(DuplicateTaskError):
+            platform.post_batch([task, task])
+        # ... but two distinct tasks on one variable still conflict.
+        with pytest.raises(ConflictingBatchError):
+            platform.post_batch(
+                [
+                    ComparisonTask(var_greater_const(4, 1, 2)),
+                    ComparisonTask(var_greater_const(4, 1, 5)),
+                ]
+            )
+
+    def test_satisfies_platform_protocol(self):
+        assert isinstance(self._platform(), CrowdPlatform)
+
+    def test_state_dict_round_trip_replays_noise(self):
+        a = self._platform(accuracy=0.7)
+        a.post_batch([ComparisonTask(var_greater_const(4, 1, 2))])
+        state = a.state_dict()
+        b = self._platform(accuracy=0.7)
+        b.load_state_dict(state)
+        assert b.stats.tasks_posted == a.stats.tasks_posted
+        expr = var_greater_const(1, 1, 3)
+        answer_a = a.post_batch([ComparisonTask(expr)])
+        answer_b = b.post_batch([ComparisonTask(expr)])
+        assert list(answer_a.values()) == list(answer_b.values())
+
+
+class TestAbstention:
+    def test_abstaining_worker_returns_none(self, rng):
+        worker = SimulatedWorker(0, 1.0, rng, abstain_rate=1.0)
+        assert worker.answer(Relation.GREATER) is None
+
+    def test_invalid_abstain_rate(self, rng):
+        with pytest.raises(ValueError):
+            SimulatedWorker(0, 1.0, rng, abstain_rate=1.5)
+
+    def test_all_abstained_task_is_unanswered(self):
+        rng = np.random.default_rng(0)
+        platform = SimulatedCrowdPlatform(
+            sample_dataset(),
+            worker_pool=WorkerPool(1.0, rng=rng, abstain_rate=1.0),
+            rng=rng,
+        )
+        task = ComparisonTask(var_greater_const(4, 1, 2))
+        assert platform.post_batch([task]) == {}
+        assert platform.stats.tasks_unanswered == 1
+        assert platform.stats.worker_answers == 0
+        assert platform.stats.tasks_posted == 1
+
+    def test_partial_abstention_still_answers(self):
+        rng = np.random.default_rng(1)
+        platform = SimulatedCrowdPlatform(
+            sample_dataset(),
+            worker_pool=WorkerPool(1.0, rng=rng, abstain_rate=0.3),
+            rng=rng,
+        )
+        answered = unanswered = 0
+        for __ in range(200):
+            task = ComparisonTask(var_greater_const(4, 1, 2))
+            if platform.post_batch([task]):
+                answered += 1
+            else:
+                unanswered += 1
+        # All three workers must abstain for a no-answer: ~0.3^3 = 2.7%.
+        assert unanswered / 200 == pytest.approx(0.027, abs=0.04)
+        assert answered > unanswered
+        assert platform.stats.tasks_unanswered == unanswered
+
+
+class TestCrowdStats:
+    def test_majority_accuracy_no_tasks_is_one(self):
+        assert CrowdStats().majority_accuracy() == 1.0
+
+    def test_majority_accuracy_all_unanswered_is_one(self):
+        stats = CrowdStats(tasks_posted=5, tasks_unanswered=5)
+        assert stats.majority_accuracy() == 1.0
+
+    def test_majority_accuracy_excludes_unanswered(self):
+        stats = CrowdStats(
+            tasks_posted=10, tasks_unanswered=2, correct_majorities=6
+        )
+        assert stats.majority_accuracy() == pytest.approx(6 / 8)
+
+    def test_fault_counters_default_to_zero(self):
+        stats = CrowdStats()
+        assert stats.tasks_expired == 0
+        assert stats.transient_failures == 0
+        assert stats.spam_answers == 0
+        assert stats.stragglers == 0

@@ -1,6 +1,5 @@
 """Tests for the CrowdSky baseline reimplementation."""
 
-import numpy as np
 import pytest
 
 from repro.baselines import CrowdSky

@@ -9,7 +9,6 @@ from repro.ctable import (
     const_greater_var,
     var_greater_const,
 )
-from repro.datasets import sample_dataset
 
 
 class TestViews:

@@ -9,9 +9,9 @@ the final result set).
 import pytest
 
 from repro.core import entropy, marginal_utility
-from repro.ctable import Relation, build_ctable, const_greater_var, var_greater_const
+from repro.ctable import Relation, const_greater_var, var_greater_const
 from repro.datasets import MISSING, example_distributions, sample_dataset
-from repro.probability import DistributionStore, ProbabilityEngine, adpll_probability
+from repro.probability import ProbabilityEngine, adpll_probability
 
 
 @pytest.fixture

@@ -5,9 +5,6 @@ relative claims that must never silently regress, at sizes small enough
 for CI.  Each test name cites the figure it guards.
 """
 
-import numpy as np
-import pytest
-
 from repro import BayesCrowd, BayesCrowdConfig, f1_score, skyline
 from repro.baselines import CrowdSky
 from repro.bayesnet.posteriors import empirical_distributions

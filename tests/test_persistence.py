@@ -5,12 +5,20 @@ import json
 import numpy as np
 import pytest
 
-from repro import BayesCrowd, BayesCrowdConfig, generate_nba
+from repro import BayesCrowd, BayesCrowdConfig, FaultModel, generate_nba
+from repro.ctable import Relation, var_greater_const, var_greater_var
+from repro.errors import CheckpointError
 from repro.persistence import (
+    CHECKPOINT_VERSION,
     FORMAT_VERSION,
+    QueryCheckpoint,
+    expression_from_json,
+    expression_to_json,
+    load_checkpoint,
     load_dataset,
     load_result,
     result_to_dict,
+    save_checkpoint,
     save_dataset,
     save_result,
 )
@@ -90,3 +98,120 @@ class TestResultRoundTrip:
         path.write_text(json.dumps(data))
         with pytest.raises(ValueError):
             load_result(path)
+
+    def test_degraded_fields_round_trip(self, tmp_path):
+        dataset = generate_nba(n_objects=60, missing_rate=0.1, seed=1)
+        config = BayesCrowdConfig(
+            alpha=0.1,
+            budget=8,
+            latency=3,
+            backoff_base=0.0,
+            faults=FaultModel(drop_rate=0.5, transient_every=2),
+        )
+        result = BayesCrowd(dataset, config).run()
+        assert result.degraded
+        path = tmp_path / "degraded.json"
+        save_result(result, path)
+        loaded = load_result(path)
+        assert loaded.degraded
+        assert loaded.fault_counts == result.fault_counts
+        assert loaded.tasks_answered == result.tasks_answered
+        assert [r.faults for r in loaded.history] == [
+            r.faults for r in result.history
+        ]
+        assert [r.tasks_answered for r in loaded.history] == [
+            r.tasks_answered for r in result.history
+        ]
+
+    def test_legacy_result_without_fault_fields_loads(self, tmp_path):
+        path = tmp_path / "legacy.json"
+        save_result(self._result(), path)
+        data = json.loads(path.read_text())
+        for key in ("tasks_answered", "degraded", "fault_counts", "resumed"):
+            data.pop(key, None)
+        for entry in data["history"]:
+            for key in ("tasks_answered", "retries", "faults"):
+                entry.pop(key, None)
+        path.write_text(json.dumps(data))
+        loaded = load_result(path)
+        assert loaded.tasks_answered == loaded.tasks_posted
+        assert not loaded.degraded
+        assert loaded.fault_counts == {}
+        for record in loaded.history:
+            assert record.tasks_answered == record.tasks_posted
+
+
+class TestExpressionJson:
+    @pytest.mark.parametrize(
+        "expression",
+        [var_greater_const(4, 1, 2), var_greater_var(0, 1, 2)],
+    )
+    def test_round_trip(self, expression):
+        data = json.loads(json.dumps(expression_to_json(expression)))
+        assert expression_from_json(data) == expression
+
+
+class TestCheckpointRoundTrip:
+    def _checkpoint(self):
+        return QueryCheckpoint(
+            fingerprint={"dataset": "nba", "seed": 3},
+            budget_left=7,
+            answer_log=[
+                (var_greater_const(4, 1, 2), Relation.GREATER),
+                (var_greater_var(0, 1, 2), Relation.EQUAL),
+            ],
+            pending=[(var_greater_const(1, 1, 3), 1)],
+            fault_totals={"unanswered": 2},
+            degraded=True,
+            rng_state={"bit_generator": "PCG64", "has_uint32": 0, "uinteger": 0,
+                       "state": {"state": 1, "inc": 2}},
+        )
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "run.ckpt.json"
+        save_checkpoint(self._checkpoint(), path)
+        loaded = load_checkpoint(path)
+        assert loaded.fingerprint == {"dataset": "nba", "seed": 3}
+        assert loaded.budget_left == 7
+        assert loaded.answer_log == self._checkpoint().answer_log
+        assert loaded.pending == [(var_greater_const(1, 1, 3), 1)]
+        assert loaded.fault_totals == {"unanswered": 2}
+        assert loaded.degraded
+        assert loaded.rng_state["bit_generator"] == "PCG64"
+
+    def test_argument_order_is_forgiving(self, tmp_path):
+        path = tmp_path / "run.ckpt.json"
+        save_checkpoint(path, self._checkpoint())
+        assert load_checkpoint(path).budget_left == 7
+
+    def test_missing_file_is_checkpoint_error(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            load_checkpoint(tmp_path / "nope.json")
+
+    def test_garbage_file_is_checkpoint_error(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("{not json")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"kind": "something-else"}))
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "run.ckpt.json"
+        save_checkpoint(self._checkpoint(), path)
+        data = json.loads(path.read_text())
+        assert data["format_version"] == CHECKPOINT_VERSION
+        data["format_version"] = 99
+        path.write_text(json.dumps(data))
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        path = tmp_path / "run.ckpt.json"
+        save_checkpoint(self._checkpoint(), path)
+        save_checkpoint(self._checkpoint(), path)  # overwrite in place
+        assert [p.name for p in tmp_path.iterdir()] == ["run.ckpt.json"]

@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.ctable import Condition, Relation, var_greater_const
+from repro.ctable import Condition, var_greater_const
 from repro.datasets import MISSING, IncompleteDataset, generate_nba
 from repro.metrics import f1_score
 from repro.probability import DistributionStore

@@ -1,0 +1,211 @@
+"""Tests for the fault-injection wrapper and the error taxonomy."""
+
+import numpy as np
+import pytest
+
+from repro.crowd import (
+    ComparisonTask,
+    FaultModel,
+    SimulatedCrowdPlatform,
+    UnreliableCrowdPlatform,
+)
+from repro.ctable import Relation, var_greater_const
+from repro.datasets import generate_nba, sample_dataset
+from repro.errors import (
+    CrowdPlatformError,
+    PlatformFatalError,
+    PlatformTransientError,
+    TaskExpiredError,
+)
+
+
+def make_platform(faults, seed=0, dataset=None, **platform_kwargs):
+    dataset = dataset or sample_dataset()
+    inner = SimulatedCrowdPlatform(
+        dataset, rng=np.random.default_rng(0), **platform_kwargs
+    )
+    return UnreliableCrowdPlatform(inner, faults, rng=np.random.default_rng(seed))
+
+
+def some_tasks(n=3):
+    # Distinct variables of the movie sample: (4,1), (1,1), (4,2).
+    variables = [(4, 1), (1, 1), (4, 2), (1, 3)]
+    return [
+        ComparisonTask(var_greater_const(obj, attr, 2), for_object=obj)
+        for obj, attr in variables[:n]
+    ]
+
+
+class TestFaultModelValidation:
+    def test_defaults_are_quiet(self):
+        model = FaultModel()
+        assert not model.any_faults()
+
+    def test_any_faults_detects_each_channel(self):
+        assert FaultModel(drop_rate=0.1).any_faults()
+        assert FaultModel(transient_every=2).any_faults()
+        assert FaultModel(max_reposts=1).any_faults()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"drop_rate": -0.1},
+            {"drop_rate": 1.5},
+            {"abstention_rate": 2.0},
+            {"spam_fraction": -1.0},
+            {"transient_rate": 1.01},
+            {"straggler_rate": -0.5},
+            {"transient_every": -1},
+            {"fatal_after": -2},
+            {"straggler_seconds": -1.0},
+            {"max_reposts": -1},
+        ],
+    )
+    def test_invalid_rates_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultModel(**kwargs)
+
+
+class TestPassThrough:
+    def test_zero_faults_is_transparent(self):
+        platform = make_platform(FaultModel())
+        tasks = some_tasks(2)
+        answers = platform.post_batch(tasks)
+        assert set(answers) == set(tasks)
+        assert platform.stats.tasks_unanswered == 0
+
+    def test_empty_batch_is_free(self):
+        platform = make_platform(FaultModel(transient_every=1))
+        assert platform.post_batch([]) == {}
+        assert platform.stats.rounds == 0
+
+    def test_delegates_to_inner(self):
+        platform = make_platform(FaultModel())
+        task = some_tasks(1)[0]
+        assert platform.true_relation(task) in list(Relation)
+        platform.post_batch([task])
+        assert platform.task_log == [task]
+
+
+class TestDropAndSpam:
+    def test_drop_rate_one_answers_nothing(self):
+        platform = make_platform(FaultModel(drop_rate=1.0))
+        tasks = some_tasks(3)
+        assert platform.post_batch(tasks) == {}
+        assert platform.stats.tasks_unanswered == 3
+
+    def test_abstention_rate_one_answers_nothing(self):
+        platform = make_platform(FaultModel(abstention_rate=1.0))
+        assert platform.post_batch(some_tasks(2)) == {}
+        assert platform.stats.tasks_unanswered == 2
+
+    def test_drop_rate_statistics(self):
+        dataset = generate_nba(n_objects=50, missing_rate=0.1, seed=0)
+        platform = make_platform(FaultModel(drop_rate=0.3), dataset=dataset)
+        total = answered = 0
+        for trial in range(400):
+            task = ComparisonTask(var_greater_const(trial % 50, 0, 2))
+            answered += len(platform.post_batch([task]))
+            total += 1
+        assert answered / total == pytest.approx(0.7, abs=0.06)
+
+    def test_spam_answers_are_uniform_random(self):
+        platform = make_platform(FaultModel(spam_fraction=1.0))
+        task = some_tasks(1)[0]
+        truth = platform.true_relation(task)
+        seen = set()
+        for __ in range(60):
+            answers = platform.post_batch([ComparisonTask(task.expression)])
+            seen.update(answers.values())
+        # A spammer eventually answers every option, including wrong ones.
+        assert len(seen) == 3
+        assert platform.stats.spam_answers == 60
+        assert truth in seen
+
+    def test_seeded_injection_is_deterministic(self):
+        results = []
+        for __ in range(2):
+            platform = make_platform(
+                FaultModel(drop_rate=0.4, spam_fraction=0.3), seed=7
+            )
+            tasks = some_tasks(3)
+            answered = platform.post_batch(tasks)
+            results.append(sorted((t.expression.question(), r.value) for t, r in answered.items()))
+        assert results[0] == results[1]
+
+
+class TestTransientAndFatal:
+    def test_scheduled_transient_failure(self):
+        platform = make_platform(FaultModel(transient_every=2))
+        tasks = some_tasks(1)
+        platform.post_batch(tasks)  # attempt 1 succeeds
+        with pytest.raises(PlatformTransientError):
+            platform.post_batch(tasks)  # attempt 2 fails
+        platform.post_batch(tasks)  # attempt 3 succeeds again
+        assert platform.stats.transient_failures == 1
+
+    def test_random_transient_failure(self):
+        platform = make_platform(FaultModel(transient_rate=1.0))
+        with pytest.raises(PlatformTransientError):
+            platform.post_batch(some_tasks(1))
+
+    def test_fatal_after(self):
+        platform = make_platform(FaultModel(fatal_after=2))
+        platform.post_batch(some_tasks(1))
+        with pytest.raises(PlatformFatalError):
+            platform.post_batch(some_tasks(1))
+
+    def test_error_hierarchy(self):
+        assert issubclass(PlatformTransientError, CrowdPlatformError)
+        assert issubclass(PlatformFatalError, CrowdPlatformError)
+        assert issubclass(TaskExpiredError, CrowdPlatformError)
+
+
+class TestExpiry:
+    def test_reposting_beyond_allowance_expires(self):
+        platform = make_platform(FaultModel(max_reposts=2))
+        tasks = some_tasks(2)
+        platform.post_batch(tasks)
+        platform.post_batch(tasks)
+        with pytest.raises(TaskExpiredError) as err:
+            platform.post_batch(tasks)
+        assert set(t.task_id for t in err.value.tasks) == {t.task_id for t in tasks}
+        assert platform.stats.tasks_expired == 2
+
+    def test_fresh_tasks_unaffected(self):
+        platform = make_platform(FaultModel(max_reposts=1))
+        platform.post_batch(some_tasks(1))
+        answers = platform.post_batch(some_tasks(2))  # new task ids
+        assert len(answers) == 2
+
+
+class TestStragglers:
+    def test_straggler_latency_accounted(self):
+        platform = make_platform(
+            FaultModel(straggler_rate=1.0, straggler_seconds=10.0)
+        )
+        platform.post_batch(some_tasks(2))
+        assert platform.stats.stragglers == 2
+        assert platform.simulated_wait_seconds == pytest.approx(20.0)
+
+
+class TestStateRoundTrip:
+    def test_state_dict_restores_fault_stream(self):
+        faults = FaultModel(drop_rate=0.5, spam_fraction=0.3, transient_every=3)
+        a = make_platform(faults, seed=3)
+        a.post_batch(some_tasks(2))
+        state = a.state_dict()
+
+        b = make_platform(faults, seed=999)  # wrong seed on purpose
+        b.load_state_dict(state)
+        tasks = some_tasks(3)
+        try:
+            expected = a.post_batch(list(tasks))
+        except PlatformTransientError:
+            with pytest.raises(PlatformTransientError):
+                b.post_batch(list(tasks))
+            return
+        got = b.post_batch(list(tasks))
+        assert {t.task_id: r for t, r in got.items()} == {
+            t.task_id: r for t, r in expected.items()
+        }

@@ -1,14 +1,12 @@
 """Tests for entropy and the marginal utility function (Eqs. 3-5)."""
 
-import math
-
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core import entropy, marginal_utility, object_entropy
-from repro.ctable import Condition, var_greater_const, var_greater_var
+from repro.ctable import Condition, var_greater_const
 from repro.probability import DistributionStore, ProbabilityEngine
 
 V, W = (0, 0), (1, 0)

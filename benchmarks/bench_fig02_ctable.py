@@ -1,9 +1,23 @@
-"""Figure 2 benchmark: c-table construction, Get-CTable vs Baseline.
+"""Figure 2 benchmark: c-table construction across backends.
 
-Series: construction time per (dataset, missing rate, method).
-Expected shape: ``fast`` beats ``baseline`` at every point; both rise
-with the missing rate.
+Series: construction time per (dataset, missing rate, method).  The
+``method`` axis covers the vectorized ``numpy`` backend plus both scalar
+paths (``fast`` = selectivity-sorted filters, ``baseline`` = pure-Python
+pairwise Get-CTable).  Expected shape: ``numpy`` beats ``fast`` beats
+``baseline`` at every point; all rise with the missing rate.
+
+Standalone mode benchmarks scaling directly (no pytest needed) and emits
+``BENCH_fig02_ctable.json`` in pytest-benchmark shape, so
+``python -m repro.benchreport BENCH_fig02_ctable.json`` renders it::
+
+    python benchmarks/bench_fig02_ctable.py --n 10000
 """
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
 
 import pytest
 
@@ -13,18 +27,121 @@ from repro.experiments.data import nba_dataset, synthetic_dataset
 MISSING_RATES = (0.05, 0.10, 0.15, 0.20)
 SIZES = {"nba": 300, "synthetic": 600}
 
+#: method axis -> (backend, dominator_method) of :func:`build_ctable`
+METHOD_CONFIGS = {
+    "numpy": ("numpy", "fast"),
+    "fast": ("python", "fast"),
+    "baseline": ("python", "baseline"),
+}
+
+
+def _build(dataset, method, alpha=0.05):
+    backend, dominator_method = METHOD_CONFIGS[method]
+    return build_ctable(
+        dataset, alpha=alpha, dominator_method=dominator_method, backend=backend
+    )
+
 
 @pytest.mark.parametrize("kind", sorted(SIZES))
 @pytest.mark.parametrize("missing_rate", MISSING_RATES)
-@pytest.mark.parametrize("method", ["fast", "baseline"])
+@pytest.mark.parametrize("method", sorted(METHOD_CONFIGS))
 def test_ctable_construction(benchmark, once, kind, missing_rate, method):
     if kind == "nba":
         dataset = nba_dataset(SIZES[kind], missing_rate)
     else:
         dataset = synthetic_dataset(SIZES[kind], missing_rate)
-    ctable = once(
-        benchmark,
-        lambda: build_ctable(dataset, alpha=0.05, dominator_method=method),
-    )
+    ctable = once(benchmark, lambda: _build(dataset, method))
     benchmark.extra_info["certain_answers"] = len(ctable.certain_answers())
     benchmark.extra_info["open_conditions"] = len(ctable.undecided())
+    benchmark.extra_info["backend"] = ctable.build_stats["backend"]
+    benchmark.extra_info["pairs_per_sec"] = round(
+        ctable.build_stats["pairs_per_sec"]
+    )
+
+
+# ----------------------------------------------------------------------
+# standalone scaling run
+# ----------------------------------------------------------------------
+def run_standalone(n, missing_rate, methods, alpha, out_path, repeats=1):
+    """Time each method at cardinality ``n``; write benchreport JSON.
+
+    With ``repeats > 1`` the best (minimum) wall time is reported -- the
+    standard low-noise estimator on shared machines.
+    """
+    dataset = synthetic_dataset(n, missing_rate)
+    rows = []
+    reference = None
+    for method in methods:
+        seconds = None
+        for __ in range(max(1, repeats)):
+            start = time.perf_counter()
+            ctable = _build(dataset, method, alpha=alpha)
+            elapsed = time.perf_counter() - start
+            if seconds is None or elapsed < seconds:
+                seconds = elapsed
+        if reference is None:
+            reference = seconds
+        stats = ctable.build_stats
+        extra = {
+            "method": method,
+            "backend": stats["backend"],
+            "n_objects": n,
+            "missing_rate": missing_rate,
+            "alpha": alpha,
+            "pairs_tested": stats["pairs_tested"],
+            "pairs_per_sec": round(stats["pairs_tested"] / seconds) if seconds else 0,
+            "open_conditions": stats["open_conditions"],
+            "repeats": max(1, repeats),
+            "speedup_vs_first": round(reference / seconds, 2) if seconds else 0.0,
+        }
+        rows.append(
+            {
+                "name": "ctable[n=%d,%s]" % (n, method),
+                "fullname": "bench_fig02_ctable.py::standalone",
+                "stats": {"mean": seconds},
+                "extra_info": extra,
+            }
+        )
+        print(
+            "%-10s %8.3fs  %12s pairs/s  (%.2fx vs %s)"
+            % (
+                method,
+                seconds,
+                extra["pairs_per_sec"],
+                extra["speedup_vs_first"],
+                methods[0],
+            )
+        )
+    Path(out_path).write_text(json.dumps({"benchmarks": rows}, indent=2))
+    print("wrote %s" % out_path)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Standalone c-table construction scaling benchmark."
+    )
+    parser.add_argument("--n", type=int, default=10_000, help="dataset cardinality")
+    parser.add_argument("--missing-rate", type=float, default=0.10)
+    parser.add_argument("--alpha", type=float, default=0.01)
+    parser.add_argument(
+        "--methods", nargs="+", default=["fast", "numpy"],
+        choices=sorted(METHOD_CONFIGS),
+        help="methods to compare, first is the speedup reference",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_fig02_ctable.json", help="output JSON path"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=1,
+        help="timing repeats per method; the best run is reported",
+    )
+    args = parser.parse_args(argv)
+    run_standalone(
+        args.n, args.missing_rate, args.methods, args.alpha, args.out,
+        repeats=args.repeats,
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -69,6 +69,18 @@ def main() -> None:
             % (strategy.upper(), result.f1(truth), result.tasks_posted,
                result.rounds, result.seconds)
         )
+        stats = result.engine_stats
+        print(
+            "  perf: c-table via %s backend (%.0f pairs/s); "
+            "%d probabilities computed (%.0f/s), cache hit rate %.0f%%"
+            % (stats["ctable_backend"], stats["ctable_pairs_per_sec"],
+               stats["computations"], stats["probabilities_per_sec"],
+               100 * stats["cache_hit_rate"])
+        )
+        print(
+            "  perf: incremental re-ranking rescored %d objects across "
+            "%d rankings" % (stats["objects_rescored"], stats["rankings"])
+        )
         if strategy == "hhs" and result.history:
             print("  sample questions from round 1:")
             first_round_objects = result.history[0].objects[:3]

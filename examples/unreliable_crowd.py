@@ -107,6 +107,15 @@ def main() -> None:
         f1_score(resumed.answers, truth), resumed.resumed,
         resumed.answers == chaotic.answers))
 
+    # Even across faults and a resume, the engine's perf counters keep an
+    # honest ledger of the work done after the checkpoint was restored.
+    stats = resumed.engine_stats
+    print("resumed perf: %d probabilities (%.0f/s), cache hit rate %.0f%%, "
+          "%d objects rescored in %d rankings" % (
+              stats["computations"], stats["probabilities_per_sec"],
+              100 * stats["cache_hit_rate"], stats["objects_rescored"],
+              stats["rankings"]))
+
 
 if __name__ == "__main__":
     main()

@@ -52,6 +52,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--worker-accuracy", type=float, default=1.0, help="simulated worker accuracy"
     )
     parser.add_argument("--seed", type=int, default=0)
+    perf = parser.add_argument_group("performance")
+    perf.add_argument(
+        "--backend", choices=["auto", "numpy", "python"], default="auto",
+        help="c-table construction backend (auto = numpy unless the "
+        "baseline dominator method is selected)",
+    )
+    perf.add_argument(
+        "--n-jobs", type=int, default=1,
+        help="worker processes for batched probability computation "
+        "(1 = sequential, 0 = one per CPU core)",
+    )
+    perf.add_argument(
+        "--perf", action="store_true",
+        help="print engine/c-table perf counters after the run",
+    )
     fault = parser.add_argument_group("fault injection (unreliable crowd)")
     fault.add_argument(
         "--drop-rate", type=float, default=0.0,
@@ -109,21 +124,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.dataset == "movies":
         dataset = sample_dataset()
         distributions = example_distributions()
-        config = BayesCrowdConfig(
-            alpha=1.0,
-            budget=args.budget,
-            latency=args.latency,
-            strategy=args.strategy,
-            m=args.m,
-            worker_accuracy=args.worker_accuracy,
-            distribution_source="uniform",
-            max_retries=args.max_retries,
-            requeue_policy=args.requeue_policy,
-            faults=faults,
-            seed=args.seed,
-        )
-        query = BayesCrowd(dataset, config, distributions=distributions)
+        overrides = dict(alpha=1.0, distribution_source="uniform")
     else:
+        distributions = None
+        overrides = dict(alpha=args.alpha)
         if args.dataset == "nba":
             dataset = generate_nba(
                 n_objects=args.n, missing_rate=args.missing_rate, seed=args.seed + 7
@@ -132,19 +136,25 @@ def main(argv: Optional[List[str]] = None) -> int:
             dataset = generate_synthetic(
                 n_objects=args.n, missing_rate=args.missing_rate, seed=args.seed + 13
             )
+    try:
         config = BayesCrowdConfig(
-            alpha=args.alpha,
             budget=args.budget,
             latency=args.latency,
             strategy=args.strategy,
             m=args.m,
             worker_accuracy=args.worker_accuracy,
+            backend=args.backend,
+            n_jobs=args.n_jobs,
             max_retries=args.max_retries,
             requeue_policy=args.requeue_policy,
             faults=faults,
             seed=args.seed,
+            **overrides,
         )
-        query = BayesCrowd(dataset, config)
+    except ValueError as err:
+        print("invalid configuration: %s" % err, file=sys.stderr)
+        return 2
+    query = BayesCrowd(dataset, config, distributions=distributions)
 
     print(
         "dataset %s: %d objects x %d attributes, missing rate %.2f"
@@ -182,6 +192,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         initial.f1, report.f1, report))
     print("answers: %d objects (%d certain)" % (
         len(result.answers), len(result.certain_answers)))
+    if args.perf:
+        stats = result.engine_stats
+        print(
+            "perf: ctable %s backend, %.0f pairs/s | engine %.0f probs/s, "
+            "cache hit rate %.1f%%, %d rescored across %d rankings"
+            % (
+                stats.get("ctable_backend", "?"),
+                stats.get("ctable_pairs_per_sec", 0.0),
+                stats.get("probabilities_per_sec", 0.0),
+                100.0 * stats.get("cache_hit_rate", 0.0),
+                stats.get("objects_rescored", 0),
+                stats.get("rankings", 0),
+            )
+        )
+        for key in sorted(stats):
+            print("  %s = %s" % (key, stats[key]))
     return 0
 
 

@@ -3,7 +3,7 @@
 from .config import DISTRIBUTION_SOURCES, REQUEUE_POLICIES, BayesCrowdConfig
 from .framework import BayesCrowd, learn_distributions, run_bayescrowd
 from .result import QueryResult, RoundRecord
-from .selection import RankedObject, rank_objects, select_top_k
+from .selection import IncrementalRanker, RankedObject, rank_objects, select_top_k
 from .strategies import (
     FrequencyStrategy,
     HybridStrategy,
@@ -24,6 +24,7 @@ __all__ = [
     "run_bayescrowd",
     "QueryResult",
     "RoundRecord",
+    "IncrementalRanker",
     "RankedObject",
     "rank_objects",
     "select_top_k",

@@ -7,7 +7,9 @@ from typing import Optional
 
 from ..crowd.unreliable import FaultModel
 from ..ctable.constraints import INFERENCE_MODES
-from ..probability.engine import METHODS
+from ..ctable.construction import BACKENDS
+from ..ctable.dominators import DOMINATOR_METHODS
+from ..probability.engine import DEFAULT_CACHE_SIZE, METHODS
 from .utility import UTILITY_MODES
 
 #: How the per-variable distributions are obtained in preprocessing.
@@ -49,8 +51,16 @@ class BayesCrowdConfig:
     utility_mode: str = "syntactic"
     #: preprocessing distribution source
     distribution_source: str = "bayesnet"
-    #: dominator-set derivation in Get-CTable: "fast" or "baseline"
+    #: dominator-set derivation in Get-CTable: "numpy", "fast" or "baseline"
     dominator_method: str = "fast"
+    #: c-table construction backend: "auto" (numpy unless the baseline
+    #: dominator method is requested), "numpy" or "python"
+    backend: str = "auto"
+    #: worker processes for batched probability computation (1 =
+    #: sequential, 0 = one per CPU core)
+    n_jobs: int = 1
+    #: bound on the engine's condition-probability cache (0 = unbounded)
+    cache_size: int = DEFAULT_CACHE_SIZE
     #: answer-propagation level: "direct", "intervals" or "full"
     inference_mode: str = "full"
     #: structure-learning parent cap for the Bayesian network
@@ -102,8 +112,14 @@ class BayesCrowdConfig:
             raise ValueError("unknown utility mode %r" % self.utility_mode)
         if self.distribution_source not in DISTRIBUTION_SOURCES:
             raise ValueError("unknown distribution source %r" % self.distribution_source)
-        if self.dominator_method not in ("fast", "baseline"):
+        if self.dominator_method not in DOMINATOR_METHODS:
             raise ValueError("unknown dominator method %r" % self.dominator_method)
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                "unknown backend %r; expected one of %r" % (self.backend, BACKENDS)
+            )
+        if self.n_jobs < 0:
+            raise ValueError("n_jobs must be non-negative (0 = all cores)")
         if self.inference_mode not in INFERENCE_MODES:
             raise ValueError("unknown inference mode %r" % self.inference_mode)
         if not 0.0 <= self.worker_accuracy <= 1.0:

@@ -58,7 +58,7 @@ from ..probability.distributions import DistributionStore
 from ..probability.engine import ProbabilityEngine
 from .config import BayesCrowdConfig
 from .result import QueryResult, RoundRecord
-from .selection import rank_objects
+from .selection import IncrementalRanker
 from .strategies import SelectionContext, expression_frequencies, make_strategy
 
 #: Complete rows beyond this are subsampled for structure learning only
@@ -203,6 +203,7 @@ class BayesCrowd:
             alpha=config.alpha,
             dominator_method=config.dominator_method,
             inference_mode=config.inference_mode,
+            backend=config.backend,
         )
         modeling_seconds = time.perf_counter() - start
         store = DistributionStore(self.distributions, ctable.constraints)
@@ -210,9 +211,14 @@ class BayesCrowd:
             store,
             method=config.probability_method,
             rng=self._rng,
+            cache_size=config.cache_size,
+            n_jobs=config.n_jobs,
         )
         self.ctable = ctable
         self.engine = engine
+        # Warm the engine's cache in one batch so the initial result set
+        # and the first round's ranking reuse every probability.
+        engine.probability_many([ctable.condition(o) for o in ctable.undecided()])
         initial_answers = ctable.result_set(engine.probability, config.answer_threshold)
 
         # --- crowdsourcing phase --------------------------------------
@@ -232,6 +238,9 @@ class BayesCrowd:
             if restored is not None:
                 budget, history, answer_log, pending, fault_totals, degraded = restored
                 resumed = True
+        # Built after any checkpoint replay: the ranker re-scores only
+        # objects whose conditions a round's answers actually touched.
+        ranker = IncrementalRanker(ctable, engine)
         fatal = False
         while budget > 0 and len(history) < config.latency and not fatal:
             round_start = time.perf_counter()
@@ -248,7 +257,7 @@ class BayesCrowd:
             for task in tasks:
                 banned.update(task.variables())
                 objects.append(task.for_object)
-            ranked = rank_objects(ctable, engine)
+            ranked = ranker.rank()
             if (
                 not tasks
                 and ranked
@@ -301,7 +310,7 @@ class BayesCrowd:
 
             open_before = len(ctable.undecided())
             for task, relation in answers.items():
-                ctable.apply_answer(task.expression, relation)
+                ranker.mark_dirty(ctable.apply_answer(task.expression, relation))
                 answer_log.append((task.expression, relation))
             open_after = len(ctable.undecided())
             # The paper's cost model charges per answered task; no-shows
@@ -353,6 +362,8 @@ class BayesCrowd:
                     degraded,
                 )
 
+        # One last batch pass so the final result set reads from cache.
+        engine.probability_many([ctable.condition(o) for o in ctable.undecided()])
         answers = ctable.result_set(engine.probability, config.answer_threshold)
         probabilities: Dict[int, float] = {}
         for obj in answers:
@@ -361,6 +372,11 @@ class BayesCrowd:
                 1.0 if condition.is_true else engine.probability(condition)
             )
         total_seconds = time.perf_counter() - start - crowd_wait
+        engine_stats = engine.stats()
+        engine_stats["objects_rescored"] = ranker.n_rescored
+        engine_stats["rankings"] = ranker.n_rankings
+        for key, value in ctable.build_stats.items():
+            engine_stats["ctable_%s" % key] = value
         return QueryResult(
             answers=answers,
             certain_answers=ctable.certain_answers(),
@@ -372,10 +388,7 @@ class BayesCrowd:
             history=history,
             initial_answers=initial_answers,
             answer_probabilities=probabilities,
-            engine_stats={
-                "computations": engine.n_computations,
-                "cache_hits": engine.n_cache_hits,
-            },
+            engine_stats=engine_stats,
             degraded=degraded,
             fault_counts=fault_totals,
             resumed=resumed,

@@ -3,12 +3,19 @@
 "We employ Shannon entropy as a metric to quantify the uncertainty of
 objects being the query result objects ... we choose the top-k objects
 with the highest entropy values" (Section 6.2).
+
+Ranking is batch-backed: all undecided conditions go through
+:meth:`ProbabilityEngine.probability_many` so leaf probabilities are
+bulk-computed (and, with ``n_jobs > 1``, conditions fan out across the
+process pool).  :class:`IncrementalRanker` additionally keeps the ranking
+warm across rounds -- after a batch of crowd answers only the objects
+whose conditions mention an answered variable are recomputed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import Dict, Iterable, List, Optional, Set
 
 from ..ctable.ctable import CTable
 from ..probability.engine import ProbabilityEngine
@@ -24,15 +31,23 @@ class RankedObject:
     entropy: float
 
 
-def rank_objects(ctable: CTable, engine: ProbabilityEngine) -> List[RankedObject]:
+def rank_objects(
+    ctable: CTable,
+    engine: ProbabilityEngine,
+    n_jobs: Optional[int] = None,
+) -> List[RankedObject]:
     """All undecided objects, most uncertain first.
 
     Ties break on the smaller object id so runs are reproducible.
     """
-    ranked = []
-    for obj in ctable.undecided():
-        p = engine.probability(ctable.condition(obj))
-        ranked.append(RankedObject(obj=obj, probability=p, entropy=entropy(p)))
+    undecided = ctable.undecided()
+    probabilities = engine.probability_many(
+        [ctable.condition(obj) for obj in undecided], n_jobs=n_jobs
+    )
+    ranked = [
+        RankedObject(obj=obj, probability=p, entropy=entropy(p))
+        for obj, p in zip(undecided, probabilities)
+    ]
     ranked.sort(key=lambda r: (-r.entropy, r.obj))
     return ranked
 
@@ -42,3 +57,61 @@ def select_top_k(ctable: CTable, engine: ProbabilityEngine, k: int) -> List[Rank
     if k <= 0:
         return []
     return rank_objects(ctable, engine)[:k]
+
+
+class IncrementalRanker:
+    """Entropy ranking that recomputes only answer-affected objects.
+
+    After a round of crowd answers, :meth:`CTable.apply_answer` reports
+    which objects' conditions were touched; everything else still has the
+    exact probability (and entropy) from the previous round.  The ranker
+    keeps those, drops objects that became decided, and batches only the
+    dirty conditions through :meth:`ProbabilityEngine.probability_many`.
+    """
+
+    def __init__(
+        self,
+        ctable: CTable,
+        engine: ProbabilityEngine,
+        n_jobs: Optional[int] = None,
+    ) -> None:
+        self._ctable = ctable
+        self._engine = engine
+        self._n_jobs = n_jobs
+        self._entries: Dict[int, RankedObject] = {}
+        self._primed = False
+        #: objects re-scored since construction (perf counter)
+        self.n_rescored = 0
+        #: full ranking passes served (perf counter)
+        self.n_rankings = 0
+
+    def mark_dirty(self, objects: Iterable[int]) -> None:
+        """Forget the cached scores of the given objects."""
+        for obj in objects:
+            self._entries.pop(obj, None)
+
+    def rank(self) -> List[RankedObject]:
+        """Current ranking, recomputing only what :meth:`mark_dirty` hit."""
+        undecided = self._ctable.undecided()
+        undecided_set: Set[int] = set(undecided)
+        # Objects decided since the last round fall out of the ranking.
+        for obj in list(self._entries):
+            if obj not in undecided_set:
+                del self._entries[obj]
+        stale = [obj for obj in undecided if obj not in self._entries]
+        if stale:
+            probabilities = self._engine.probability_many(
+                [self._ctable.condition(obj) for obj in stale],
+                n_jobs=self._n_jobs,
+            )
+            for obj, p in zip(stale, probabilities):
+                self._entries[obj] = RankedObject(
+                    obj=obj, probability=p, entropy=entropy(p)
+                )
+            if self._primed:
+                self.n_rescored += len(stale)
+        self._primed = True
+        self.n_rankings += 1
+        ranked = [self._entries[obj] for obj in undecided]
+        ranked.sort(key=lambda r: (-r.entropy, r.obj))
+        return ranked

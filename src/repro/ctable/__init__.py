@@ -2,12 +2,14 @@
 
 from .condition import Clause, Condition, ExpressionResolver
 from .constraints import INFERENCE_MODES, VariableConstraints
-from .construction import build_ctable
+from .construction import BACKENDS, build_ctable
 from .ctable import CTable
 from .dominators import (
+    DOMINATOR_METHODS,
     dominator_sets,
     dominator_sets_baseline,
     dominator_sets_fast,
+    dominator_sets_numpy,
 )
 from .expression import (
     Const,
@@ -27,10 +29,13 @@ __all__ = [
     "VariableConstraints",
     "INFERENCE_MODES",
     "build_ctable",
+    "BACKENDS",
     "CTable",
+    "DOMINATOR_METHODS",
     "dominator_sets",
     "dominator_sets_baseline",
     "dominator_sets_fast",
+    "dominator_sets_numpy",
     "Const",
     "Expression",
     "Operand",

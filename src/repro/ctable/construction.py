@@ -22,15 +22,24 @@ other).
 
 from __future__ import annotations
 
-from typing import List, Optional
+import time
+from operator import itemgetter
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from ..datasets.dataset import IncompleteDataset
 from .condition import Condition
 from .ctable import CTable
-from .dominators import dominator_sets
+from .dominators import dominator_sets, possible_dominator_blocks
 from .expression import Const, Expression, Var
+
+#: Construction backends: ``numpy`` runs dominance tests, alpha-pruning
+#: and clause layout as bulk array operations; ``python`` is the scalar
+#: per-object/per-pair loop kept for ablation and correctness
+#: cross-checks; ``auto`` picks numpy unless the Figure-2 ``baseline``
+#: dominator derivation was explicitly requested.
+BACKENDS = ("auto", "numpy", "python")
 
 
 def _clause_for_pair(
@@ -75,6 +84,7 @@ def build_ctable(
     alpha: float = 1.0,
     dominator_method: str = "fast",
     inference_mode: str = "full",
+    backend: str = "auto",
 ) -> CTable:
     """Run Algorithm 2 and return the populated :class:`CTable`.
 
@@ -86,14 +96,48 @@ def build_ctable(
         probability is near zero and their conditions would be huge).
         ``alpha >= 1`` disables pruning.
     dominator_method:
-        ``"fast"`` (Get-CTable's sorted/bitwise derivation) or
-        ``"baseline"`` (pairwise comparisons), per Figure 2.
+        dominator derivation: ``"fast"`` (Get-CTable's selectivity-sorted
+        filters), ``"baseline"`` (pairwise comparisons, per Figure 2) or
+        ``"numpy"`` (blocked full-relation broadcasting).  Honored by
+        both backends.
     inference_mode:
         how aggressively crowd answers are propagated afterwards
         (see :data:`repro.ctable.constraints.INFERENCE_MODES`).
+    backend:
+        ``"numpy"`` (bulk broadcast kernels), ``"python"`` (scalar loops)
+        or ``"auto"`` (numpy, unless ``dominator_method="baseline"`` asks
+        for the Figure-2 scalar comparison).  Both backends produce
+        identical c-tables; construction statistics land in
+        :attr:`CTable.build_stats`.
     """
     if alpha <= 0:
         raise ValueError("alpha must be positive")
+    if backend not in BACKENDS:
+        raise ValueError("unknown backend %r; expected one of %r" % (backend, BACKENDS))
+    if backend == "auto":
+        backend = "python" if dominator_method == "baseline" else "numpy"
+    start = time.perf_counter()
+    if backend == "numpy":
+        ctable = _build_ctable_numpy(dataset, alpha, inference_mode, dominator_method)
+    else:
+        ctable = _build_ctable_python(dataset, alpha, dominator_method, inference_mode)
+    stats = ctable.build_stats
+    stats["backend"] = backend
+    stats["seconds"] = time.perf_counter() - start
+    stats["n_objects"] = dataset.n_objects
+    pairs = dataset.n_objects * (dataset.n_objects - 1)
+    stats["pairs_tested"] = pairs
+    stats["pairs_per_sec"] = pairs / stats["seconds"] if stats["seconds"] > 0 else 0.0
+    return ctable
+
+
+def _build_ctable_python(
+    dataset: IncompleteDataset,
+    alpha: float,
+    dominator_method: str,
+    inference_mode: str,
+) -> CTable:
+    """The scalar reference path: per-object loops over dominator sets."""
     sets = dominator_sets(dataset, method=dominator_method)
     n = dataset.n_objects
     limit = alpha * n
@@ -122,7 +166,227 @@ def build_ctable(
         conditions=conditions,
         pruned=frozenset(pruned),
         inference_mode=inference_mode,
+        build_stats=_count_stats(conditions, pruned),
     )
+
+
+def _build_ctable_numpy(
+    dataset: IncompleteDataset,
+    alpha: float,
+    inference_mode: str,
+    dominator_method: str = "fast",
+) -> CTable:
+    """Bulk path: dominance, alpha-pruning and clause layout via arrays.
+
+    Dominator discovery follows ``dominator_method``: the default
+    ``"fast"`` derivation (selectivity-sorted per-object filters) is
+    usually the cheapest, while ``"numpy"`` materializes the whole
+    possible-dominator relation block by block as a boolean ``(block, n)``
+    matrix.  Either way, membership counts (alpha-pruning, certain
+    answers) and the fully-observed-dominance check (Algorithm 2, line 8)
+    are array reductions, and Python objects are only created for the
+    expressions that actually survive into clauses.
+    """
+    n = dataset.n_objects
+    limit = alpha * n
+    values = dataset.values
+    mask = dataset.mask
+    complete_object = ~mask.any(axis=1)
+    conditions: Dict[int, Condition] = {}
+    pruned = set()
+    #: expression intern table shared across the whole build; disjuncts
+    #: repeat heavily (small domains, shared dominators), so reusing the
+    #: instance skips hash/key recomputation and speeds clause sorting.
+    interned: Dict[tuple, Expression] = {}
+
+    if dominator_method != "numpy":
+        sets = dominator_sets(dataset, method=dominator_method)
+        for o in range(n):
+            dominators = sets[o]
+            if dominators.size == 0:
+                conditions[o] = Condition.true()
+                continue
+            if dominators.size > limit:
+                conditions[o] = Condition.false()
+                pruned.add(o)
+                continue
+            if complete_object[o]:
+                # Line 8, vectorized over D(o): membership guarantees
+                # p >= o on every attribute for complete pairs, so any
+                # difference means strict domination.
+                complete_doms = dominators[complete_object[dominators]]
+                if complete_doms.size and bool(
+                    (values[complete_doms] != values[o]).any()
+                ):
+                    conditions[o] = Condition.false()
+                    continue
+            conditions[o] = _build_condition_bulk(o, dominators, values, mask, interned)
+        return CTable(
+            dataset=dataset,
+            conditions=conditions,
+            pruned=frozenset(pruned),
+            inference_mode=inference_mode,
+            build_stats=_count_stats(conditions, pruned),
+        )
+
+    for start, possible in possible_dominator_blocks(dataset):
+        counts = possible.sum(axis=1)
+        block_rows = np.arange(possible.shape[0])
+        block_objs = block_rows + start
+
+        # Bulk line 8: a fully-observed o is certainly dominated when some
+        # fully-observed possible dominator differs from it somewhere
+        # (membership already guarantees >= on every attribute).
+        block_complete = complete_object[block_objs]
+        certain_false = np.zeros(possible.shape[0], dtype=bool)
+        if block_complete.any():
+            rows = block_rows[block_complete]
+            eq_all = (
+                values[None, :, :] == values[block_objs[rows], None, :]
+            ).all(axis=2)
+            strict = possible[rows] & complete_object[None, :] & ~eq_all
+            certain_false[rows] = strict.any(axis=1)
+
+        for b in block_rows.tolist():
+            o = start + b
+            if counts[b] == 0:
+                conditions[o] = Condition.true()
+                continue
+            if counts[b] > limit:
+                conditions[o] = Condition.false()
+                pruned.add(o)
+                continue
+            if certain_false[b]:
+                conditions[o] = Condition.false()
+                continue
+            dominators = np.nonzero(possible[b])[0]
+            conditions[o] = _build_condition_bulk(o, dominators, values, mask, interned)
+    return CTable(
+        dataset=dataset,
+        conditions=conditions,
+        pruned=frozenset(pruned),
+        inference_mode=inference_mode,
+        build_stats=_count_stats(conditions, pruned),
+    )
+
+
+def _build_condition_bulk(
+    o: int,
+    dominators: np.ndarray,
+    values: np.ndarray,
+    mask: np.ndarray,
+    interned: Dict[tuple, Expression],
+) -> Condition:
+    """Clause construction with the disjunct layout computed as arrays.
+
+    For every ``(pair, attribute)`` cell the disjunct kind follows from
+    the two missing bits alone, so Python objects are only created for
+    the expressions that survive into clauses -- and through ``interned``
+    only once per distinct disjunct of the whole build.  Both-observed
+    cells never contribute (dominator membership guarantees ``p >= o``
+    there), and a pair with no disjunct is a fully-observed exact
+    duplicate, which does not dominate under Definition 1.
+
+    Expressions are emitted directly in canonical order -- const-left
+    disjuncts sorted by ``(value, attribute)`` via one column
+    permutation, then var-left disjuncts by attribute -- so no per-clause
+    sort is needed, and clause dedup/ordering runs on the expressions'
+    precomputed sort keys.  The clauses come out exactly as
+    :meth:`Condition.of` would normalize them, so the raw constructor
+    applies.
+    """
+    mo = mask[o]  # (d,)
+    mp = mask[dominators]  # (m, d)
+    vp = values[dominators]
+    vo = values[o]
+    m = len(dominators)
+    doms = dominators.tolist()
+
+    miss = np.nonzero(mo)[0]
+    obs = np.nonzero(~mo)[0]
+
+    clauses: List[List[Expression]] = [[] for __ in range(m)]
+    keys: List[List[tuple]] = [[] for __ in range(m)]
+
+    # Const(vo[k]) > Var(p, k): canonical order is (value, attribute), and
+    # within one clause p is fixed -- permuting the observed columns by
+    # (value, attribute) makes row-major nonzero yield that order.
+    if obs.size:
+        const_order = obs[np.lexsort((obs, vo[obs]))]
+        sub = mp[:, const_order]
+        order_ks = const_order.tolist()
+        vo_l = vo.tolist()
+        nz_i, nz_j = np.nonzero(sub)
+        for i, j in zip(nz_i.tolist(), nz_j.tolist()):
+            k = order_ks[j]
+            key = (vo_l[k], doms[i], k)  # shared across objects
+            expression = interned.get(key)
+            if expression is None:
+                expression = Expression(Const(key[0]), Var(key[1], k))
+                interned[key] = expression
+            clauses[i].append(expression)
+            keys[i].append(expression._key)
+
+    # Var(o, k) > ...: canonical order is ascending k, and every pair has
+    # exactly one var-left disjunct per missing attribute of o (variable
+    # right operand when p misses k too, constant otherwise).
+    if miss.size:
+        miss_l = miss.tolist()
+        mp_miss = mp[:, miss].tolist()
+        vp_miss = vp[:, miss].tolist()
+        local: Dict[tuple, Expression] = {}  # Var(o, .) > c: scoped to o
+        for i in range(m):
+            row_missing = mp_miss[i]
+            row_values = vp_miss[i]
+            clause = clauses[i]
+            key_list = keys[i]
+            p = doms[i]
+            for j, k in enumerate(miss_l):
+                if row_missing[j]:
+                    # unique to this pair, nothing to intern
+                    expression = Expression(Var(o, k), Var(p, k))
+                else:
+                    lk = (k, row_values[j])
+                    expression = local.get(lk)
+                    if expression is None:
+                        expression = Expression(Var(o, k), Const(lk[1]))
+                        local[lk] = expression
+                clause.append(expression)
+                key_list.append(expression._key)
+
+    normalized = []
+    seen = set()
+    for clause, key_list in zip(clauses, keys):
+        if not clause:
+            continue
+        ktup = tuple(key_list)
+        if ktup in seen:
+            continue
+        seen.add(ktup)
+        normalized.append((ktup, tuple(clause)))
+    if not normalized:
+        return Condition.true()
+    normalized.sort(key=itemgetter(0))
+    condition = Condition(clauses=tuple(c for __, c in normalized))
+    # The variable set is known from the masks alone: every missing attr
+    # of o appears in every kept clause, and every missing cell of a
+    # dominator appears in that dominator's (never-deduped) clause.
+    # Seeding the memo makes CTable's variable-index build cheap.
+    variables = set((o, k) for k in miss.tolist())
+    nz_p, nz_k = np.nonzero(mp)
+    for i, k in zip(nz_p.tolist(), nz_k.tolist()):
+        variables.add((doms[i], k))
+    condition._vars = frozenset(variables)
+    return condition
+
+
+def _count_stats(conditions: Dict[int, Condition], pruned) -> Dict[str, float]:
+    return {
+        "certain_true": sum(1 for c in conditions.values() if c.is_true),
+        "certain_false": sum(1 for c in conditions.values() if c.is_false),
+        "alpha_pruned": len(pruned),
+        "open_conditions": sum(1 for c in conditions.values() if not c.is_constant),
+    }
 
 
 def _build_condition(

@@ -27,6 +27,8 @@ class CTable:
     pruned: FrozenSet[int] = frozenset()
     #: answer-inference level: "direct", "intervals" or "full"
     inference_mode: str = "full"
+    #: construction perf counters (backend, seconds, pairs/sec, ...)
+    build_stats: Dict[str, float] = field(default_factory=dict)
     constraints: VariableConstraints = field(init=False)
     _var_index: Dict[Variable, Set[int]] = field(init=False)
 
@@ -81,13 +83,17 @@ class CTable:
     # ------------------------------------------------------------------
     # updates
     # ------------------------------------------------------------------
-    def apply_answer(self, expression: Expression, relation: Relation) -> None:
+    def apply_answer(
+        self, expression: Expression, relation: Relation
+    ) -> FrozenSet[int]:
         """Fold one crowd answer into the constraints and re-simplify.
 
         Only conditions mentioning a potentially-affected variable are
         touched (the answered variables, plus -- for variable-vs-variable
         answers -- their whole ordering component, since transitive
-        inference can resolve expressions anywhere inside it).
+        inference can resolve expressions anywhere inside it).  Returns
+        those objects so callers can re-rank incrementally: every other
+        condition's probability is unchanged by this answer.
         """
         variables = self.constraints.apply_answer(expression, relation)
         affected: Set[int] = set()
@@ -95,6 +101,7 @@ class CTable:
             affected |= self._var_index.get(variable, set())
         for obj in affected:
             self._resimplify(obj)
+        return frozenset(affected)
 
     def resimplify_all(self) -> None:
         """Re-simplify every symbolic condition against current constraints."""

@@ -1,0 +1,83 @@
+"""Size-bounded LRU mapping for hot-path memo tables.
+
+Long crowdsourcing runs accumulate stale-version entries in the
+probability caches (``ProbabilityEngine._cache``, ``ADPLL._memo``):
+entries keyed by conditions whose variables were constrained later are
+never looked up again, yet a plain dict keeps them forever.  Bounding
+the tables with LRU eviction caps memory while keeping the hot entries
+(recently touched conditions are exactly the ones task selection
+re-asks about every round).
+
+Built on ``dict``'s insertion-order guarantee: a hit re-inserts the key
+to mark it most-recent, an insert past capacity evicts the oldest.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Iterator, Optional, TypeVar
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+#: ``maxsize`` that disables eviction (the table behaves like a dict).
+UNBOUNDED = 0
+
+
+class LRUCache(Generic[K, V]):
+    """A dict with least-recently-used eviction past ``maxsize`` entries.
+
+    ``maxsize <= 0`` disables the bound.  Only the operations the
+    probability hot paths need are provided (``get``/``__setitem__``/
+    ``__contains__``/``__len__``/``clear``), all O(1).
+    """
+
+    __slots__ = ("maxsize", "_data", "hits", "misses", "evictions")
+
+    def __init__(self, maxsize: int = UNBOUNDED) -> None:
+        self.maxsize = int(maxsize)
+        self._data: Dict[K, V] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: K, default: Optional[V] = None) -> Optional[V]:
+        data = self._data
+        try:
+            value = data.pop(key)
+        except KeyError:
+            self.misses += 1
+            return default
+        data[key] = value  # re-insert: now the most recently used
+        self.hits += 1
+        return value
+
+    def __setitem__(self, key: K, value: V) -> None:
+        data = self._data
+        if key in data:
+            del data[key]
+        elif self.maxsize > 0 and len(data) >= self.maxsize:
+            del data[next(iter(data))]  # oldest insertion = least recent
+            self.evictions += 1
+        data[key] = value
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator[K]:
+        return iter(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot for perf reporting."""
+        return {
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

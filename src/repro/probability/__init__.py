@@ -7,7 +7,12 @@ from .approxcount import (
     approx_probability,
 )
 from .distributions import DistributionStore
-from .engine import METHODS, ProbabilityEngine
+from .engine import (
+    DEFAULT_CACHE_SIZE,
+    METHODS,
+    ProbabilityEngine,
+    resolve_n_jobs,
+)
 from .naive import EnumerationLimitExceeded, naive_probability
 
 __all__ = [
@@ -17,8 +22,10 @@ __all__ = [
     "approx_probability",
     "adaptive_approx_probability",
     "DistributionStore",
+    "DEFAULT_CACHE_SIZE",
     "METHODS",
     "ProbabilityEngine",
+    "resolve_n_jobs",
     "EnumerationLimitExceeded",
     "naive_probability",
 ]

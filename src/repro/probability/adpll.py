@@ -27,7 +27,14 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..ctable.condition import Condition
+from ..lru import LRUCache
 from .distributions import DistributionStore
+
+#: Default bound on the sub-condition memo table.  Long crowdsourcing
+#: runs accumulate stale-version entries (conditions whose variables were
+#: constrained later are never looked up again); LRU eviction caps the
+#: table while keeping the recently hot residuals.
+DEFAULT_MEMO_SIZE = 262_144
 
 
 def _is_independent(condition: Condition) -> bool:
@@ -102,6 +109,7 @@ class ADPLL:
         use_memo: bool = True,
         branch_heuristic: str = "frequency",
         use_absorption: bool = False,
+        memo_size: int = DEFAULT_MEMO_SIZE,
     ) -> None:
         if branch_heuristic not in self.BRANCH_HEURISTICS:
             raise ValueError(
@@ -113,8 +121,9 @@ class ADPLL:
         self._use_memo = use_memo
         self._branch_heuristic = branch_heuristic
         self._use_absorption = use_absorption
-        #: condition -> (probability, store version when computed)
-        self._memo: Dict[Condition, "Tuple[float, int]"] = {}
+        #: condition -> (probability, store version when computed), bounded
+        #: LRU (``memo_size <= 0`` keeps it unbounded)
+        self._memo: "LRUCache[Condition, Tuple[float, int]]" = LRUCache(memo_size)
         #: number of branching (variable assignment) steps taken so far
         self.branch_count = 0
 
@@ -186,10 +195,12 @@ class ADPLL:
                 return 1.0 if condition.is_true else 0.0
         variable = self._pick_branch_variable(condition)
         pmf = self._store.pmf(variable)
+        support = self._store.support(variable)
         total = 0.0
-        for value in self._store.support(variable).tolist():
-            weight = float(pmf[value])
-            residual = condition.substitute(variable, int(value))
+        # One bulk ndarray->list conversion instead of a float()/indexing
+        # pair per iteration: this loop is the deepest hot path.
+        for value, weight in zip(support.tolist(), pmf[support].tolist()):
+            residual = condition.substitute(variable, value)
             self.branch_count += 1
             total += weight * self._probability(residual)
         return total

@@ -14,13 +14,19 @@ incorporate everything the crowd has said.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional
+from collections import defaultdict
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
 from ..ctable.constraints import VariableConstraints
 from ..ctable.expression import Const, Expression, Var
 from ..datasets.dataset import Variable
+
+
+#: Smallest per-variable expression group worth a vectorized gather in
+#: :meth:`DistributionStore.prob_expressions_bulk`.
+_BULK_GATHER_MIN = 8
 
 
 class DistributionStore:
@@ -47,6 +53,10 @@ class DistributionStore:
         # leaf expressions repeat heavily across ADPLL branches.
         self._pmf_cache: Dict[Variable, "tuple[np.ndarray, int]"] = {}
         self._expr_cache: Dict[Expression, "tuple[float, int]"] = {}
+        # Per-variable cumulative arrays: tails[0][c] = Pr(X > c) and
+        # tails[1][c] = Pr(X < c), both length |domain|.  Every expression
+        # probability is one lookup (or one dot product) against these.
+        self._tail_cache: Dict[Variable, "tuple[np.ndarray, np.ndarray, int]"] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -92,8 +102,42 @@ class DistributionStore:
         return np.nonzero(self.pmf(variable) > 0.0)[0]
 
     # ------------------------------------------------------------------
+    # frozen snapshots (for process-pool workers)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> "DistributionStore":
+        """A frozen, picklable copy with constraints baked into the pmfs.
+
+        Pool workers compute against the snapshot: it carries no mutable
+        knowledge base (``version`` is pinned at 0), so results shipped
+        back are valid exactly for the version the snapshot was taken at.
+        """
+        return DistributionStore(
+            {variable: self.pmf(variable).copy() for variable in self._base},
+            constraints=None,
+        )
+
+    # ------------------------------------------------------------------
     # expression probabilities (exact, under variable independence)
     # ------------------------------------------------------------------
+    def _tails(self, variable: Variable) -> "tuple[np.ndarray, np.ndarray]":
+        """``(gt, lt)`` with ``gt[c] = Pr(X > c)`` and ``lt[c] = Pr(X < c)``."""
+        constraints = self._constraints
+        cached = self._tail_cache.get(variable)
+        if cached is not None:
+            gt, lt, version = cached
+            if constraints is None or constraints.variables_unchanged_since(
+                (variable,), version
+            ):
+                return gt, lt
+        pmf = self.pmf(variable)
+        # Suffix/prefix sums (not 1 - cdf) keep the entries exact sums of
+        # pmf cells: nonnegative and identical to per-value summation.
+        suffix = np.cumsum(pmf[::-1])[::-1]  # Pr(X >= c)
+        gt = np.concatenate((suffix[1:], (0.0,)))  # Pr(X > c)
+        lt = np.concatenate(((0.0,), np.cumsum(pmf)[:-1]))  # Pr(X < c)
+        self._tail_cache[variable] = (gt, lt, self.version)
+        return gt, lt
+
     def prob_expression(self, expression: Expression) -> float:
         """``Pr(expression)`` under the current distributions (cached)."""
         cached = self._expr_cache.get(expression)
@@ -108,11 +152,17 @@ class DistributionStore:
     def _prob_expression_uncached(self, expression: Expression) -> float:
         left, right = expression.left, expression.right
         if isinstance(left, Var) and isinstance(right, Const):
-            pmf = self.pmf(left.variable)
-            return float(pmf[right.value + 1 :].sum()) if right.value + 1 < len(pmf) else 0.0
+            gt, __ = self._tails(left.variable)
+            c = right.value
+            if c >= len(gt):
+                return 0.0
+            return float(gt[c]) if c >= 0 else 1.0
         if isinstance(left, Const) and isinstance(right, Var):
-            pmf = self.pmf(right.variable)
-            return float(pmf[: left.value].sum()) if left.value > 0 else 0.0
+            __, lt = self._tails(right.variable)
+            c = left.value
+            if c <= 0:
+                return 0.0
+            return float(lt[c]) if c < len(lt) else 1.0
         if isinstance(left, Var) and isinstance(right, Var):
             return self._prob_var_greater_var(left.variable, right.variable)
         raise ValueError("expression without variables")  # pragma: no cover
@@ -120,15 +170,83 @@ class DistributionStore:
     def _prob_var_greater_var(self, a: Variable, b: Variable) -> float:
         """``Pr(A > B)`` for independent discrete A, B."""
         pmf_a = self.pmf(a)
-        pmf_b = self.pmf(b)
-        # cdf_b[x] = Pr(B < x) for x in 0..len-1
-        cdf_below = np.concatenate(([0.0], np.cumsum(pmf_b)))[: len(pmf_b)]
-        limit = min(len(pmf_a), len(cdf_below))
-        total = float((pmf_a[:limit] * cdf_below[:limit]).sum())
+        __, lt_b = self._tails(b)  # lt_b[x] = Pr(B < x)
+        limit = min(len(pmf_a), len(lt_b))
+        total = float(pmf_a[:limit] @ lt_b[:limit])
         # values of A above B's domain always win
-        if len(pmf_a) > len(pmf_b):
-            total += float(pmf_a[len(pmf_b) :].sum())
+        if len(pmf_a) > len(lt_b):
+            total += float(pmf_a[len(lt_b) :].sum())
         return total
+
+    def prob_expressions_bulk(
+        self, expressions: Iterable[Expression]
+    ) -> Dict[Expression, float]:
+        """Probabilities of many expressions at once, vectorized per variable.
+
+        Variable-vs-constant expressions over the same variable collapse
+        into one gather against the variable's cumulative arrays instead
+        of per-expression Python arithmetic.  All results are folded into
+        the expression cache, so a subsequent ADPLL/naive pass over the
+        conditions that produced these leaves starts fully warm.
+        """
+        out: Dict[Expression, float] = {}
+        version = self.version
+        var_const: "defaultdict[Variable, List[Tuple[Expression, int]]]" = defaultdict(list)
+        const_var: "defaultdict[Variable, List[Tuple[Expression, int]]]" = defaultdict(list)
+        var_var: List[Expression] = []
+        for expression in expressions:
+            if expression in out:
+                continue
+            cached = self._expr_cache.get(expression)
+            if cached is not None and self.variables_unchanged_since(
+                expression.variables(), cached[1]
+            ):
+                out[expression] = cached[0]
+                continue
+            left, right = expression.left, expression.right
+            if isinstance(left, Var) and isinstance(right, Const):
+                var_const[left.variable].append((expression, right.value))
+            elif isinstance(left, Const) and isinstance(right, Var):
+                const_var[right.variable].append((expression, left.value))
+            else:
+                var_var.append(expression)
+
+        for variable, pairs in var_const.items():
+            gt, __ = self._tails(variable)
+            size = len(gt)
+            if len(pairs) < _BULK_GATHER_MIN:
+                # ndarray setup costs more than it saves on tiny groups
+                for expression, c in pairs:
+                    value = 0.0 if c >= size else (float(gt[c]) if c >= 0 else 1.0)
+                    out[expression] = value
+                    self._expr_cache[expression] = (value, version)
+                continue
+            cs = np.fromiter((c for __, c in pairs), dtype=np.int64, count=len(pairs))
+            values = np.where(
+                cs >= size, 0.0, np.where(cs < 0, 1.0, gt[np.clip(cs, 0, size - 1)])
+            )
+            for (expression, __c), value in zip(pairs, values.tolist()):
+                out[expression] = value
+                self._expr_cache[expression] = (value, version)
+        for variable, pairs in const_var.items():
+            __, lt = self._tails(variable)
+            size = len(lt)
+            if len(pairs) < _BULK_GATHER_MIN:
+                for expression, c in pairs:
+                    value = 0.0 if c <= 0 else (float(lt[c]) if c < size else 1.0)
+                    out[expression] = value
+                    self._expr_cache[expression] = (value, version)
+                continue
+            cs = np.fromiter((c for __, c in pairs), dtype=np.int64, count=len(pairs))
+            values = np.where(
+                cs <= 0, 0.0, np.where(cs >= size, 1.0, lt[np.clip(cs, 0, size - 1)])
+            )
+            for (expression, __c), value in zip(pairs, values.tolist()):
+                out[expression] = value
+                self._expr_cache[expression] = (value, version)
+        for expression in var_var:
+            out[expression] = self.prob_expression(expression)
+        return out
 
     # ------------------------------------------------------------------
     def sample_assignment(

@@ -4,15 +4,27 @@ Task selection recomputes condition probabilities many times per round
 (entropy ranking, marginal utilities); the engine memoizes results keyed
 by the (hashable) condition and invalidates whenever the constraint store
 version changes, i.e. whenever a crowd answer could alter a distribution.
+The result cache is LRU-bounded: long crowdsourcing runs otherwise grow
+it monotonically with stale-version entries that are never evicted.
+
+:meth:`ProbabilityEngine.probability_many` is the batch entry point.  It
+deduplicates conditions, bulk-computes every leaf expression probability
+against the store's cumulative arrays, and -- with ``n_jobs > 1`` --
+partitions the independent conditions across a ``concurrent.futures``
+process pool, each worker solving its chunk against a frozen, picklable
+store snapshot.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import os
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..ctable.condition import Condition
+from ..lru import LRUCache
 from .adpll import ADPLL
 from .approxcount import approx_probability
 from .distributions import DistributionStore
@@ -20,6 +32,44 @@ from .naive import naive_probability
 
 #: Supported computation methods.
 METHODS = ("adpll", "naive", "approx")
+
+#: Default bound on the condition-probability cache.
+DEFAULT_CACHE_SIZE = 65_536
+
+#: Below this many uncached conditions a pool is never worth its fork +
+#: pickling overhead; the batch falls back to the in-process path.
+MIN_CONDITIONS_PER_WORKER = 8
+
+
+def resolve_n_jobs(n_jobs: Optional[int]) -> int:
+    """Normalize an ``n_jobs`` knob: ``None``/1 sequential, 0 = all cores."""
+    if n_jobs is None:
+        return 1
+    n_jobs = int(n_jobs)
+    if n_jobs == 0:
+        return os.cpu_count() or 1
+    return max(1, n_jobs)
+
+
+def _compute_chunk(payload) -> List[float]:
+    """Pool worker: solve one chunk of conditions against a store snapshot.
+
+    Module-level so it pickles by reference; the snapshot rides along in
+    the payload (fork start methods share it copy-on-write anyway).
+    """
+    store, method, conditions, approx_samples, seed = payload
+    if method == "adpll":
+        solver = ADPLL(store)
+        return [solver.probability(condition) for condition in conditions]
+    if method == "naive":
+        return [naive_probability(condition, store) for condition in conditions]
+    rng = np.random.default_rng(seed)
+    return [
+        approx_probability(
+            condition, store, n_samples=approx_samples, rng=rng
+        ).probability
+        for condition in conditions
+    ]
 
 
 class ProbabilityEngine:
@@ -33,6 +83,8 @@ class ProbabilityEngine:
         approx_samples: int = 2000,
         rng: Optional[np.random.Generator] = None,
         use_components: bool = True,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        n_jobs: int = 1,
     ) -> None:
         if method not in METHODS:
             raise ValueError("unknown method %r; expected one of %r" % (method, METHODS))
@@ -42,10 +94,30 @@ class ProbabilityEngine:
         self._approx_samples = approx_samples
         self._rng = rng or np.random.default_rng(0)
         self._adpll = ADPLL(store, use_components=use_components)
+        #: default worker count for :meth:`probability_many`
+        self.n_jobs = resolve_n_jobs(n_jobs)
         #: condition -> (probability, store version when computed)
-        self._cache: Dict[Condition, "tuple[float, int]"] = {}
+        self._cache: "LRUCache[Condition, Tuple[float, int]]" = LRUCache(cache_size)
         self.n_computations = 0
         self.n_cache_hits = 0
+        # --- batch/pool perf counters ---------------------------------
+        self.n_batches = 0
+        self.n_batch_conditions = 0
+        self.n_parallel_chunks = 0
+        self.parallel_seconds = 0.0
+        self.batch_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    def _cached(self, condition: Condition, version: int) -> Optional[float]:
+        cached = self._cache.get(condition)
+        if cached is None:
+            return None
+        value, cached_version = cached
+        if cached_version == version or self.store.variables_unchanged_since(
+            condition.variables(), cached_version
+        ):
+            return value
+        return None
 
     def probability(self, condition: Condition) -> float:
         """``Pr(condition)`` under the current distributions."""
@@ -53,21 +125,143 @@ class ProbabilityEngine:
             return 1.0
         if condition.is_false:
             return 0.0
-        version = self.store.version
         if self._use_cache:
-            cached = self._cache.get(condition)
-            if cached is not None:
-                value, cached_version = cached
-                if cached_version == version or self.store.variables_unchanged_since(
-                    condition.variables(), cached_version
-                ):
-                    self.n_cache_hits += 1
-                    return value
+            value = self._cached(condition, self.store.version)
+            if value is not None:
+                self.n_cache_hits += 1
+                return value
         value = self._compute(condition)
         self.n_computations += 1
         if self._use_cache:
-            self._cache[condition] = (value, version)
+            self._cache[condition] = (value, self.store.version)
         return value
+
+    def probability_many(
+        self,
+        conditions: Sequence[Condition],
+        n_jobs: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+    ) -> List[float]:
+        """``Pr(condition)`` for every condition, batched.
+
+        Identical conditions are computed once, cached results are reused,
+        and all leaf expression probabilities of the remaining conditions
+        are bulk-computed first (one vectorized pass per variable).  With
+        ``n_jobs > 1`` the uncached conditions are partitioned across a
+        process pool; conditions are independent given the store snapshot,
+        so chunks need no coordination.  Falls back to the sequential path
+        for small batches where a pool cannot amortize its startup.
+        """
+        start = time.perf_counter()
+        n_jobs = self.n_jobs if n_jobs is None else resolve_n_jobs(n_jobs)
+        version = self.store.version
+        results: Dict[Condition, float] = {}
+        pending: List[Condition] = []
+        seen = set()
+        for condition in conditions:
+            # Dedup up front (Condition hashes canonically): duplicates in
+            # the batch are computed once.
+            if condition in seen:
+                continue
+            seen.add(condition)
+            if condition.is_constant:
+                results[condition] = 1.0 if condition.is_true else 0.0
+                continue
+            if self._use_cache:
+                value = self._cached(condition, version)
+                if value is not None:
+                    self.n_cache_hits += 1
+                    results[condition] = value
+                    continue
+            pending.append(condition)
+
+        if pending:
+            self._warm_leaves(pending)
+            if n_jobs > 1 and len(pending) >= 2 * MIN_CONDITIONS_PER_WORKER:
+                computed = self._compute_parallel(pending, n_jobs, chunk_size)
+            else:
+                computed = [self._compute(condition) for condition in pending]
+            self.n_computations += len(pending)
+            for condition, value in zip(pending, computed):
+                results[condition] = value
+                if self._use_cache:
+                    self._cache[condition] = (value, version)
+
+        self.n_batches += 1
+        self.n_batch_conditions += len(conditions)
+        self.batch_seconds += time.perf_counter() - start
+        return [results[condition] for condition in conditions]
+
+    def _warm_leaves(self, conditions: Sequence[Condition]) -> None:
+        """Bulk-compute every distinct leaf expression of the batch."""
+        leaves = set()
+        for condition in conditions:
+            leaves.update(condition.distinct_expressions())
+        if leaves:
+            self.store.prob_expressions_bulk(leaves)
+
+    def _compute_parallel(
+        self,
+        pending: List[Condition],
+        n_jobs: int,
+        chunk_size: Optional[int],
+    ) -> List[float]:
+        """Partition ``pending`` across a process pool; order-preserving."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        import multiprocessing
+
+        n_workers = min(n_jobs, max(1, len(pending) // MIN_CONDITIONS_PER_WORKER))
+        if n_workers <= 1:
+            return [self._compute(condition) for condition in pending]
+
+        # Balance chunks by condition size: sort heavy-first, deal
+        # round-robin, then restore the original order on merge.
+        order = sorted(
+            range(len(pending)),
+            key=lambda i: -pending[i].n_expression_occurrences(),
+        )
+        if chunk_size is not None:
+            n_chunks = max(1, -(-len(pending) // max(1, int(chunk_size))))
+        else:
+            n_chunks = n_workers
+        chunks: List[List[int]] = [[] for __ in range(n_chunks)]
+        for position, index in enumerate(order):
+            chunks[position % n_chunks].append(index)
+        chunks = [chunk for chunk in chunks if chunk]
+
+        snapshot = self.store.snapshot()
+        seeds = self._rng.integers(0, 2**31 - 1, size=len(chunks))
+        payloads = [
+            (
+                snapshot,
+                self.method,
+                [pending[i] for i in chunk],
+                self._approx_samples,
+                int(seed),
+            )
+            for chunk, seed in zip(chunks, seeds)
+        ]
+        start = time.perf_counter()
+        try:
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX platforms
+                context = multiprocessing.get_context()
+            with ProcessPoolExecutor(
+                max_workers=len(chunks), mp_context=context
+            ) as pool:
+                chunk_results = list(pool.map(_compute_chunk, payloads))
+        except (OSError, RuntimeError):  # pragma: no cover - pool unavailable
+            return [self._compute(condition) for condition in pending]
+        finally:
+            self.parallel_seconds += time.perf_counter() - start
+        self.n_parallel_chunks += len(chunks)
+        out: List[float] = [0.0] * len(pending)
+        for chunk, values in zip(chunks, chunk_results):
+            for index, value in zip(chunk, values):
+                out[index] = value
+        return out
 
     def _compute(self, condition: Condition) -> float:
         if self.method == "adpll":
@@ -77,6 +271,31 @@ class ProbabilityEngine:
         return approx_probability(
             condition, self.store, n_samples=self._approx_samples, rng=self._rng
         ).probability
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, float]:
+        """Perf counter snapshot (cache behavior, batch/pool activity)."""
+        lookups = self.n_cache_hits + self.n_computations
+        return {
+            "computations": self.n_computations,
+            "cache_hits": self.n_cache_hits,
+            "cache_hit_rate": self.n_cache_hits / lookups if lookups else 0.0,
+            "cache_size": len(self._cache),
+            "cache_evictions": self._cache.evictions,
+            "memo_size": len(self._adpll._memo),
+            "memo_evictions": self._adpll._memo.evictions,
+            "batches": self.n_batches,
+            "batch_conditions": self.n_batch_conditions,
+            "batch_seconds": self.batch_seconds,
+            "parallel_chunks": self.n_parallel_chunks,
+            "parallel_seconds": self.parallel_seconds,
+            "probabilities_per_sec": (
+                self.n_batch_conditions / self.batch_seconds
+                if self.batch_seconds > 0
+                else 0.0
+            ),
+            "n_jobs": self.n_jobs,
+        }
 
     def __call__(self, condition: Condition) -> float:
         return self.probability(condition)

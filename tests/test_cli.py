@@ -42,6 +42,12 @@ class TestMain:
         assert main(["--drop-rate", "1.5"]) == 2
         assert "drop_rate" in capsys.readouterr().err
 
+    def test_invalid_config_is_clean_error(self, capsys):
+        assert main(["--n", "40", "--n-jobs", "-2"]) == 2
+        assert "n_jobs" in capsys.readouterr().err
+        assert main(["--n", "40", "--alpha", "-1"]) == 2
+        assert "alpha" in capsys.readouterr().err
+
     def test_corrupt_checkpoint_is_clean_error(self, tmp_path, capsys):
         bad = tmp_path / "bad.json"
         bad.write_text("{broken")

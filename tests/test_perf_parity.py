@@ -1,0 +1,191 @@
+"""Property tests: the vectorized/parallel hot paths match the scalar ones.
+
+The numpy c-table backend, the batched probability API and the bulk
+expression-probability gather are pure optimizations -- on any dataset
+they must produce byte-identical conditions and probabilities within
+1e-12 of the scalar reference implementations.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bayesnet.posteriors import empirical_distributions, uniform_distributions
+from repro.ctable import (
+    build_ctable,
+    dominator_sets_baseline,
+    dominator_sets_numpy,
+)
+from repro.datasets import MISSING, IncompleteDataset
+from repro.lru import LRUCache
+from repro.probability import DistributionStore, ProbabilityEngine
+
+
+def random_dataset(seed, n=40, d=3, domain=5, missing_rate=0.3):
+    rng = np.random.default_rng(seed)
+    values = rng.integers(0, domain, size=(n, d))
+    values[rng.random((n, d)) < missing_rate] = MISSING
+    return IncompleteDataset(values=values, domain_sizes=[domain] * d)
+
+
+@st.composite
+def incomplete_datasets(draw):
+    n = draw(st.integers(min_value=1, max_value=14))
+    d = draw(st.integers(min_value=1, max_value=3))
+    domain = draw(st.integers(min_value=2, max_value=5))
+    cells = draw(
+        st.lists(
+            st.integers(min_value=-1, max_value=domain - 1),
+            min_size=n * d,
+            max_size=n * d,
+        )
+    )
+    values = np.array(cells).reshape(n, d)
+    return IncompleteDataset(values=values, domain_sizes=[domain] * d)
+
+
+class TestBackendParity:
+    @settings(max_examples=60, deadline=None)
+    @given(incomplete_datasets(), st.sampled_from([0.05, 0.3, 1.0]))
+    def test_numpy_backend_matches_python(self, dataset, alpha):
+        fast = build_ctable(dataset, alpha=alpha, backend="python")
+        vector = build_ctable(dataset, alpha=alpha, backend="numpy")
+        assert fast.conditions == vector.conditions
+
+    @settings(max_examples=40, deadline=None)
+    @given(incomplete_datasets())
+    def test_numpy_dominators_match_baseline(self, dataset):
+        for a, b in zip(dominator_sets_numpy(dataset), dominator_sets_baseline(dataset)):
+            assert a.tolist() == b.tolist()
+
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("alpha", [0.1, 1.0])
+    def test_parity_on_larger_random_datasets(self, seed, alpha):
+        dataset = random_dataset(seed, n=60, d=4)
+        fast = build_ctable(dataset, alpha=alpha, backend="python")
+        vector = build_ctable(dataset, alpha=alpha, backend="numpy")
+        assert fast.conditions == vector.conditions
+
+    def test_all_missing_dataset(self):
+        values = np.full((6, 3), MISSING)
+        dataset = IncompleteDataset(values=values, domain_sizes=[4, 4, 4])
+        fast = build_ctable(dataset, alpha=1.0, backend="python")
+        vector = build_ctable(dataset, alpha=1.0, backend="numpy")
+        assert fast.conditions == vector.conditions
+        # every pair is mutually a possible dominator
+        assert all(not c.is_constant for c in vector.conditions.values())
+
+    def test_no_missing_dataset(self):
+        rng = np.random.default_rng(3)
+        values = rng.integers(0, 5, size=(30, 3))
+        dataset = IncompleteDataset(values=values, domain_sizes=[5, 5, 5])
+        fast = build_ctable(dataset, alpha=1.0, backend="python")
+        vector = build_ctable(dataset, alpha=1.0, backend="numpy")
+        assert fast.conditions == vector.conditions
+        # complete data decides everything without the crowd
+        assert all(c.is_constant for c in vector.conditions.values())
+
+    def test_single_object(self):
+        dataset = IncompleteDataset(
+            values=np.array([[MISSING, 2]]), domain_sizes=[3, 3]
+        )
+        vector = build_ctable(dataset, alpha=1.0, backend="numpy")
+        assert vector.condition(0).is_true
+
+    def test_auto_backend_resolution(self):
+        dataset = random_dataset(0)
+        assert build_ctable(dataset).build_stats["backend"] == "numpy"
+        assert (
+            build_ctable(dataset, dominator_method="baseline").build_stats["backend"]
+            == "python"
+        )
+
+
+class TestProbabilityParity:
+    def _engine_pair(self, seed, source=uniform_distributions, **kwargs):
+        dataset = random_dataset(seed, n=50, d=3, missing_rate=0.35)
+        ctable = build_ctable(dataset, alpha=0.2)
+        store = DistributionStore(source(dataset), ctable.constraints)
+        conditions = [ctable.condition(o) for o in sorted(ctable.conditions)]
+        return conditions, store, kwargs
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_batch_matches_scalar(self, seed):
+        conditions, store, __ = self._engine_pair(seed)
+        scalar = ProbabilityEngine(store)
+        batch = ProbabilityEngine(store.snapshot())
+        expected = [scalar.probability(c) for c in conditions]
+        actual = batch.probability_many(conditions)
+        assert actual == pytest.approx(expected, abs=1e-12)
+
+    def test_pool_matches_scalar(self):
+        conditions, store, __ = self._engine_pair(1, source=empirical_distributions)
+        symbolic = [c for c in conditions if not c.is_constant]
+        # Pad with duplicates so the batch crosses the pool threshold.
+        workload = (symbolic * 8)[:64] or conditions
+        scalar = ProbabilityEngine(store)
+        pooled = ProbabilityEngine(store.snapshot(), n_jobs=2)
+        expected = [scalar.probability(c) for c in workload]
+        actual = pooled.probability_many(workload)
+        assert actual == pytest.approx(expected, abs=1e-12)
+
+    def test_bulk_expressions_match_scalar(self):
+        conditions, store, __ = self._engine_pair(2)
+        leaves = set()
+        for condition in conditions:
+            leaves.update(condition.distinct_expressions())
+        fresh = store.snapshot()
+        bulk = fresh.prob_expressions_bulk(leaves)
+        for expression in leaves:
+            assert bulk[expression] == pytest.approx(
+                store.prob_expression(expression), abs=1e-12
+            )
+
+    def test_batch_reuses_cache_across_calls(self):
+        conditions, store, __ = self._engine_pair(3)
+        engine = ProbabilityEngine(store)
+        first = engine.probability_many(conditions)
+        computed = engine.n_computations
+        second = engine.probability_many(conditions)
+        assert second == first
+        assert engine.n_computations == computed
+
+
+class TestLRUCache:
+    def test_eviction_order(self):
+        cache = LRUCache(2)
+        cache["a"] = 1
+        cache["b"] = 2
+        assert cache.get("a") == 1  # refreshes "a"
+        cache["c"] = 3  # evicts "b", the least recently used
+        assert "b" not in cache
+        assert cache.get("a") == 1 and cache.get("c") == 3
+        assert cache.evictions == 1
+
+    def test_unbounded_mode(self):
+        cache = LRUCache(0)
+        for i in range(1000):
+            cache[i] = i
+        assert len(cache) == 1000
+        assert cache.evictions == 0
+
+    def test_stats(self):
+        cache = LRUCache(4)
+        cache["x"] = 1
+        cache.get("x")
+        cache.get("missing")
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["size"] == 1
+        assert stats["maxsize"] == 4
+
+    def test_engine_cache_stays_bounded(self):
+        dataset = random_dataset(4, n=40, missing_rate=0.4)
+        ctable = build_ctable(dataset, alpha=0.3)
+        store = DistributionStore(uniform_distributions(dataset), ctable.constraints)
+        engine = ProbabilityEngine(store, cache_size=4)
+        conditions = [ctable.condition(o) for o in sorted(ctable.conditions)]
+        engine.probability_many(conditions)
+        assert len(engine._cache) <= 4

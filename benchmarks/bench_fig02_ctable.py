@@ -16,13 +16,13 @@ Standalone mode benchmarks scaling directly (no pytest needed) and emits
 import argparse
 import json
 import sys
-import time
 from pathlib import Path
 
 import pytest
 
 from repro.ctable import build_ctable
 from repro.experiments.data import nba_dataset, synthetic_dataset
+from repro.obs import MetricsRegistry, Tracer
 
 MISSING_RATES = (0.05, 0.10, 0.15, 0.20)
 SIZES = {"nba": 300, "synthetic": 600}
@@ -66,22 +66,29 @@ def run_standalone(n, missing_rate, methods, alpha, out_path, repeats=1):
     """Time each method at cardinality ``n``; write benchreport JSON.
 
     With ``repeats > 1`` the best (minimum) wall time is reported -- the
-    standard low-noise estimator on shared machines.
+    standard low-noise estimator on shared machines.  The output carries
+    a ``metrics`` key in the unified observability schema
+    (``repro.obs.MetricsRegistry.snapshot()``): every timed build lands
+    in the ``phase_seconds_ctable`` histogram and the winning build's
+    counters are absorbed per method.
     """
     dataset = synthetic_dataset(n, missing_rate)
+    registry = MetricsRegistry()
+    tracer = Tracer(registry=registry)
     rows = []
     reference = None
     for method in methods:
         seconds = None
         for __ in range(max(1, repeats)):
-            start = time.perf_counter()
-            ctable = _build(dataset, method, alpha=alpha)
-            elapsed = time.perf_counter() - start
+            with tracer.span("ctable[%s]" % method, phase="ctable") as span:
+                ctable = _build(dataset, method, alpha=alpha)
+            elapsed = span.seconds
             if seconds is None or elapsed < seconds:
                 seconds = elapsed
         if reference is None:
             reference = seconds
         stats = ctable.build_stats
+        registry.absorb(stats, prefix="ctable_%s_" % method)
         extra = {
             "method": method,
             "backend": stats["backend"],
@@ -112,7 +119,11 @@ def run_standalone(n, missing_rate, methods, alpha, out_path, repeats=1):
                 methods[0],
             )
         )
-    Path(out_path).write_text(json.dumps({"benchmarks": rows}, indent=2))
+    Path(out_path).write_text(
+        json.dumps(
+            {"benchmarks": rows, "metrics": registry.snapshot()}, indent=2
+        )
+    )
     print("wrote %s" % out_path)
 
 

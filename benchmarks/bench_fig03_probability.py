@@ -18,7 +18,6 @@ import argparse
 import json
 import os
 import sys
-import time
 from pathlib import Path
 
 import pytest
@@ -26,6 +25,7 @@ import pytest
 from repro.bayesnet.posteriors import empirical_distributions
 from repro.ctable import build_ctable
 from repro.experiments.data import nba_dataset, synthetic_dataset
+from repro.obs import MetricsRegistry, Tracer
 from repro.probability import (
     ADPLL,
     DistributionStore,
@@ -102,6 +102,8 @@ def run_standalone(kind, n, missing_rate, alpha, n_jobs, out_path):
         kind, missing_rate, n=n, alpha=alpha, cap=None
     )
     print("%d conditions" % len(conditions))
+    registry = MetricsRegistry()
+    tracer = Tracer(registry=registry)
     rows = []
     reference = None
     variants = [
@@ -114,12 +116,14 @@ def run_standalone(kind, n, missing_rate, alpha, n_jobs, out_path):
         # Fresh store per variant: expression caches live on the store, so
         # sharing one would hand later variants a warm start.
         engine = ProbabilityEngine(store.snapshot(), **engine_kwargs)
-        start = time.perf_counter()
-        if batched:
-            values = engine.probability_many(conditions)
-        else:
-            values = [engine.probability(c) for c in conditions]
-        seconds = time.perf_counter() - start
+        with tracer.span(
+            "probability[%s]" % name, phase="probability"
+        ) as span:
+            if batched:
+                values = engine.probability_many(conditions)
+            else:
+                values = [engine.probability(c) for c in conditions]
+        seconds = span.seconds
         if baseline_values is None:
             baseline_values = values
         else:
@@ -130,6 +134,7 @@ def run_standalone(kind, n, missing_rate, alpha, n_jobs, out_path):
         if reference is None:
             reference = seconds
         stats = engine.stats()
+        registry.absorb(stats, prefix="engine_%s_" % name)
         extra = {
             "variant": name,
             "n_jobs": engine_kwargs.get("n_jobs", 1),
@@ -160,7 +165,11 @@ def run_standalone(kind, n, missing_rate, alpha, n_jobs, out_path):
                 extra["parallel_chunks"],
             )
         )
-    Path(out_path).write_text(json.dumps({"benchmarks": rows}, indent=2))
+    Path(out_path).write_text(
+        json.dumps(
+            {"benchmarks": rows, "metrics": registry.snapshot()}, indent=2
+        )
+    )
     print("wrote %s" % out_path)
 
 

@@ -42,6 +42,7 @@ from .datasets import (
     sample_dataset,
 )
 from .metrics import accuracy_report, f1_score
+from .obs import EventLog, MetricsRegistry, Tracer
 from .persistence import (
     QueryCheckpoint,
     load_checkpoint,
@@ -85,6 +86,9 @@ __all__ = [
     "sample_dataset",
     "accuracy_report",
     "f1_score",
+    "EventLog",
+    "MetricsRegistry",
+    "Tracer",
     "save_dataset",
     "load_dataset",
     "save_result",

@@ -97,6 +97,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", action="store_true",
         help="resume from --checkpoint PATH if it exists",
     )
+    obs = parser.add_argument_group("observability")
+    obs.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="write a JSONL event log of per-round decisions (tasks "
+        "issued, answers applied, objects decided) and phase spans",
+    )
+    obs.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write the unified metrics snapshot (JSON schema; a "
+        ".prom/.txt suffix selects Prometheus text format)",
+    )
     return parser
 
 
@@ -148,6 +159,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             max_retries=args.max_retries,
             requeue_policy=args.requeue_policy,
             faults=faults,
+            trace_path=args.trace_out,
+            metrics_path=args.metrics_out,
             seed=args.seed,
             **overrides,
         )
@@ -192,6 +205,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         initial.f1, report.f1, report))
     print("answers: %d objects (%d certain)" % (
         len(result.answers), len(result.certain_answers)))
+    if args.trace_out:
+        print("trace: wrote JSONL event log to %s" % args.trace_out)
+    if args.metrics_out:
+        print("metrics: wrote snapshot to %s" % args.metrics_out)
     if args.perf:
         stats = result.engine_stats
         print(

@@ -3,7 +3,8 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from pathlib import Path
+from typing import Optional, Union
 
 from ..crowd.unreliable import FaultModel
 from ..ctable.constraints import INFERENCE_MODES
@@ -88,6 +89,13 @@ class BayesCrowdConfig:
     #: fault injection applied to the auto-constructed simulated platform
     #: (None = reliable oracle platform; see repro.crowd.FaultModel)
     faults: Optional[FaultModel] = None
+    #: write the run's JSONL trace event log here (CLI: --trace-out);
+    #: None keeps the events in memory only (QueryResult.trace)
+    trace_path: Optional[Union[str, Path]] = None
+    #: write the run's metrics snapshot here (CLI: --metrics-out); a
+    #: ``.prom``/``.txt`` suffix selects Prometheus text, anything else
+    #: the JSON schema; None keeps it in memory only (QueryResult.metrics)
+    metrics_path: Optional[Union[str, Path]] = None
     #: RNG seed for every stochastic component of the run
     seed: int = 0
 
@@ -147,6 +155,10 @@ class BayesCrowdConfig:
             )
         if self.faults is not None and not isinstance(self.faults, FaultModel):
             raise ValueError("faults must be a FaultModel or None")
+        for knob in ("trace_path", "metrics_path"):
+            value = getattr(self, knob)
+            if value is not None and not isinstance(value, (str, Path)):
+                raise ValueError("%s must be a path-like string or None" % knob)
 
     def tasks_per_round(self) -> int:
         """``mu = ceil(B / L)`` (Algorithm 4, line 1)."""

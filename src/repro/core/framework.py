@@ -22,6 +22,16 @@ gracefully with ``QueryResult.degraded`` set instead of crashing.  With a
 ``checkpoint_path`` the run snapshots its answer state after every round
 and can resume (``resume=True``) without re-spending crowd budget.
 
+Every run is observable: phase-scoped tracing spans (``preprocess``,
+``ctable``, ``probability``, ``round[i]``) feed wall-time histograms in a
+:class:`repro.obs.MetricsRegistry` that also unifies the perf counters of
+the probability engine, the incremental ranker, c-table construction and
+the crowd fault accounting; per-round decisions (tasks issued, answers
+applied, objects decided) land in a JSONL event log.  The registry
+snapshot rides on :attr:`QueryResult.metrics` and can be exported as JSON
+or Prometheus text via ``BayesCrowdConfig.metrics_path`` /
+``trace_path`` (CLI ``--metrics-out`` / ``--trace-out``).
+
 Reported execution time excludes the (simulated) workers' answering time,
 matching the paper's measurement ("execution time of algorithms, which
 excludes the time of workers answering tasks").
@@ -54,6 +64,7 @@ from ..errors import (
     PlatformTransientError,
     TaskExpiredError,
 )
+from ..obs import PIPELINE_PHASES, EventLog, MetricsRegistry, Tracer
 from ..probability.distributions import DistributionStore
 from ..probability.engine import ProbabilityEngine
 from .config import BayesCrowdConfig
@@ -173,13 +184,22 @@ class BayesCrowd:
                     rng=np.random.default_rng(self.config.seed + 2),
                 )
         self.platform = platform
+        preprocess_start = time.perf_counter()
         if distributions is None:
             distributions = learn_distributions(dataset, self.config, network=network)
+            #: wall time of the preprocessing phase (distribution learning);
+            #: 0 when precomputed distributions were supplied
+            self.preprocess_seconds = time.perf_counter() - preprocess_start
+        else:
+            self.preprocess_seconds = 0.0
         self.distributions = distributions
         self._strategy = make_strategy(self.config.strategy, m=self.config.m)
         #: populated by :meth:`run`
         self.ctable: Optional[CTable] = None
         self.engine: Optional[ProbabilityEngine] = None
+        self.metrics: Optional[MetricsRegistry] = None
+        self.tracer: Optional[Tracer] = None
+        self.events: Optional[EventLog] = None
 
     # ------------------------------------------------------------------
     def run(
@@ -193,18 +213,85 @@ class BayesCrowd:
         round history are snapshotted after every crowdsourcing round;
         ``resume=True`` continues from such a snapshot (if the file
         exists) instead of re-spending crowd budget.
+
+        Every run is traced: spans for each pipeline phase land in
+        ``phase_seconds_*`` histograms, per-round decisions in the event
+        log (written to ``config.trace_path`` as JSONL when set), and the
+        unified perf counters in a :class:`repro.obs.MetricsRegistry`
+        whose snapshot is returned on :attr:`QueryResult.metrics` (and
+        exported to ``config.metrics_path`` when set).
         """
         config = self.config
+        registry = MetricsRegistry()
+        events = EventLog(path=config.trace_path)
+        tracer = Tracer(registry=registry, event_log=events)
+        # Exposed for live inspection; pre-registering the pipeline-phase
+        # histograms keeps the exported schema complete even for runs that
+        # never reach the crowdsourcing loop (e.g. budget 0).
+        self.metrics = registry
+        self.tracer = tracer
+        self.events = events
+        for phase in PIPELINE_PHASES:
+            registry.histogram("phase_seconds_%s" % phase)
+        events.emit(
+            "run_start",
+            dataset=self.dataset.name,
+            n_objects=self.dataset.n_objects,
+            budget=config.budget,
+            latency=config.latency,
+            strategy=config.strategy,
+            seed=config.seed,
+            resume=bool(resume),
+        )
+        try:
+            with tracer.span("run"):
+                result = self._run_phases(
+                    config, registry, events, tracer, checkpoint_path, resume
+                )
+            result.metrics = registry.snapshot()
+            result.trace = tracer.to_dicts()
+            if config.metrics_path is not None:
+                self._write_metrics(config.metrics_path, registry)
+            return result
+        finally:
+            events.close()
+
+    @staticmethod
+    def _write_metrics(path, registry: MetricsRegistry) -> None:
+        """Export the metrics snapshot (Prometheus text for .prom/.txt)."""
+        path = Path(path)
+        if path.parent != Path("."):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        if path.suffix in (".prom", ".txt"):
+            path.write_text(registry.to_prometheus())
+        else:
+            path.write_text(registry.to_json())
+
+    def _run_phases(
+        self,
+        config: BayesCrowdConfig,
+        registry: MetricsRegistry,
+        events: EventLog,
+        tracer: Tracer,
+        checkpoint_path: Optional[Union[str, Path]],
+        resume: bool,
+    ) -> QueryResult:
+        """The pipeline proper; every phase runs inside a tracing span."""
         start = time.perf_counter()
+        # Preprocessing happened in __init__ (distributions may be shared
+        # across runs); record it as a back-dated span so the phase still
+        # shows up in this run's histograms and trace.
+        tracer.record("preprocess", self.preprocess_seconds)
 
         # --- modeling phase -------------------------------------------
-        ctable = build_ctable(
-            self.dataset,
-            alpha=config.alpha,
-            dominator_method=config.dominator_method,
-            inference_mode=config.inference_mode,
-            backend=config.backend,
-        )
+        with tracer.span("ctable"):
+            ctable = build_ctable(
+                self.dataset,
+                alpha=config.alpha,
+                dominator_method=config.dominator_method,
+                inference_mode=config.inference_mode,
+                backend=config.backend,
+            )
         modeling_seconds = time.perf_counter() - start
         store = DistributionStore(self.distributions, ctable.constraints)
         engine = ProbabilityEngine(
@@ -218,8 +305,13 @@ class BayesCrowd:
         self.engine = engine
         # Warm the engine's cache in one batch so the initial result set
         # and the first round's ranking reuse every probability.
-        engine.probability_many([ctable.condition(o) for o in ctable.undecided()])
-        initial_answers = ctable.result_set(engine.probability, config.answer_threshold)
+        with tracer.span("probability", stage="initial"):
+            engine.probability_many(
+                [ctable.condition(o) for o in ctable.undecided()]
+            )
+            initial_answers = ctable.result_set(
+                engine.probability, config.answer_threshold
+            )
 
         # --- crowdsourcing phase --------------------------------------
         crowd_wait = 0.0
@@ -231,6 +323,10 @@ class BayesCrowd:
         #: unanswered tasks carried into the next round (requeue policy)
         pending: List[ComparisonTask] = []
         fault_totals: Dict[str, int] = {}
+        #: tasks issued within this run (resumed runs exclude replayed
+        #: rounds here, unlike the history totals)
+        issued_this_run = 0
+        answered_this_run = 0
         degraded = False
         resumed = False
         if resume and checkpoint_path is not None:
@@ -238,152 +334,250 @@ class BayesCrowd:
             if restored is not None:
                 budget, history, answer_log, pending, fault_totals, degraded = restored
                 resumed = True
+                events.emit(
+                    "resumed",
+                    rounds_done=len(history),
+                    answers_replayed=len(answer_log),
+                    budget_left=budget,
+                )
         # Built after any checkpoint replay: the ranker re-scores only
         # objects whose conditions a round's answers actually touched.
         ranker = IncrementalRanker(ctable, engine)
         fatal = False
-        while budget > 0 and len(history) < config.latency and not fatal:
-            round_start = time.perf_counter()
-            # Requeued tasks that other answers already decided are moot:
-            # drop them instead of paying the crowd for known relations.
-            pending = [t for t in pending if self._task_still_open(ctable, t)]
-            if not pending and not ctable.has_open_expressions():
-                break
-            k = min(budget, mu)
-            tasks: List[ComparisonTask] = list(pending[:k])
-            leftover_pending = pending[k:]
-            banned = set()
-            objects: List[int] = []
-            for task in tasks:
-                banned.update(task.variables())
-                objects.append(task.for_object)
-            ranked = ranker.rank()
-            if (
-                not tasks
-                and ranked
-                and config.entropy_epsilon > 0.0
-                and ranked[0].entropy < config.entropy_epsilon
-            ):
-                # Every undecided object is already near-certain; further
-                # tasks would buy negligible information.
-                logger.debug(
-                    "early stop: max entropy %.4f below epsilon %.4f",
-                    ranked[0].entropy,
-                    config.entropy_epsilon,
-                )
-                break
-            if ranked and len(tasks) < k:
-                # Expression frequencies are counted over the chosen top-k
-                # objects' conditions (Section 6.2, step two).
-                context = SelectionContext(
-                    engine=engine,
-                    frequencies=expression_frequencies(
-                        [ctable.condition(r.obj) for r in ranked[:k]]
-                    ),
-                    utility_mode=config.utility_mode,
-                )
-                # Walk the full ranking so a conflict-skipped slot is
-                # refilled by the next most uncertain object, keeping
-                # rounds at size k.
-                for r in ranked:
-                    if len(tasks) >= k:
-                        break
-                    expression = self._strategy.select_expression(
-                        ctable.condition(r.obj), context, banned
+        with tracer.span("crowd"):
+            while budget > 0 and len(history) < config.latency and not fatal:
+                round_start = time.perf_counter()
+                round_index = len(history) + 1
+                # Requeued tasks that other answers already decided are
+                # moot: drop them instead of paying the crowd for known
+                # relations.
+                pending = [t for t in pending if self._task_still_open(ctable, t)]
+                if not pending and not ctable.has_open_expressions():
+                    break
+                k = min(budget, mu)
+                tasks: List[ComparisonTask] = list(pending[:k])
+                leftover_pending = pending[k:]
+                banned = set()
+                objects: List[int] = []
+                for task in tasks:
+                    banned.update(task.variables())
+                    objects.append(task.for_object)
+                ranked = ranker.rank()
+                if (
+                    not tasks
+                    and ranked
+                    and config.entropy_epsilon > 0.0
+                    and ranked[0].entropy < config.entropy_epsilon
+                ):
+                    # Every undecided object is already near-certain;
+                    # further tasks would buy negligible information.
+                    logger.debug(
+                        "early stop: max entropy %.4f below epsilon %.4f",
+                        ranked[0].entropy,
+                        config.entropy_epsilon,
                     )
-                    if expression is None:
-                        continue
-                    banned.update(expression.variables())
-                    tasks.append(ComparisonTask(expression, for_object=r.obj))
-                    objects.append(r.obj)
-            if not tasks:
-                break
-            if self.platform is None:
-                raise RuntimeError(
-                    "crowdsourcing needs a platform; supply one or use a "
-                    "dataset with ground truth for the simulated crowd"
+                    events.emit(
+                        "early_stop",
+                        round=round_index,
+                        max_entropy=ranked[0].entropy,
+                        epsilon=config.entropy_epsilon,
+                    )
+                    break
+                if ranked and len(tasks) < k:
+                    # Expression frequencies are counted over the chosen
+                    # top-k objects' conditions (Section 6.2, step two).
+                    context = SelectionContext(
+                        engine=engine,
+                        frequencies=expression_frequencies(
+                            [ctable.condition(r.obj) for r in ranked[:k]]
+                        ),
+                        utility_mode=config.utility_mode,
+                    )
+                    # Walk the full ranking so a conflict-skipped slot is
+                    # refilled by the next most uncertain object, keeping
+                    # rounds at size k.
+                    for r in ranked:
+                        if len(tasks) >= k:
+                            break
+                        expression = self._strategy.select_expression(
+                            ctable.condition(r.obj), context, banned
+                        )
+                        if expression is None:
+                            continue
+                        banned.update(expression.variables())
+                        tasks.append(ComparisonTask(expression, for_object=r.obj))
+                        objects.append(r.obj)
+                if not tasks:
+                    break
+                if self.platform is None:
+                    raise RuntimeError(
+                        "crowdsourcing needs a platform; supply one or use a "
+                        "dataset with ground truth for the simulated crowd"
+                    )
+
+                events.emit(
+                    "tasks_issued",
+                    round=round_index,
+                    count=len(tasks),
+                    objects=list(objects),
+                    tasks=[
+                        {
+                            "task_id": task.task_id,
+                            "object": task.for_object,
+                            "expression": str(task.expression),
+                        }
+                        for task in tasks
+                    ],
                 )
+                issued_this_run += len(tasks)
+                post_start = time.perf_counter()
+                answers, round_faults, fatal, abandoned = self._post_with_retries(tasks)
+                crowd_wait += time.perf_counter() - post_start
 
-            post_start = time.perf_counter()
-            answers, round_faults, fatal, abandoned = self._post_with_retries(tasks)
-            crowd_wait += time.perf_counter() - post_start
-
-            open_before = len(ctable.undecided())
-            for task, relation in answers.items():
-                ranker.mark_dirty(ctable.apply_answer(task.expression, relation))
-                answer_log.append((task.expression, relation))
-            open_after = len(ctable.undecided())
-            # The paper's cost model charges per answered task; no-shows
-            # and expired tasks are refunds, not spend.
-            budget -= len(answers)
-            unanswered = [
-                t for t in tasks if t not in answers and t.task_id not in abandoned
-            ]
-            if unanswered:
-                round_faults["unanswered"] = len(unanswered)
-            if config.requeue_policy == "requeue":
-                pending = leftover_pending + unanswered
-            else:
-                pending = leftover_pending
-            for key, value in round_faults.items():
-                fault_totals[key] = fault_totals.get(key, 0) + value
-            if unanswered or abandoned or round_faults.get("failed_round") or fatal:
-                degraded = True
-            logger.debug(
-                "round %d: %d tasks posted, %d answered, %d conditions still "
-                "open, budget %d left",
-                len(history) + 1,
-                len(tasks),
-                len(answers),
-                open_after,
-                budget,
-            )
-            history.append(
-                RoundRecord(
-                    round_index=len(history) + 1,
-                    tasks_posted=len(tasks),
-                    objects=objects,
+                open_before = len(ctable.undecided())
+                for task, relation in answers.items():
+                    ranker.mark_dirty(ctable.apply_answer(task.expression, relation))
+                    answer_log.append((task.expression, relation))
+                open_after = len(ctable.undecided())
+                events.emit(
+                    "answers_applied",
+                    round=round_index,
+                    count=len(answers),
+                    task_ids=sorted(task.task_id for task in answers),
+                )
+                events.emit(
+                    "objects_decided",
+                    round=round_index,
                     newly_decided=open_before - open_after,
                     open_conditions=open_after,
-                    seconds=time.perf_counter() - round_start,
+                )
+                answered_this_run += len(answers)
+                # The paper's cost model charges per answered task;
+                # no-shows and expired tasks are refunds, not spend.
+                budget -= len(answers)
+                unanswered = [
+                    t for t in tasks if t not in answers and t.task_id not in abandoned
+                ]
+                if unanswered:
+                    round_faults["unanswered"] = len(unanswered)
+                if config.requeue_policy == "requeue":
+                    pending = leftover_pending + unanswered
+                else:
+                    pending = leftover_pending
+                for key, value in round_faults.items():
+                    fault_totals[key] = fault_totals.get(key, 0) + value
+                if unanswered or abandoned or round_faults.get("failed_round") or fatal:
+                    degraded = True
+                logger.debug(
+                    "round %d: %d tasks posted, %d answered, %d conditions still "
+                    "open, budget %d left",
+                    round_index,
+                    len(tasks),
+                    len(answers),
+                    open_after,
+                    budget,
+                )
+                round_seconds = time.perf_counter() - round_start
+                history.append(
+                    RoundRecord(
+                        round_index=round_index,
+                        tasks_posted=len(tasks),
+                        objects=objects,
+                        newly_decided=open_before - open_after,
+                        open_conditions=open_after,
+                        seconds=round_seconds,
+                        tasks_answered=len(answers),
+                        retries=round_faults.get("transient_retries", 0),
+                        faults=dict(round_faults),
+                    )
+                )
+                tracer.record(
+                    "round[%d]" % round_index,
+                    round_seconds,
+                    phase="round",
+                    tasks_posted=len(tasks),
                     tasks_answered=len(answers),
-                    retries=round_faults.get("transient_retries", 0),
+                )
+                events.emit(
+                    "round_end",
+                    round=round_index,
+                    seconds=round_seconds,
+                    budget_left=budget,
+                    tasks_answered=len(answers),
+                    newly_decided=open_before - open_after,
                     faults=dict(round_faults),
                 )
-            )
-            if checkpoint_path is not None:
-                self._write_checkpoint(
-                    checkpoint_path,
-                    budget,
-                    history,
-                    answer_log,
-                    pending,
-                    fault_totals,
-                    degraded,
-                )
+                if checkpoint_path is not None:
+                    self._write_checkpoint(
+                        checkpoint_path,
+                        budget,
+                        history,
+                        answer_log,
+                        pending,
+                        fault_totals,
+                        degraded,
+                    )
 
         # One last batch pass so the final result set reads from cache.
-        engine.probability_many([ctable.condition(o) for o in ctable.undecided()])
-        answers = ctable.result_set(engine.probability, config.answer_threshold)
-        probabilities: Dict[int, float] = {}
-        for obj in answers:
-            condition = ctable.condition(obj)
-            probabilities[obj] = (
-                1.0 if condition.is_true else engine.probability(condition)
+        with tracer.span("probability", stage="final"):
+            engine.probability_many(
+                [ctable.condition(o) for o in ctable.undecided()]
             )
+            answers = ctable.result_set(engine.probability, config.answer_threshold)
+            probabilities: Dict[int, float] = {}
+            for obj in answers:
+                condition = ctable.condition(obj)
+                probabilities[obj] = (
+                    1.0 if condition.is_true else engine.probability(condition)
+                )
         total_seconds = time.perf_counter() - start - crowd_wait
         engine_stats = engine.stats()
         engine_stats["objects_rescored"] = ranker.n_rescored
         engine_stats["rankings"] = ranker.n_rankings
         for key, value in ctable.build_stats.items():
             engine_stats["ctable_%s" % key] = value
+
+        # --- unified metrics ------------------------------------------
+        # The scattered PR-2 perf counters, readable from one registry.
+        registry.absorb(engine.stats(), prefix="engine_")
+        registry.absorb(ctable.build_stats, prefix="ctable_")
+        registry.counter("ranker_objects_rescored").inc(ranker.n_rescored)
+        registry.counter("ranker_rankings").inc(ranker.n_rankings)
+        tasks_posted_total = sum(r.tasks_posted for r in history)
+        tasks_answered_total = sum(r.tasks_answered for r in history)
+        registry.counter("crowd_rounds").inc(len(history))
+        registry.counter("crowd_tasks_posted").inc(tasks_posted_total)
+        registry.counter("crowd_tasks_answered").inc(tasks_answered_total)
+        registry.counter("crowd_retries").inc(sum(r.retries for r in history))
+        for key, value in fault_totals.items():
+            registry.counter("crowd_fault_%s" % key).inc(value)
+        registry.gauge("crowd_budget_left").set(budget)
+        registry.gauge("run_degraded").set(1.0 if degraded else 0.0)
+        registry.gauge("run_resumed").set(1.0 if resumed else 0.0)
+        registry.gauge("answers_total").set(len(answers))
+        registry.gauge("answers_certain").set(len(ctable.certain_answers()))
+        registry.gauge("modeling_seconds").set(modeling_seconds)
+        registry.gauge("preprocess_seconds").set(self.preprocess_seconds)
+        registry.gauge("total_seconds").set(total_seconds)
+
+        events.emit(
+            "run_end",
+            rounds=len(history),
+            # trace-scoped totals: a resumed run's replayed rounds are in
+            # the history counts but never in this trace's tasks_issued
+            tasks_posted=issued_this_run,
+            tasks_answered=answered_this_run,
+            answers=len(answers),
+            degraded=degraded,
+            seconds=total_seconds,
+        )
         return QueryResult(
             answers=answers,
             certain_answers=ctable.certain_answers(),
-            tasks_posted=sum(r.tasks_posted for r in history),
+            tasks_posted=tasks_posted_total,
             rounds=len(history),
             seconds=total_seconds,
-            tasks_answered=sum(r.tasks_answered for r in history),
+            tasks_answered=tasks_answered_total,
             modeling_seconds=modeling_seconds,
             history=history,
             initial_answers=initial_answers,

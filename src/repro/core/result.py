@@ -63,6 +63,13 @@ class QueryResult:
     #: incremental-ranking rescores, and c-table build throughput
     #: (``ctable_*`` keys, e.g. ``ctable_pairs_per_sec``)
     engine_stats: Dict[str, float] = field(default_factory=dict)
+    #: unified observability snapshot (repro.obs.MetricsRegistry.snapshot():
+    #: counters/gauges/histograms incl. phase_seconds_* wall-time
+    #: histograms for preprocess/ctable/probability/round)
+    metrics: Dict[str, object] = field(default_factory=dict)
+    #: completed tracing spans (repro.obs.Tracer.to_dicts()): name, phase,
+    #: parent, depth, start/end offsets, seconds
+    trace: List[Dict] = field(default_factory=list)
     #: True when platform faults cost the run information it had budget
     #: for (unanswered/expired tasks, exhausted retries, fatal failure)
     degraded: bool = False

@@ -14,6 +14,12 @@ import numpy as np
 
 from ..ctable.expression import Relation
 
+#: Shared fallback for callers that do not thread an rng.  A module-level
+#: generator advances across calls, so repeated no-rng ties are still
+#: random relative to each other; creating ``default_rng(0)`` inside the
+#: call would replay the identical tie-break every time.
+_fallback_rng = np.random.default_rng(0)
+
 
 def majority_vote(
     answers: Sequence[Relation],
@@ -29,5 +35,6 @@ def majority_vote(
     )
     if len(winners) == 1:
         return winners[0]
-    rng = rng or np.random.default_rng(0)
+    if rng is None:
+        rng = _fallback_rng
     return winners[int(rng.integers(len(winners)))]

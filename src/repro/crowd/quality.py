@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..ctable.expression import Relation
+from .aggregation import _fallback_rng
 from .worker import SimulatedWorker, WorkerPool
 
 #: number of wrong options in a triple-choice task
@@ -93,7 +94,10 @@ def weighted_vote(
                      key=lambda r: r.value)
     if len(winners) == 1:
         return winners[0]
-    rng = rng or np.random.default_rng(0)
+    if rng is None:
+        # Shared module-level fallback: a fresh default_rng(0) here would
+        # replay the identical tie-break on every call.
+        rng = _fallback_rng
     return winners[int(rng.integers(len(winners)))]
 
 

@@ -1,0 +1,35 @@
+"""Observability: metrics registry, tracing spans, JSONL event log.
+
+The structured replacement for the ad-hoc perf counters: one
+:class:`MetricsRegistry` of counters/gauges/histograms (JSON snapshot +
+Prometheus text exporters), a :class:`Tracer` of phase-scoped spans with
+wall-time histograms, and an :class:`EventLog` of per-round decisions.
+``python -m repro.obs metrics.json [--trace trace.jsonl]`` verifies that
+an exported snapshot covers every pipeline phase.
+"""
+
+from .events import EventLog, read_events
+from .metrics import (
+    DEFAULT_BUCKETS,
+    PIPELINE_PHASES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    check_phases,
+)
+from .tracing import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "PIPELINE_PHASES",
+    "check_phases",
+    "EventLog",
+    "read_events",
+    "Span",
+    "Tracer",
+]

@@ -1,0 +1,120 @@
+"""Verify exported observability artifacts (the CI bench-smoke gate).
+
+Usage::
+
+    python -m repro.obs metrics.json [--trace trace.jsonl] \
+        [--phases preprocess ctable probability round]
+
+Exit status 0 means the metrics snapshot registers a ``phase_seconds_*``
+histogram for every required pipeline phase and (when ``--trace`` is
+given) the JSONL event log parses line by line with every applied answer
+accounted for by an issued task.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .events import read_events
+from .metrics import PIPELINE_PHASES, check_phases
+
+
+def verify_trace(path: str) -> List[str]:
+    """Problems found in a JSONL trace (empty = consistent)."""
+    problems: List[str] = []
+    try:
+        events = read_events(path)
+    except (OSError, json.JSONDecodeError) as err:
+        return ["trace unreadable: %s" % err]
+    if not events:
+        return ["trace is empty"]
+    kinds = {event.get("event") for event in events}
+    for required in ("run_start", "run_end"):
+        if required not in kinds:
+            problems.append("trace has no %r event" % required)
+    issued_ids = set()
+    issued_count = 0
+    for event in events:
+        if event.get("event") == "tasks_issued":
+            tasks = event.get("tasks", [])
+            issued_count += len(tasks)
+            issued_ids.update(task["task_id"] for task in tasks)
+            if event.get("count") != len(tasks):
+                problems.append(
+                    "tasks_issued event %s count %r != %d listed tasks"
+                    % (event.get("seq"), event.get("count"), len(tasks))
+                )
+    answered_ids = set()
+    for event in events:
+        if event.get("event") == "answers_applied":
+            answered_ids.update(event.get("task_ids", []))
+    unaccounted = answered_ids - issued_ids
+    if unaccounted:
+        problems.append(
+            "%d answered task(s) were never issued: %s"
+            % (len(unaccounted), sorted(unaccounted)[:5])
+        )
+    for event in events:
+        if event.get("event") == "run_end":
+            posted = event.get("tasks_posted")
+            if posted is not None and posted != issued_count:
+                problems.append(
+                    "run_end reports %r tasks posted but %d were issued"
+                    % (posted, issued_count)
+                )
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.obs",
+        description="Verify a metrics snapshot (and optional JSONL trace).",
+    )
+    parser.add_argument("metrics", help="metrics snapshot JSON path")
+    parser.add_argument(
+        "--trace", default=None, help="JSONL event log to cross-check"
+    )
+    parser.add_argument(
+        "--phases", nargs="+", default=list(PIPELINE_PHASES),
+        help="pipeline phases the snapshot must register",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.metrics, "r", encoding="utf-8") as handle:
+            snapshot = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        print("cannot read metrics snapshot: %s" % err, file=sys.stderr)
+        return 2
+    missing = check_phases(snapshot, args.phases)
+    if missing:
+        print(
+            "metrics schema is missing phase histogram(s): %s"
+            % ", ".join("phase_seconds_%s" % phase for phase in missing),
+            file=sys.stderr,
+        )
+        return 2
+    print(
+        "metrics ok: %d counters, %d gauges, %d histograms (phases: %s)"
+        % (
+            len(snapshot.get("counters", {})),
+            len(snapshot.get("gauges", {})),
+            len(snapshot.get("histograms", {})),
+            ", ".join(args.phases),
+        )
+    )
+    if args.trace is not None:
+        problems = verify_trace(args.trace)
+        if problems:
+            for problem in problems:
+                print("trace problem: %s" % problem, file=sys.stderr)
+            return 2
+        print("trace ok: %s parses and accounts for every issued task" % args.trace)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

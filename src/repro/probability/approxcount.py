@@ -12,7 +12,13 @@ Two modes are provided:
 
 * :func:`approx_probability` -- fixed sample budget;
 * :func:`adaptive_approx_probability` -- keeps sampling in batches until a
-  normal-approximation confidence half-width drops below ``tolerance``.
+  Wilson-score confidence half-width drops below ``tolerance``.
+
+Interval widths use the Wilson score interval rather than the normal
+(Wald) approximation: at ``hits == 0`` the Wald half-width degenerates to
+~0, which made the adaptive loop stop after its first batch and
+confidently report ``Pr = 0`` for any rare event.  The Wilson half-width
+stays honest (about ``z^2 / (z^2 + n)`` wide) at the boundary.
 """
 
 from __future__ import annotations
@@ -25,6 +31,19 @@ import numpy as np
 
 from ..ctable.condition import Condition
 from .distributions import DistributionStore
+
+#: Shared fallback for callers that do not pass an rng.  A module-level
+#: generator advances across calls, so repeated no-rng estimates are
+#: independent; creating ``default_rng(0)`` inside each call would make
+#: every "independent" estimate replay the exact same sample stream.
+_fallback_rng = np.random.default_rng(0)
+
+
+def _wilson_half_width(hits: int, n: int, z: float) -> float:
+    """Half-width of the Wilson score interval for ``hits`` out of ``n``."""
+    p = hits / n
+    z2 = z * z
+    return (z * math.sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n))) / (1.0 + z2 / n)
 
 
 @dataclass(frozen=True)
@@ -55,9 +74,11 @@ def _estimate(
         assignment = store.sample_assignment(variables, rng)
         if condition.evaluate(assignment):
             hits += 1
-    p = hits / n_samples
-    half_width = z * math.sqrt(max(p * (1.0 - p), 1e-12) / n_samples)
-    return ApproxEstimate(probability=p, n_samples=n_samples, half_width=half_width)
+    return ApproxEstimate(
+        probability=hits / n_samples,
+        n_samples=n_samples,
+        half_width=_wilson_half_width(hits, n_samples, z),
+    )
 
 
 def approx_probability(
@@ -74,7 +95,8 @@ def approx_probability(
         return ApproxEstimate(1.0, 0, 0.0)
     if condition.is_false:
         return ApproxEstimate(0.0, 0, 0.0)
-    rng = rng or np.random.default_rng(0)
+    if rng is None:
+        rng = _fallback_rng
     return _estimate(condition, store, n_samples, rng, z)
 
 
@@ -87,14 +109,15 @@ def adaptive_approx_probability(
     rng: Optional[np.random.Generator] = None,
     z: float = 1.96,
 ) -> ApproxEstimate:
-    """Sample until the confidence half-width is below ``tolerance``."""
+    """Sample until the Wilson confidence half-width is below ``tolerance``."""
     if tolerance <= 0:
         raise ValueError("tolerance must be positive")
     if condition.is_true:
         return ApproxEstimate(1.0, 0, 0.0)
     if condition.is_false:
         return ApproxEstimate(0.0, 0, 0.0)
-    rng = rng or np.random.default_rng(0)
+    if rng is None:
+        rng = _fallback_rng
     variables = sorted(condition.variables())
     hits = 0
     n = 0
@@ -104,10 +127,11 @@ def adaptive_approx_probability(
             if condition.evaluate(assignment):
                 hits += 1
         n += batch_size
-        p = hits / n
-        half_width = z * math.sqrt(max(p * (1.0 - p), 1e-12) / n)
+        half_width = _wilson_half_width(hits, n, z)
         if half_width < tolerance:
-            return ApproxEstimate(probability=p, n_samples=n, half_width=half_width)
-    p = hits / n
-    half_width = z * math.sqrt(max(p * (1.0 - p), 1e-12) / n)
-    return ApproxEstimate(probability=p, n_samples=n, half_width=half_width)
+            break
+    return ApproxEstimate(
+        probability=hits / n,
+        n_samples=n,
+        half_width=_wilson_half_width(hits, n, z),
+    )

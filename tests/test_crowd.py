@@ -98,6 +98,13 @@ class TestMajorityVote:
         votes = [Relation.LESS, Relation.EQUAL, Relation.GREATER]
         assert majority_vote(votes, rng) in votes
 
+    def test_tie_breaks_vary_without_rng(self):
+        # Regression: the fallback used to build a fresh default_rng(0)
+        # per call, so every no-rng tie resolved to the same winner.
+        votes = [Relation.LESS, Relation.EQUAL, Relation.GREATER]
+        winners = {majority_vote(votes) for _ in range(200)}
+        assert len(winners) > 1
+
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             majority_vote([])

@@ -217,6 +217,40 @@ class TestApproxCount:
         with pytest.raises(ValueError):
             adaptive_approx_probability(c, store, tolerance=0.0)
 
+    def test_adaptive_keeps_sampling_on_rare_event(self):
+        # Regression: the Wald half-width degenerates to ~1e-7 when the
+        # first batch has zero hits, so the loop used to stop at
+        # n == batch_size and confidently report Pr = 0 for rare events.
+        # The Wilson half-width stays ~0.0038 at 0/500, above tolerance.
+        store = uniform_store(domain=10_000, variables=(V,))
+        c = Condition.of([[var_greater_const(0, 0, 9998)]])  # Pr = 1e-4
+        estimate = adaptive_approx_probability(
+            c, store, tolerance=0.002, batch_size=500,
+            rng=np.random.default_rng(0),
+        )
+        assert estimate.n_samples > 500
+        assert estimate.half_width > 1e-4
+        lo, hi = estimate.interval()
+        assert lo <= 1e-4 <= hi
+
+    def test_no_rng_estimates_are_independent(self):
+        # Regression: both entry points shared a per-call default_rng(0)
+        # fallback, so repeated "independent" estimates were identical.
+        store = uniform_store()
+        c = Condition.of([[var_greater_const(0, 0, 1)]])  # Pr = 0.5
+        fixed = {
+            approx_probability(c, store, n_samples=200).probability
+            for _ in range(5)
+        }
+        assert len(fixed) > 1
+        adaptive = {
+            adaptive_approx_probability(
+                c, store, tolerance=0.04, batch_size=200
+            ).probability
+            for _ in range(5)
+        }
+        assert len(adaptive) > 1
+
 
 class TestEngine:
     def test_method_dispatch(self, movies_ctable, movies_store):

@@ -57,6 +57,14 @@ class TestWeightedVote:
         with pytest.raises(ValueError):
             weighted_vote([], {})
 
+    def test_tie_breaks_vary_without_rng(self):
+        # Regression: a per-call default_rng(0) fallback replayed the
+        # identical tie-break on every aggregation.
+        accuracies = {0: 0.8, 1: 0.8}
+        votes = [(0, Relation.LESS), (1, Relation.GREATER)]
+        winners = {weighted_vote(votes, accuracies) for _ in range(200)}
+        assert len(winners) > 1
+
     def test_log_odds_monotone(self):
         assert _log_odds(0.9) > _log_odds(0.6) > _log_odds(1 / 3)
         # At accuracy 1/3 (chance level for 3 options) the weight is ~0.

@@ -1,0 +1,115 @@
+"""Bench-regression guard: fresh BENCH_*.json vs committed baselines.
+
+Compares every benchmark row (by its ``name``) of each freshly generated
+``BENCH_*.json`` against the committed baseline of the same file name and
+fails when a row's mean time regressed by more than ``--threshold`` (2x
+by default -- generous enough for shared-runner noise, tight enough to
+catch an accidentally de-vectorized hot path).  Rows present on only one
+side are skipped, as are rows whose baseline mean is below
+``--min-seconds`` (micro-rows are all noise), and baseline files with no
+fresh counterpart::
+
+    python benchmarks/bench_guard.py --baseline-dir bench_baselines --fresh-dir .
+
+Exit status: 0 when nothing regressed (or nothing was comparable),
+1 on regression, 2 on unreadable input.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_rows(path):
+    """``name -> mean seconds`` for one pytest-benchmark-shaped JSON."""
+    data = json.loads(Path(path).read_text())
+    rows = {}
+    for row in data.get("benchmarks", []):
+        mean = row.get("stats", {}).get("mean")
+        if row.get("name") and isinstance(mean, (int, float)):
+            rows[row["name"]] = float(mean)
+    return rows
+
+
+def compare(baseline_path, fresh_path, threshold, min_seconds):
+    """(regressions, compared, skipped) for one baseline/fresh file pair."""
+    baseline = load_rows(baseline_path)
+    fresh = load_rows(fresh_path)
+    regressions = []
+    compared = 0
+    skipped = 0
+    for name, base_mean in sorted(baseline.items()):
+        fresh_mean = fresh.get(name)
+        if fresh_mean is None or base_mean < min_seconds:
+            skipped += 1
+            continue
+        compared += 1
+        ratio = fresh_mean / base_mean if base_mean else float("inf")
+        if ratio > threshold:
+            regressions.append((name, base_mean, fresh_mean, ratio))
+    return regressions, compared, skipped
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Fail CI when a benchmark regressed vs its committed baseline."
+    )
+    parser.add_argument(
+        "--baseline-dir", default="bench_baselines",
+        help="directory holding the committed BENCH_*.json baselines",
+    )
+    parser.add_argument(
+        "--fresh-dir", default=".", help="directory holding freshly generated JSON"
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=2.0,
+        help="maximum tolerated fresh/baseline mean-time ratio",
+    )
+    parser.add_argument(
+        "--min-seconds", type=float, default=0.05,
+        help="ignore rows whose baseline mean is below this (noise floor)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline_dir = Path(args.baseline_dir)
+    if not baseline_dir.is_dir():
+        print("no baseline directory %s; nothing to guard" % baseline_dir)
+        return 0
+    baselines = sorted(baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        print("no BENCH_*.json baselines under %s; nothing to guard" % baseline_dir)
+        return 0
+
+    failed = False
+    for baseline_path in baselines:
+        fresh_path = Path(args.fresh_dir) / baseline_path.name
+        if not fresh_path.is_file():
+            print("skip %s: no fresh run" % baseline_path.name)
+            continue
+        try:
+            regressions, compared, skipped = compare(
+                baseline_path, fresh_path, args.threshold, args.min_seconds
+            )
+        except (OSError, json.JSONDecodeError, ValueError) as err:
+            print("cannot compare %s: %s" % (baseline_path.name, err), file=sys.stderr)
+            return 2
+        print(
+            "%s: %d row(s) compared, %d skipped"
+            % (baseline_path.name, compared, skipped)
+        )
+        for name, base_mean, fresh_mean, ratio in regressions:
+            failed = True
+            print(
+                "  REGRESSION %s: %.3fs -> %.3fs (%.2fx > %.2fx)"
+                % (name, base_mean, fresh_mean, ratio, args.threshold),
+                file=sys.stderr,
+            )
+    if failed:
+        return 1
+    print("bench guard ok: no row regressed beyond %.2fx" % args.threshold)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

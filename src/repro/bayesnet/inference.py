@@ -76,19 +76,39 @@ class VariableElimination:
         Falls back to the prior-shaped distribution when the evidence has
         zero probability under the model (cannot happen with smoothed CPTs).
         """
-        if target in evidence:
-            point = np.zeros(self._cards[target])
-            point[evidence[target]] = 1.0
-            return point
+        return self.query_multi([target], evidence)[0]
 
-        factors: List[Factor] = []
+    def query_multi(
+        self, targets: Sequence[int], evidence: Dict[int, int]
+    ) -> List[np.ndarray]:
+        """Posterior pmfs of several targets under one shared evidence set.
+
+        Restricting every factor against the evidence -- the part of a
+        query whose cost scales with the evidence size -- happens once for
+        the whole target list.  This is the bulk entry point behind
+        :meth:`MissingValuePosteriors.precompute_all`, where all missing
+        attributes of one observed-row signature share their evidence.
+        """
+        restricted: List[Factor] = []
         for factor in self._factors:
-            restricted = factor
+            current = factor
             for variable, value in evidence.items():
-                if variable in restricted.variables:
-                    restricted = restricted.restrict(variable, value)
-            factors.append(restricted)
+                if variable in current.variables:
+                    current = current.restrict(variable, value)
+            restricted.append(current)
+        out: List[np.ndarray] = []
+        for target in targets:
+            if target in evidence:
+                point = np.zeros(self._cards[target])
+                point[evidence[target]] = 1.0
+                out.append(point)
+            else:
+                out.append(self._eliminate(restricted, target))
+        return out
 
+    def _eliminate(self, restricted: List[Factor], target: int) -> np.ndarray:
+        """Sum out everything but ``target`` from evidence-restricted factors."""
+        factors = list(restricted)
         hidden = set()
         for factor in factors:
             hidden.update(factor.variables)

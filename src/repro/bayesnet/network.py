@@ -101,12 +101,25 @@ class BayesianNetwork:
     # ------------------------------------------------------------------
     def posterior(self, target: int, evidence: Dict[int, int]) -> np.ndarray:
         """Exact posterior pmf of ``target`` given the evidence dict."""
+        return self._elimination().query(target, evidence)
+
+    def posterior_multi(
+        self, targets: Sequence[int], evidence: Dict[int, int]
+    ) -> List[np.ndarray]:
+        """Exact posteriors of several nodes sharing one evidence dict.
+
+        Evidence restriction runs once for the whole target list; each
+        target's pmf is identical to a separate :meth:`posterior` call.
+        """
+        return self._elimination().query_multi(targets, evidence)
+
+    def _elimination(self) -> VariableElimination:
         if self._ve is None:
             factors = [
                 Factor(cpt.parents + (cpt.node,), cpt.table) for cpt in self.cpts
             ]
             self._ve = VariableElimination(factors, self.cardinalities)
-        return self._ve.query(target, evidence)
+        return self._ve
 
     def prior(self, target: int) -> np.ndarray:
         """Marginal pmf of one node with no evidence."""

@@ -13,11 +13,11 @@ are produced.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
-from ..datasets.dataset import IncompleteDataset, Variable
+from ..datasets.dataset import MISSING, IncompleteDataset, Variable
 from .network import BayesianNetwork
 
 
@@ -36,6 +36,8 @@ class MissingValuePosteriors:
         self._network = network
         self._dataset = dataset
         self._cache: Dict[Tuple[int, Tuple[Tuple[int, int], ...]], np.ndarray] = {}
+        #: populated by :meth:`precompute_all` (signature grouping counters)
+        self.stats: Dict[str, int] = {}
 
     def distribution(self, variable: Variable) -> np.ndarray:
         """Posterior pmf of one missing cell given its object's observed cells."""
@@ -50,9 +52,69 @@ class MissingValuePosteriors:
             self._cache[key] = cached
         return cached.copy()
 
+    def precompute_all(self) -> Tuple[List[Variable], np.ndarray]:
+        """Posterior pmfs of every missing cell, one inference per signature.
+
+        Objects sharing an *observed-evidence signature* (identical value
+        rows, missing cells included) have identical posteriors for every
+        missing attribute, and all missing attributes of one signature
+        share their evidence restriction.  Rows with missing cells are
+        therefore grouped by ``np.unique(..., axis=0)`` and each unique
+        signature is pushed once through
+        :meth:`BayesianNetwork.posterior_multi` -- replacing the historical
+        per-cell inference loop with one bulk pass per signature.
+
+        Returns ``(variables, dense)``: the dataset's missing cells in
+        :meth:`IncompleteDataset.variables` order and a
+        ``(n_variables, max_domain)`` float array whose row ``i`` holds the
+        pmf of ``variables[i]``, zero-padded past the attribute's domain
+        (ready to feed :class:`DistributionStore` construction).  Each pmf
+        is identical to a per-cell :meth:`distribution` call.
+
+        ``self.stats`` records ``signature_groups`` (unique signatures),
+        ``cells`` (missing cells served) and ``inference_calls``
+        (posterior eliminations actually run).
+        """
+        dataset = self._dataset
+        variables = list(dataset.variables())
+        max_domain = max(dataset.domain_sizes) if dataset.domain_sizes else 0
+        dense = np.zeros((len(variables), max_domain))
+        if not variables:
+            self.stats = {"signature_groups": 0, "cells": 0, "inference_calls": 0}
+            return variables, dense
+
+        rows = sorted({obj for obj, __ in variables})
+        signatures, inverse = np.unique(
+            dataset.values[rows], axis=0, return_inverse=True
+        )
+        inference_calls = 0
+        group_pmfs: List[Dict[int, np.ndarray]] = []
+        for signature in signatures:
+            cells = signature.tolist()
+            evidence = {j: int(v) for j, v in enumerate(cells) if v != MISSING}
+            targets = [j for j, v in enumerate(cells) if v == MISSING]
+            pmfs = self._network.posterior_multi(targets, evidence)
+            inference_calls += len(targets)
+            group_pmfs.append(dict(zip(targets, pmfs)))
+        group_of_row = {obj: int(inverse[i]) for i, obj in enumerate(rows)}
+        for i, (obj, attr) in enumerate(variables):
+            pmf = group_pmfs[group_of_row[obj]][attr]
+            dense[i, : pmf.size] = pmf
+        self.stats = {
+            "signature_groups": len(signatures),
+            "cells": len(variables),
+            "inference_calls": inference_calls,
+        }
+        return variables, dense
+
     def all_distributions(self) -> Dict[Variable, np.ndarray]:
-        """Posteriors for every missing cell of the dataset."""
-        return {variable: self.distribution(variable) for variable in self._dataset.variables()}
+        """Posteriors for every missing cell of the dataset (bulk path)."""
+        variables, dense = self.precompute_all()
+        sizes = self._dataset.domain_sizes
+        return {
+            (obj, attr): dense[i, : sizes[attr]].copy()
+            for i, (obj, attr) in enumerate(variables)
+        }
 
 
 def uniform_distributions(dataset: IncompleteDataset) -> Dict[Variable, np.ndarray]:

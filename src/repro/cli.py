@@ -64,6 +64,17 @@ def build_parser() -> argparse.ArgumentParser:
         "(1 = sequential, 0 = one per CPU core)",
     )
     perf.add_argument(
+        "--selection", choices=["batched", "scalar"], default="batched",
+        help="utility scoring path: 'batched' dedups each round's "
+        "candidates into one probability batch with a cross-round gain "
+        "cache; 'scalar' is the per-candidate loop (identical selections)",
+    )
+    perf.add_argument(
+        "--utility-cache-size", type=int, default=None, metavar="N",
+        help="bound on the utility gain/residual caches "
+        "(0 = unbounded; default %d)" % BayesCrowdConfig.utility_cache_size,
+    )
+    perf.add_argument(
         "--perf", action="store_true",
         help="print engine/c-table perf counters after the run",
     )
@@ -156,6 +167,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             worker_accuracy=args.worker_accuracy,
             backend=args.backend,
             n_jobs=args.n_jobs,
+            selection_batch=(args.selection == "batched"),
+            **(
+                {"utility_cache_size": args.utility_cache_size}
+                if args.utility_cache_size is not None
+                else {}
+            ),
             max_retries=args.max_retries,
             requeue_policy=args.requeue_policy,
             faults=faults,
@@ -221,6 +238,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                 100.0 * stats.get("cache_hit_rate", 0.0),
                 stats.get("objects_rescored", 0),
                 stats.get("rankings", 0),
+            )
+        )
+        candidates = stats.get("utility_candidates_total", 0)
+        evals = stats.get("utility_evals_total", 0)
+        print(
+            "selection (%s): %d gain requests -> %d fresh evaluations "
+            "(%.1fx via dedup + cache), %.3fs"
+            % (
+                args.selection,
+                candidates,
+                evals,
+                candidates / evals if evals else 0.0,
+                stats.get("selection_seconds", 0.0),
             )
         )
         for key in sorted(stats):

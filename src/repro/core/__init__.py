@@ -13,7 +13,14 @@ from .strategies import (
     expression_frequencies,
     make_strategy,
 )
-from .utility import UTILITY_MODES, entropy, marginal_utility, object_entropy
+from .utility import (
+    UTILITY_MODES,
+    entropy,
+    gain_from_probabilities,
+    marginal_utility,
+    object_entropy,
+)
+from .utility_engine import DEFAULT_UTILITY_CACHE_SIZE, UtilityEngine
 
 __all__ = [
     "DISTRIBUTION_SOURCES",
@@ -36,7 +43,10 @@ __all__ = [
     "expression_frequencies",
     "make_strategy",
     "UTILITY_MODES",
+    "DEFAULT_UTILITY_CACHE_SIZE",
+    "UtilityEngine",
     "entropy",
+    "gain_from_probabilities",
     "marginal_utility",
     "object_entropy",
 ]

@@ -12,6 +12,7 @@ from ..ctable.construction import BACKENDS
 from ..ctable.dominators import DOMINATOR_METHODS
 from ..probability.engine import DEFAULT_CACHE_SIZE, METHODS
 from .utility import UTILITY_MODES
+from .utility_engine import DEFAULT_UTILITY_CACHE_SIZE
 
 #: How the per-variable distributions are obtained in preprocessing.
 DISTRIBUTION_SOURCES = ("bayesnet", "empirical", "uniform")
@@ -62,6 +63,12 @@ class BayesCrowdConfig:
     n_jobs: int = 1
     #: bound on the engine's condition-probability cache (0 = unbounded)
     cache_size: int = DEFAULT_CACHE_SIZE
+    #: score marginal utilities through the batched, cross-round-cached
+    #: UtilityEngine (False = the scalar per-candidate path, kept for
+    #: ablation and parity testing; both select identical expressions)
+    selection_batch: bool = True
+    #: bound on the utility gain/residual caches (0 = unbounded)
+    utility_cache_size: int = DEFAULT_UTILITY_CACHE_SIZE
     #: answer-propagation level: "direct", "intervals" or "full"
     inference_mode: str = "full"
     #: structure-learning parent cap for the Bayesian network
@@ -128,6 +135,10 @@ class BayesCrowdConfig:
             )
         if self.n_jobs < 0:
             raise ValueError("n_jobs must be non-negative (0 = all cores)")
+        if self.cache_size < 0:
+            raise ValueError("cache_size must be non-negative (0 = unbounded)")
+        if self.utility_cache_size < 0:
+            raise ValueError("utility_cache_size must be non-negative (0 = unbounded)")
         if self.inference_mode not in INFERENCE_MODES:
             raise ValueError("unknown inference mode %r" % self.inference_mode)
         if not 0.0 <= self.worker_accuracy <= 1.0:

@@ -71,6 +71,7 @@ from .config import BayesCrowdConfig
 from .result import QueryResult, RoundRecord
 from .selection import IncrementalRanker
 from .strategies import SelectionContext, expression_frequencies, make_strategy
+from .utility_engine import UtilityEngine
 
 #: Complete rows beyond this are subsampled for structure learning only
 #: (parameters still use every complete row).
@@ -83,6 +84,7 @@ def learn_distributions(
     dataset: IncompleteDataset,
     config: BayesCrowdConfig,
     network: Optional[BayesianNetwork] = None,
+    stats: Optional[Dict[str, int]] = None,
 ) -> Dict[Variable, np.ndarray]:
     """Preprocessing: one pmf per missing cell.
 
@@ -92,6 +94,11 @@ def learn_distributions(
     attribute given its object's observed attributes.  When too few
     complete rows exist to support structure learning, the empirical
     column marginals are used instead.
+
+    Posteriors are precomputed in bulk -- one inference pass per unique
+    observed-evidence signature instead of one per missing cell; pass a
+    ``stats`` dict to receive the grouping counters
+    (``signature_groups``, ``cells``, ``inference_calls``).
     """
     source = config.distribution_source
     if source == "uniform":
@@ -134,7 +141,11 @@ def learn_distributions(
             dag=dag,
             mask=mask,
         )
-    return MissingValuePosteriors(network, dataset).all_distributions()
+    service = MissingValuePosteriors(network, dataset)
+    distributions = service.all_distributions()
+    if stats is not None:
+        stats.update(service.stats)
+    return distributions
 
 
 class BayesCrowd:
@@ -185,8 +196,13 @@ class BayesCrowd:
                 )
         self.platform = platform
         preprocess_start = time.perf_counter()
+        #: posterior-precompute grouping counters (empty unless the BN
+        #: posterior path ran); absorbed into the run metrics
+        self.preprocess_stats: Dict[str, int] = {}
         if distributions is None:
-            distributions = learn_distributions(dataset, self.config, network=network)
+            distributions = learn_distributions(
+                dataset, self.config, network=network, stats=self.preprocess_stats
+            )
             #: wall time of the preprocessing phase (distribution learning);
             #: 0 when precomputed distributions were supplied
             self.preprocess_seconds = time.perf_counter() - preprocess_start
@@ -197,6 +213,7 @@ class BayesCrowd:
         #: populated by :meth:`run`
         self.ctable: Optional[CTable] = None
         self.engine: Optional[ProbabilityEngine] = None
+        self.utility_engine: Optional[UtilityEngine] = None
         self.metrics: Optional[MetricsRegistry] = None
         self.tracer: Optional[Tracer] = None
         self.events: Optional[EventLog] = None
@@ -303,6 +320,24 @@ class BayesCrowd:
         )
         self.ctable = ctable
         self.engine = engine
+        # Batched utility scorer: one deduplicated probability batch per
+        # round plus a cross-round gain cache, instead of per-candidate
+        # serial ADPLL calls.  FBS never scores utilities, so it skips the
+        # engine entirely; config.selection_batch=False keeps the scalar
+        # path for ablation (both select identical expressions).
+        utility_engine: Optional[UtilityEngine] = None
+        if config.selection_batch and config.strategy.lower() != "fbs":
+            utility_engine = UtilityEngine(
+                engine,
+                mode=config.utility_mode,
+                cache_size=config.utility_cache_size,
+            )
+        self.utility_engine = utility_engine
+        selection_seconds = 0.0
+        utility_evaluations_total = 0
+        utility_skipped_total = 0
+        probability_requests_total = 0
+        probability_computed_total = 0
         # Warm the engine's cache in one batch so the initial result set
         # and the first round's ranking reuse every probability.
         with tracer.span("probability", stage="initial"):
@@ -384,15 +419,19 @@ class BayesCrowd:
                     )
                     break
                 if ranked and len(tasks) < k:
+                    selection_start = time.perf_counter()
                     # Expression frequencies are counted over the chosen
                     # top-k objects' conditions (Section 6.2, step two).
+                    chosen = [ctable.condition(r.obj) for r in ranked[:k]]
                     context = SelectionContext(
                         engine=engine,
-                        frequencies=expression_frequencies(
-                            [ctable.condition(r.obj) for r in ranked[:k]]
-                        ),
+                        frequencies=expression_frequencies(chosen),
                         utility_mode=config.utility_mode,
+                        utility_engine=utility_engine,
                     )
+                    # One deduplicated gain batch for the whole round; the
+                    # per-object walk below is then served from its cache.
+                    self._strategy.prefetch_round(chosen, context, banned)
                     # Walk the full ranking so a conflict-skipped slot is
                     # refilled by the next most uncertain object, keeping
                     # rounds at size k.
@@ -407,6 +446,11 @@ class BayesCrowd:
                         banned.update(expression.variables())
                         tasks.append(ComparisonTask(expression, for_object=r.obj))
                         objects.append(r.obj)
+                    utility_evaluations_total += context.utility_evaluations
+                    utility_skipped_total += context.utility_skipped
+                    probability_requests_total += context.probability_requests
+                    probability_computed_total += context.probability_computed
+                    selection_seconds += time.perf_counter() - selection_start
                 if not tasks:
                     break
                 if self.platform is None:
@@ -536,11 +580,43 @@ class BayesCrowd:
         engine_stats["rankings"] = ranker.n_rankings
         for key, value in ctable.build_stats.items():
             engine_stats["ctable_%s" % key] = value
+        # Selection-phase counters: the batched scorer's own, or the
+        # context-accumulated equivalents for the scalar/FBS paths -- same
+        # schema either way, so the obs verifier's invariant
+        # (evals == candidates - cache hits - skipped) always checks out.
+        if utility_engine is not None:
+            selection_stats = utility_engine.stats()
+        else:
+            selection_stats = {
+                "utility_candidates_total": (
+                    utility_evaluations_total + utility_skipped_total
+                ),
+                "utility_evals_total": utility_evaluations_total,
+                "residual_cache_hits": 0,
+                "utility_skipped_total": utility_skipped_total,
+                "utility_batches": 0,
+                "utility_probability_requests": probability_requests_total,
+                "utility_probability_submitted": probability_requests_total,
+                "utility_probability_computed": probability_computed_total,
+                "utility_batch_dedup_ratio": 0.0,
+                "utility_gain_cache_size": 0,
+                "utility_residual_cache_size": 0,
+                "utility_batch_seconds": 0.0,
+            }
+        selection_stats["selection_seconds"] = float(selection_seconds)
+        engine_stats.update(selection_stats)
+        for key, value in self.preprocess_stats.items():
+            engine_stats["posterior_%s" % key] = value
 
         # --- unified metrics ------------------------------------------
         # The scattered PR-2 perf counters, readable from one registry.
         registry.absorb(engine.stats(), prefix="engine_")
         registry.absorb(ctable.build_stats, prefix="ctable_")
+        registry.absorb(selection_stats)
+        registry.counter("posterior_signature_groups")
+        registry.counter("posterior_cells")
+        registry.counter("posterior_inference_calls")
+        registry.absorb(self.preprocess_stats, prefix="posterior_")
         registry.counter("ranker_objects_rescored").inc(ranker.n_rescored)
         registry.counter("ranker_rankings").inc(ranker.n_rankings)
         tasks_posted_total = sum(r.tasks_posted for r in history)
@@ -656,11 +732,10 @@ class BayesCrowd:
         """Is answering this (requeued) task still worth crowd money?"""
         if ctable.constraints.resolve(task.expression) is not None:
             return False
-        for variable in task.expression.variables():
-            for obj in ctable.objects_mentioning(variable):
-                if task.expression in ctable.condition(obj).distinct_expressions():
-                    return True
-        return False
+        # The incrementally maintained frequency index answers "does any
+        # condition still mention this expression" in O(1), replacing the
+        # historical scan over every object sharing a variable.
+        return ctable.expression_frequency(task.expression) > 0
 
     # ------------------------------------------------------------------
     # checkpoint / resume

@@ -15,6 +15,17 @@ from each chosen object's condition (Section 6.2):
 
 All strategies honour the round's conflict rule by never picking an
 expression that touches an already-banned variable.
+
+When :attr:`SelectionContext.utility_engine` is set, UBS and HHS become
+thin policies over batched gain tables: :meth:`prefetch_round` warms the
+:class:`repro.core.utility_engine.UtilityEngine` with one deduplicated
+batch per round (HHS only with each condition's first frequency-ordered
+chunk of size ``m``, preserving its early-stop cost profile), and the
+per-object walk is then served from the gain cache.  Gains are
+bit-identical to the scalar path, so both paths select the same
+expressions; prefetching is sound because gains do not depend on the
+round's growing banned-variable set -- only candidate *eligibility* does,
+and that is still filtered per object at selection time.
 """
 
 from __future__ import annotations
@@ -28,7 +39,8 @@ from ..ctable.condition import Condition
 from ..ctable.expression import Expression
 from ..datasets.dataset import Variable
 from ..probability.engine import ProbabilityEngine
-from .utility import marginal_utility
+from .utility import entropy, marginal_utility
+from .utility_engine import UtilityEngine
 
 
 @dataclass
@@ -39,8 +51,19 @@ class SelectionContext:
     #: occurrences of each expression across the chosen objects' conditions
     frequencies: Counter = field(default_factory=Counter)
     utility_mode: str = "syntactic"
-    #: utility evaluations performed this round (for cost accounting)
+    #: fresh utility evaluations performed this round (actual ADPLL work;
+    #: candidates served from the batched gain cache do not count)
     utility_evaluations: int = 0
+    #: candidates short-circuited at ``H(o) == 0`` without ADPLL work
+    utility_skipped: int = 0
+    #: probability lookups the scalar path issued while scoring (one per
+    #: ``H(o)`` probe plus base + residual lookups per candidate); the
+    #: batched path tracks the equivalent inside the engine instead
+    probability_requests: int = 0
+    #: fresh ADPLL solves those scalar lookups actually triggered
+    probability_computed: int = 0
+    #: batched gain scorer; ``None`` selects the scalar per-candidate path
+    utility_engine: Optional[UtilityEngine] = None
 
 
 def expression_frequencies(conditions: Sequence[Condition]) -> Counter:
@@ -48,11 +71,12 @@ def expression_frequencies(conditions: Sequence[Condition]) -> Counter:
 
     Repeated occurrences inside one condition all count, matching "the
     expression appearance times in conditions of the chosen top-k objects".
+    Sums each condition's memoized :meth:`Condition.expression_counts`, so
+    per-round recounts share work across rounds.
     """
     counts: Counter = Counter()
     for condition in conditions:
-        for expression in condition.expressions():
-            counts[expression] += 1
+        counts.update(condition.expression_counts())
     return counts
 
 
@@ -70,14 +94,74 @@ def _eligible(
 def _frequency_order(
     expressions: List[Expression], frequencies: Counter
 ) -> List[Expression]:
-    """Non-ascending frequency; ties keep the canonical expression order."""
-    return sorted(expressions, key=lambda e: -frequencies[e])
+    """Non-ascending frequency; ties break on the canonical sort key.
+
+    The explicit secondary key makes the order independent of the input
+    list's order (and therefore of ``Counter`` iteration order), which
+    previously leaked into HHS's scan order.
+    """
+    return sorted(expressions, key=lambda e: (-frequencies[e], e.sort_key()))
+
+
+def _scored(
+    condition: Condition,
+    candidates: Sequence[Expression],
+    context: SelectionContext,
+) -> List[float]:
+    """``G(condition, e)`` for each candidate, batched when possible.
+
+    The scalar fallback reproduces the historical per-candidate loop
+    (including its ``H(o) == 0`` short-circuit, now counted separately as
+    ``utility_skipped``); with a :class:`UtilityEngine` the whole chunk is
+    served from one deduplicated, cross-round-cached batch.
+    """
+    scorer = context.utility_engine
+    if scorer is not None:
+        evals_before = scorer.evals_total
+        skipped_before = scorer.skipped_total
+        gains = scorer.gains([(condition, e) for e in candidates])
+        context.utility_evaluations += scorer.evals_total - evals_before
+        context.utility_skipped += scorer.skipped_total - skipped_before
+        return gains
+    engine = context.engine
+    computed_before = engine.n_computations
+    context.probability_requests += 1  # the H(o) probe below
+    h_now = entropy(engine.probability(condition))
+    # Each marginal_utility call looks up Pr(phi) again plus the residual
+    # branch(es): two in syntactic mode, one conjunction in conditional.
+    per_eval = 3 if context.utility_mode == "syntactic" else 2
+    gains = []
+    for expression in candidates:
+        if h_now == 0.0:
+            context.utility_skipped += 1
+            gains.append(0.0)
+            continue
+        gains.append(
+            marginal_utility(condition, expression, engine, mode=context.utility_mode)
+        )
+        context.utility_evaluations += 1
+        context.probability_requests += per_eval
+    context.probability_computed += engine.n_computations - computed_before
+    return gains
 
 
 class TaskSelectionStrategy(ABC):
     """Picks one expression per chosen object, avoiding banned variables."""
 
     name: str = "base"
+
+    def prefetch_round(
+        self,
+        conditions: Sequence[Condition],
+        context: SelectionContext,
+        banned: Set[Variable],
+    ) -> None:
+        """Warm the batched scorer with a round's candidates (no-op default).
+
+        Called once per round with the chosen top-k conditions before the
+        per-object selection walk; strategies that score utilities override
+        it to move all fresh ADPLL work into one global deduplicated batch.
+        """
 
     @abstractmethod
     def select_expression(
@@ -111,6 +195,20 @@ class UtilityStrategy(TaskSelectionStrategy):
 
     name = "ubs"
 
+    def prefetch_round(
+        self,
+        conditions: Sequence[Condition],
+        context: SelectionContext,
+        banned: Set[Variable],
+    ) -> None:
+        if context.utility_engine is None:
+            return
+        pairs = []
+        for condition in conditions:
+            for expression in _eligible(condition, banned):
+                pairs.append((condition, expression))
+        _prefetch(pairs, context)
+
     def select_expression(
         self,
         condition: Condition,
@@ -120,13 +218,10 @@ class UtilityStrategy(TaskSelectionStrategy):
         candidates = _eligible(condition, banned)
         if not candidates:
             return None
+        gains = _scored(condition, candidates, context)
         best = None
         best_gain = -1.0
-        for expression in candidates:
-            gain = marginal_utility(
-                condition, expression, context.engine, mode=context.utility_mode
-            )
-            context.utility_evaluations += 1
+        for expression, gain in zip(candidates, gains):
             if gain > best_gain:
                 best_gain = gain
                 best = expression
@@ -143,6 +238,25 @@ class HybridStrategy(TaskSelectionStrategy):
             raise ValueError("m must be at least 1")
         self.m = m
 
+    def prefetch_round(
+        self,
+        conditions: Sequence[Condition],
+        context: SelectionContext,
+        banned: Set[Variable],
+    ) -> None:
+        if context.utility_engine is None:
+            return
+        # Only each condition's first frequency-ordered chunk: the scan
+        # usually stops within the first ``m`` candidates, so prefetching
+        # further would evaluate gains the early stop was meant to skip.
+        pairs = []
+        for condition in conditions:
+            candidates = _eligible(condition, banned)
+            ordered = _frequency_order(candidates, context.frequencies)
+            for expression in ordered[: self.m]:
+                pairs.append((condition, expression))
+        _prefetch(pairs, context)
+
     def select_expression(
         self,
         condition: Condition,
@@ -153,23 +267,40 @@ class HybridStrategy(TaskSelectionStrategy):
         if not candidates:
             return None
         ordered = _frequency_order(candidates, context.frequencies)
+        # With a batched scorer, request gains in frequency-ordered chunks
+        # of size m (the most the early stop can consume before deciding);
+        # the scalar path keeps chunk size 1, i.e. the historical loop.
+        chunk = self.m if context.utility_engine is not None else 1
         best = None
         best_gain = -1.0
         misses = 0
-        for expression in ordered:
-            gain = marginal_utility(
-                condition, expression, context.engine, mode=context.utility_mode
-            )
-            context.utility_evaluations += 1
-            if gain > best_gain:
-                best_gain = gain
-                best = expression
-                misses = 0
-            else:
-                misses += 1
-                if misses == self.m:
-                    break
+        position = 0
+        while position < len(ordered):
+            batch = ordered[position : position + chunk]
+            gains = _scored(condition, batch, context)
+            position += len(batch)
+            for expression, gain in zip(batch, gains):
+                if gain > best_gain:
+                    best_gain = gain
+                    best = expression
+                    misses = 0
+                else:
+                    misses += 1
+                    if misses == self.m:
+                        return best
         return best
+
+
+def _prefetch(pairs, context: SelectionContext) -> None:
+    """Push a pair batch through the scorer, keeping context counters true."""
+    scorer = context.utility_engine
+    if scorer is None or not pairs:
+        return
+    evals_before = scorer.evals_total
+    skipped_before = scorer.skipped_total
+    scorer.gains(pairs)
+    context.utility_evaluations += scorer.evals_total - evals_before
+    context.utility_skipped += scorer.skipped_total - skipped_before
 
 
 #: Registry used by the configuration layer.

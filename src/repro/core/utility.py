@@ -46,6 +46,39 @@ def object_entropy(condition: Condition, engine: ProbabilityEngine) -> float:
     return entropy(engine.probability(condition))
 
 
+def gain_from_probabilities(
+    p_phi: float,
+    p_e: float,
+    p_branch_true: float,
+    p_branch_false: float = 0.0,
+    mode: str = "syntactic",
+) -> float:
+    """``G(o, e)`` from already-computed probabilities (Eqs. 4-5).
+
+    The single arithmetic shared by the scalar path
+    (:func:`marginal_utility`) and the batched
+    :class:`repro.core.utility_engine.UtilityEngine`, so both produce
+    bit-identical gains.  For ``"syntactic"`` the branch probabilities are
+    ``Pr(phi[e:=true])`` / ``Pr(phi[e:=false])``; for ``"conditional"``
+    ``p_branch_true`` is the joint ``Pr(phi ^ e)`` and ``p_branch_false``
+    is unused (the false branch follows from ``p_phi - p_joint``).
+    """
+    h_now = entropy(p_phi)
+    if h_now == 0.0:
+        return 0.0
+    if mode == "syntactic":
+        h_true = entropy(p_branch_true)
+        h_false = entropy(p_branch_false)
+    else:
+        p_joint = p_branch_true
+        h_true = entropy(p_joint / p_e) if p_e > 0.0 else 0.0
+        p_not_e = 1.0 - p_e
+        h_false = entropy((p_phi - p_joint) / p_not_e) if p_not_e > 0.0 else 0.0
+
+    expected = p_e * h_true + (1.0 - p_e) * h_false
+    return h_now - expected
+
+
 def marginal_utility(
     condition: Condition,
     expression: Expression,
@@ -56,28 +89,26 @@ def marginal_utility(
     if mode not in UTILITY_MODES:
         raise ValueError("unknown utility mode %r" % mode)
     p_phi = engine.probability(condition)
-    h_now = entropy(p_phi)
-    if h_now == 0.0:
+    if entropy(p_phi) == 0.0:
         return 0.0
     p_e = engine.store.prob_expression(expression)
 
     if mode == "syntactic":
-        h_true = entropy(engine.probability(condition.assign_expression(expression, True)))
-        h_false = entropy(engine.probability(condition.assign_expression(expression, False)))
-    else:
-        p_joint = engine.probability(_conjoin(condition, expression))
-        h_true = entropy(p_joint / p_e) if p_e > 0.0 else 0.0
-        p_not_e = 1.0 - p_e
-        h_false = entropy((p_phi - p_joint) / p_not_e) if p_not_e > 0.0 else 0.0
-
-    expected = p_e * h_true + (1.0 - p_e) * h_false
-    return h_now - expected
+        p_true = engine.probability(condition.assign_expression(expression, True))
+        p_false = engine.probability(condition.assign_expression(expression, False))
+        return gain_from_probabilities(p_phi, p_e, p_true, p_false, mode=mode)
+    p_joint = engine.probability(conjoin(condition, expression))
+    return gain_from_probabilities(p_phi, p_e, p_joint, mode=mode)
 
 
-def _conjoin(condition: Condition, expression: Expression) -> Condition:
+def conjoin(condition: Condition, expression: Expression) -> Condition:
     """``condition AND expression`` as a CNF condition."""
     if condition.is_constant:
         if condition.is_false:
             return Condition.false()
         return Condition.of([[expression]])
     return Condition.of(list(condition.clauses) + [[expression]])
+
+
+#: Backwards-compatible alias (pre-batching internal name).
+_conjoin = conjoin

@@ -43,7 +43,7 @@ class Condition:
     input to already be normalized.
     """
 
-    __slots__ = ("clauses", "value", "_hash", "_vars", "_counts")
+    __slots__ = ("clauses", "value", "_hash", "_vars", "_counts", "_expr_counts")
 
     def __init__(
         self, clauses: Tuple[Clause, ...] = (), value: Optional[bool] = None
@@ -57,6 +57,7 @@ class Condition:
         self._hash = hash((value, clauses))
         self._vars: Optional[FrozenSet[Variable]] = None
         self._counts: Optional[Counter] = None
+        self._expr_counts: Optional[Counter] = None
 
     # ------------------------------------------------------------------
     # constructors
@@ -155,6 +156,20 @@ class Condition:
                         counts[variable] += 1
             self._counts = counts
         return self._counts
+
+    def expression_counts(self) -> Counter:
+        """Occurrence count of each expression (memoized; do not mutate).
+
+        Backs the c-table's incremental expression-frequency index and the
+        per-round frequency counting of the selection strategies.
+        """
+        if self._expr_counts is None:
+            counts: Counter = Counter()
+            for clause in self.clauses:
+                for expression in clause:
+                    counts[expression] += 1
+            self._expr_counts = counts
+        return self._expr_counts
 
     def n_clauses(self) -> int:
         return len(self.clauses)

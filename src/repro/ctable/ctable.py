@@ -9,6 +9,7 @@ simplified or remain the same" after each round (Algorithm 4, line 25).
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 
@@ -31,6 +32,9 @@ class CTable:
     build_stats: Dict[str, float] = field(default_factory=dict)
     constraints: VariableConstraints = field(init=False)
     _var_index: Dict[Variable, Set[int]] = field(init=False)
+    #: occurrences of each open expression across all conditions, kept in
+    #: sync by the answer-application deltas (no per-round recounting)
+    _expr_index: Counter = field(init=False)
 
     def __post_init__(self) -> None:
         if set(self.conditions) != set(range(self.dataset.n_objects)):
@@ -39,9 +43,11 @@ class CTable:
             self.dataset.domain_sizes, mode=self.inference_mode
         )
         self._var_index = {}
+        self._expr_index = Counter()
         for obj, condition in self.conditions.items():
             for variable in condition.variables():
                 self._var_index.setdefault(variable, set()).add(obj)
+            self._expr_index.update(condition.expression_counts())
 
     # ------------------------------------------------------------------
     # views
@@ -72,6 +78,18 @@ class CTable:
 
     def objects_mentioning(self, variable: Variable) -> FrozenSet[int]:
         return frozenset(self._var_index.get(variable, ()))
+
+    def expression_frequency(self, expression: Expression) -> int:
+        """Occurrences of one expression across all conditions (O(1))."""
+        return self._expr_index.get(expression, 0)
+
+    def expression_frequencies(self) -> Counter:
+        """Occurrences of every open expression across all conditions.
+
+        A copy of the incrementally maintained index; equal to recounting
+        every condition's :meth:`Condition.expression_counts` from scratch.
+        """
+        return Counter(self._expr_index)
 
     def n_open_expressions(self) -> int:
         return sum(
@@ -116,6 +134,7 @@ class CTable:
         if new is old:
             return
         self.conditions[obj] = new
+        self._update_expr_index(old, new)
         old_vars = old.variables()
         new_vars = new.variables()
         for variable in old_vars - new_vars:
@@ -125,10 +144,22 @@ class CTable:
                 if not bucket:
                     del self._var_index[variable]
 
+    def _update_expr_index(self, old: Condition, new: Condition) -> None:
+        """Apply one condition replacement to the expression-frequency index."""
+        old_counts = old.expression_counts()
+        self._expr_index.subtract(old_counts)
+        self._expr_index.update(new.expression_counts())
+        # Counter.subtract keeps zeroed keys; drop them so iteration and
+        # copies stay proportional to the *open* expression set.
+        for expression in old_counts:
+            if self._expr_index[expression] <= 0:
+                del self._expr_index[expression]
+
     def set_condition(self, obj: int, condition: Condition) -> None:
         """Replace one object's condition (used by tests and extensions)."""
         old = self.conditions[obj]
         self.conditions[obj] = condition
+        self._update_expr_index(old, condition)
         for variable in old.variables() - condition.variables():
             bucket = self._var_index.get(variable)
             if bucket is not None:

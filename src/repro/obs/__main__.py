@@ -21,6 +21,56 @@ from typing import List, Optional
 from .events import read_events
 from .metrics import PIPELINE_PHASES, check_phases
 
+#: Selection-phase counters every BayesCrowd run exports (batched or not).
+SELECTION_COUNTERS = (
+    "utility_candidates_total",
+    "utility_evals_total",
+    "residual_cache_hits",
+    "utility_skipped_total",
+)
+
+
+def verify_selection(snapshot: dict, require: bool = False) -> List[str]:
+    """Problems with the selection-phase counters (empty = consistent).
+
+    Checks the accounting invariant of the batched utility scorer: every
+    candidate gain request is either freshly evaluated, served by the
+    dedup/cross-round cache, or skipped at zero entropy, so
+    ``utility_evals_total == utility_candidates_total -
+    residual_cache_hits - utility_skipped_total``.  With ``require=False``
+    snapshots that predate the counters (or come from non-query runs) pass
+    vacuously; ``require=True`` makes their absence an error.
+    """
+    counters = snapshot.get("counters", {})
+    missing = [name for name in SELECTION_COUNTERS if name not in counters]
+    if missing:
+        if require:
+            return ["selection counter(s) missing: %s" % ", ".join(missing)]
+        return []
+    problems: List[str] = []
+    expected = (
+        counters["utility_candidates_total"]
+        - counters["residual_cache_hits"]
+        - counters["utility_skipped_total"]
+    )
+    if counters["utility_evals_total"] != expected:
+        problems.append(
+            "utility_evals_total %r != candidates %r - cache hits %r - skipped %r"
+            % (
+                counters["utility_evals_total"],
+                counters["utility_candidates_total"],
+                counters["residual_cache_hits"],
+                counters["utility_skipped_total"],
+            )
+        )
+    ratio = snapshot.get("gauges", {}).get("utility_batch_dedup_ratio")
+    if ratio is None:
+        if require:
+            problems.append("gauge utility_batch_dedup_ratio missing")
+    elif not 0.0 <= ratio <= 1.0:
+        problems.append("utility_batch_dedup_ratio %r outside [0, 1]" % ratio)
+    return problems
+
 
 def verify_trace(path: str) -> List[str]:
     """Problems found in a JSONL trace (empty = consistent)."""
@@ -81,6 +131,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--phases", nargs="+", default=list(PIPELINE_PHASES),
         help="pipeline phases the snapshot must register",
     )
+    parser.add_argument(
+        "--selection", action="store_true",
+        help="require the selection-phase utility counters and check "
+        "their accounting invariant (evals = candidates - cache hits - "
+        "skipped); without this flag the invariant is still checked "
+        "whenever the counters are present",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -97,6 +154,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             file=sys.stderr,
         )
         return 2
+    selection_problems = verify_selection(snapshot, require=args.selection)
+    if selection_problems:
+        for problem in selection_problems:
+            print("selection problem: %s" % problem, file=sys.stderr)
+        return 2
     print(
         "metrics ok: %d counters, %d gauges, %d histograms (phases: %s)"
         % (
@@ -106,6 +168,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             ", ".join(args.phases),
         )
     )
+    if args.selection:
+        print("selection ok: utility counter accounting adds up")
     if args.trace is not None:
         problems = verify_trace(args.trace)
         if problems:

@@ -103,6 +103,7 @@ class ProbabilityEngine:
         # --- batch/pool perf counters ---------------------------------
         self.n_batches = 0
         self.n_batch_conditions = 0
+        self.n_batch_pending = 0
         self.n_parallel_chunks = 0
         self.parallel_seconds = 0.0
         self.batch_seconds = 0.0
@@ -175,6 +176,7 @@ class ProbabilityEngine:
                     continue
             pending.append(condition)
 
+        self.n_batch_pending += len(pending)
         if pending:
             self._warm_leaves(pending)
             if n_jobs > 1 and len(pending) >= 2 * MIN_CONDITIONS_PER_WORKER:
@@ -286,6 +288,7 @@ class ProbabilityEngine:
             "memo_evictions": self._adpll._memo.evictions,
             "batches": self.n_batches,
             "batch_conditions": self.n_batch_conditions,
+            "batch_pending": self.n_batch_pending,
             "batch_seconds": self.batch_seconds,
             "parallel_chunks": self.n_parallel_chunks,
             "parallel_seconds": self.parallel_seconds,

@@ -34,6 +34,24 @@ class TestMain:
         assert "nba-80" in out
         assert "posted" in out
 
+    @pytest.mark.parametrize("selection", ["batched", "scalar"])
+    def test_selection_flag_with_perf_report(self, selection, capsys):
+        code = main(
+            ["--dataset", "movies", "--budget", "6", "--latency", "3",
+             "--selection", selection, "--perf"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "selection (%s):" % selection in out
+        assert "fresh evaluations" in out
+
+    def test_utility_cache_size_flag(self, capsys):
+        code = main(
+            ["--dataset", "movies", "--budget", "6", "--latency", "3",
+             "--utility-cache-size", "0"]
+        )
+        assert code == 0
+
     def test_resume_requires_checkpoint(self, capsys):
         assert main(["--resume"]) == 2
         assert "--checkpoint" in capsys.readouterr().err

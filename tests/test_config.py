@@ -35,11 +35,18 @@ class TestValidation:
             {"backoff_cap": 0.01, "backoff_base": 0.5},
             {"requeue_policy": "magic"},
             {"faults": "not-a-fault-model"},
+            {"cache_size": -1},
+            {"utility_cache_size": -1},
         ],
     )
     def test_invalid_values_rejected(self, kwargs):
         with pytest.raises(ValueError):
             BayesCrowdConfig(**kwargs)
+
+    def test_selection_knobs_accepted(self):
+        config = BayesCrowdConfig(selection_batch=False, utility_cache_size=0)
+        assert config.selection_batch is False
+        assert config.utility_cache_size == 0  # 0 = unbounded caches
 
     def test_resilience_knobs_accepted(self):
         from repro.crowd import FaultModel

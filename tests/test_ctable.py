@@ -122,3 +122,55 @@ class TestSetCondition:
         new_cond = Condition.of([[var_greater_const(4, 1, 5)]])
         ct.set_condition(0, new_cond)
         assert 0 in ct.objects_mentioning((4, 1))
+
+
+def recounted_frequencies(ctable):
+    from collections import Counter
+
+    counts = Counter()
+    for condition in ctable.conditions.values():
+        counts.update(condition.expression_counts())
+    return counts
+
+
+class TestExpressionFrequencyIndex:
+    """The incremental index must always equal a from-scratch recount."""
+
+    def test_matches_recount_after_build(self, movies_ctable):
+        assert movies_ctable.expression_frequencies() == recounted_frequencies(
+            movies_ctable
+        )
+
+    def test_updates_incrementally_on_answers(self, movies_ctable):
+        ct = movies_ctable
+        ct.apply_answer(var_greater_const(4, 3, 4), Relation.LESS)
+        assert ct.expression_frequencies() == recounted_frequencies(ct)
+        ct.apply_answer(var_greater_const(4, 2, 3), Relation.EQUAL)
+        assert ct.expression_frequencies() == recounted_frequencies(ct)
+
+    def test_updates_on_set_condition(self, movies_ctable):
+        ct = movies_ctable
+        expression = var_greater_const(4, 1, 5)
+        assert ct.expression_frequency(expression) == 0
+        ct.set_condition(0, Condition.of([[expression]]))
+        assert ct.expression_frequency(expression) == 1
+        assert ct.expression_frequencies() == recounted_frequencies(ct)
+        ct.set_condition(0, Condition.true())
+        assert ct.expression_frequency(expression) == 0
+        # Zeroed entries are dropped, not kept at zero.
+        assert expression not in ct.expression_frequencies()
+
+    def test_counts_repeats_within_a_condition(self, movies_ctable):
+        ct = movies_ctable
+        expression = var_greater_const(4, 1, 5)
+        ct.set_condition(
+            0, Condition.of([[expression], [expression, var_greater_const(4, 2, 5)]])
+        )
+        assert ct.expression_frequency(expression) == 2
+
+    def test_returned_counter_is_a_copy(self, movies_ctable):
+        counts = movies_ctable.expression_frequencies()
+        counts.clear()
+        assert movies_ctable.expression_frequencies() == recounted_frequencies(
+            movies_ctable
+        )

@@ -18,6 +18,7 @@ from repro.obs import (
     read_events,
 )
 from repro.obs.__main__ import main as obs_main
+from repro.obs.__main__ import verify_selection
 
 
 def movie_query(**kwargs):
@@ -235,6 +236,58 @@ class TestTracedRun:
         movie_query(metrics_path=metrics_path).run()
         text = metrics_path.read_text()
         assert "# TYPE phase_seconds_round histogram" in text
+
+
+def selection_snapshot(candidates=10, evals=6, hits=3, skipped=1, ratio=0.4):
+    return {
+        "counters": {
+            "utility_candidates_total": candidates,
+            "utility_evals_total": evals,
+            "residual_cache_hits": hits,
+            "utility_skipped_total": skipped,
+        },
+        "gauges": {"utility_batch_dedup_ratio": ratio},
+    }
+
+
+class TestSelectionVerifier:
+    def test_consistent_counters_pass(self):
+        assert verify_selection(selection_snapshot(), require=True) == []
+
+    def test_accounting_mismatch_reported(self):
+        problems = verify_selection(selection_snapshot(evals=7))
+        assert len(problems) == 1
+        assert "utility_evals_total" in problems[0]
+
+    def test_missing_counters_pass_unless_required(self):
+        assert verify_selection({"counters": {}}) == []
+        problems = verify_selection({"counters": {}}, require=True)
+        assert problems and "missing" in problems[0]
+
+    def test_dedup_ratio_bounds(self):
+        problems = verify_selection(selection_snapshot(ratio=1.5))
+        assert problems and "utility_batch_dedup_ratio" in problems[0]
+
+    def test_missing_ratio_only_required_with_flag(self):
+        snapshot = selection_snapshot()
+        del snapshot["gauges"]["utility_batch_dedup_ratio"]
+        assert verify_selection(snapshot) == []
+        assert verify_selection(snapshot, require=True) != []
+
+    def test_real_run_passes_strict_verification(self, tmp_path, capsys):
+        metrics_path = tmp_path / "m.json"
+        movie_query(metrics_path=metrics_path).run()
+        assert obs_main([str(metrics_path), "--selection"]) == 0
+        assert "selection ok" in capsys.readouterr().out
+
+    def test_inconsistent_snapshot_fails_cli(self, tmp_path, capsys):
+        metrics_path = tmp_path / "m.json"
+        movie_query(metrics_path=metrics_path).run()
+        snapshot = json.loads(metrics_path.read_text())
+        snapshot["counters"]["utility_evals_total"] += 1
+        metrics_path.write_text(json.dumps(snapshot))
+        assert obs_main([str(metrics_path)]) == 2
+        assert "selection problem" in capsys.readouterr().err
 
 
 class TestCLIFlags:

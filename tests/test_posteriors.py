@@ -70,6 +70,101 @@ class TestMissingValuePosteriors:
         assert b[0] != 123.0
 
 
+def vstructure_network():
+    dag = dag_from_edges(3, iter([(0, 2), (1, 2)]))
+    cpt2 = np.array(
+        [
+            [[0.9, 0.1], [0.4, 0.6]],
+            [[0.3, 0.7], [0.8, 0.2]],
+        ]
+    )
+    cpts = [
+        CPT(0, (), np.array([0.4, 0.6])),
+        CPT(1, (), np.array([0.7, 0.3])),
+        CPT(2, (0, 1), cpt2),
+    ]
+    return BayesianNetwork(dag, [2, 2, 2], cpts)
+
+
+def random_incomplete(seed, n=30, d=2, missing_rate=0.4):
+    rng = np.random.default_rng(seed)
+    values = rng.integers(0, 2, size=(n, d))
+    values[rng.random((n, d)) < missing_rate] = MISSING
+    return IncompleteDataset(values=values, domain_sizes=[2] * d)
+
+
+class TestVectorizedPrecompute:
+    """The signature-grouped bulk pass must match per-cell inference."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_per_cell_inference(self, seed):
+        ds = random_incomplete(seed)
+        variables, dense = MissingValuePosteriors(chain_network(), ds).precompute_all()
+        per_cell = MissingValuePosteriors(chain_network(), ds)
+        assert variables == list(ds.variables())
+        for i, variable in enumerate(variables):
+            expected = per_cell.distribution(variable)
+            assert dense[i, : expected.size] == pytest.approx(
+                expected, abs=1e-12
+            )
+            assert (dense[i, expected.size :] == 0.0).all()
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_per_cell_with_collider_network(self, seed):
+        ds = random_incomplete(seed, d=3)
+        service = MissingValuePosteriors(vstructure_network(), ds)
+        variables, dense = service.precompute_all()
+        per_cell = MissingValuePosteriors(vstructure_network(), ds)
+        for i, variable in enumerate(variables):
+            assert dense[i, :2] == pytest.approx(
+                per_cell.distribution(variable), abs=1e-12
+            )
+
+    def test_signature_group_accounting(self):
+        ds = random_incomplete(0, n=40)
+        service = MissingValuePosteriors(chain_network(), ds)
+        variables, __ = service.precompute_all()
+        stats = service.stats
+        assert stats["cells"] == len(variables)
+        rows_with_missing = {obj for obj, __ in variables}
+        assert 0 < stats["signature_groups"] <= len(rows_with_missing)
+        assert stats["inference_calls"] <= stats["cells"]
+
+    def test_duplicate_rows_share_one_inference(self):
+        values = np.array([[1, MISSING], [1, MISSING], [1, MISSING]])
+        ds = IncompleteDataset(values=values, domain_sizes=[2, 2])
+        service = MissingValuePosteriors(chain_network(), ds)
+        variables, dense = service.precompute_all()
+        assert len(variables) == 3
+        assert service.stats == {
+            "signature_groups": 1,
+            "cells": 3,
+            "inference_calls": 1,
+        }
+        assert (dense == dense[0]).all()
+
+    def test_complete_dataset_has_no_work(self):
+        ds = IncompleteDataset(values=np.array([[1, 0]]), domain_sizes=[2, 2])
+        service = MissingValuePosteriors(chain_network(), ds)
+        variables, dense = service.precompute_all()
+        assert variables == []
+        assert dense.shape == (0, 2)
+        assert service.stats == {
+            "signature_groups": 0,
+            "cells": 0,
+            "inference_calls": 0,
+        }
+
+    def test_all_distributions_uses_bulk_path(self):
+        ds = random_incomplete(1)
+        service = MissingValuePosteriors(chain_network(), ds)
+        dists = service.all_distributions()
+        assert service.stats["cells"] == len(dists)
+        fresh = MissingValuePosteriors(chain_network(), ds)
+        for variable, pmf in dists.items():
+            assert pmf == pytest.approx(fresh.distribution(variable), abs=1e-12)
+
+
 class TestFallbackDistributions:
     def test_uniform(self):
         ds = two_attr_dataset()

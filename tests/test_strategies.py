@@ -1,5 +1,8 @@
 """Tests for task selection: object ranking and FBS / UBS / HHS."""
 
+import itertools
+from collections import Counter
+
 import numpy as np
 import pytest
 
@@ -7,12 +10,14 @@ from repro.core import (
     FrequencyStrategy,
     HybridStrategy,
     SelectionContext,
+    UtilityEngine,
     UtilityStrategy,
     expression_frequencies,
     make_strategy,
     rank_objects,
     select_top_k,
 )
+from repro.core.strategies import _frequency_order
 from repro.ctable import Condition, var_greater_const
 from repro.probability import DistributionStore, ProbabilityEngine
 
@@ -141,6 +146,98 @@ class TestHHS:
     def test_rejects_bad_m(self):
         with pytest.raises(ValueError):
             HybridStrategy(m=0)
+
+
+class TestFrequencyOrderDeterminism:
+    """Regression: equal-frequency ties used to depend on input order."""
+
+    def test_ties_break_on_canonical_sort_key(self):
+        expressions = [EU, EV, EW]
+        frequencies = Counter({EV: 3, EW: 3, EU: 3})
+        expected = sorted(expressions, key=lambda e: e.sort_key())
+        for permutation in itertools.permutations(expressions):
+            assert _frequency_order(list(permutation), frequencies) == expected
+
+    def test_frequency_still_dominates_sort_key(self):
+        frequencies = Counter({EV: 1, EW: 5, EU: 3})
+        assert _frequency_order([EV, EW, EU], frequencies) == [EW, EU, EV]
+
+    def test_fbs_pick_independent_of_counter_insertion_order(self):
+        engine = make_engine()
+        condition = Condition.of([[EV, EW, EU]])
+        picks = set()
+        for order in itertools.permutations([EV, EW, EU]):
+            context = SelectionContext(engine=engine)
+            context.frequencies.update({e: 2 for e in order})
+            picks.add(FrequencyStrategy().select_expression(condition, context, set()))
+        assert len(picks) == 1
+
+
+class TestSkipAccounting:
+    def test_certain_condition_counts_as_skipped_not_evaluated(self):
+        engine = ProbabilityEngine(
+            DistributionStore({V: np.array([0.0, 1.0]), W: np.array([0.0, 1.0])})
+        )
+        # Both expressions hold with probability 1, so H(o) == 0 and the
+        # scalar loop should skip every candidate without ADPLL work.
+        condition = Condition.of(
+            [[var_greater_const(0, 0, 0)], [var_greater_const(1, 0, 0)]]
+        )
+        context = SelectionContext(engine=engine)
+        chosen = UtilityStrategy().select_expression(condition, context, set())
+        assert chosen is not None
+        assert context.utility_evaluations == 0
+        assert context.utility_skipped == 2
+        assert context.probability_requests == 1  # only the H(o) probe
+
+    def test_scalar_path_counts_probability_requests(self, movies_ctable, movies_store):
+        engine = ProbabilityEngine(movies_store)
+        condition = movies_ctable.condition(0)
+        context = SelectionContext(engine=engine)
+        UtilityStrategy().select_expression(condition, context, set())
+        # One H(o) probe plus base + two residual lookups per candidate.
+        assert context.probability_requests == 1 + 3 * context.utility_evaluations
+        assert context.probability_computed > 0
+
+
+class TestBatchedStrategyParity:
+    """With a UtilityEngine in the context, UBS/HHS pick identical tasks."""
+
+    @pytest.mark.parametrize("make", [UtilityStrategy, lambda: HybridStrategy(m=2)])
+    def test_same_picks_with_and_without_scorer(
+        self, make, movies_ctable, movies_store
+    ):
+        scalar_engine = ProbabilityEngine(movies_store)
+        batched_engine = ProbabilityEngine(movies_store)
+        conditions = [movies_ctable.condition(o) for o in movies_ctable.undecided()]
+        frequencies = expression_frequencies(conditions)
+        scalar_context = SelectionContext(engine=scalar_engine)
+        scalar_context.frequencies = frequencies
+        batched_context = SelectionContext(
+            engine=batched_engine,
+            utility_engine=UtilityEngine(batched_engine),
+        )
+        batched_context.frequencies = frequencies
+        strategy = make()
+        strategy.prefetch_round(conditions, batched_context, set())
+        for condition in conditions:
+            assert strategy.select_expression(
+                condition, batched_context, set()
+            ) == strategy.select_expression(condition, scalar_context, set())
+
+    def test_prefetched_walk_serves_from_cache(self, movies_ctable, movies_store):
+        engine = ProbabilityEngine(movies_store)
+        scorer = UtilityEngine(engine)
+        conditions = [movies_ctable.condition(o) for o in movies_ctable.undecided()]
+        context = SelectionContext(engine=engine, utility_engine=scorer)
+        context.frequencies = expression_frequencies(conditions)
+        strategy = UtilityStrategy()
+        strategy.prefetch_round(conditions, context, set())
+        evals_after_prefetch = scorer.evals_total
+        for condition in conditions:
+            strategy.select_expression(condition, context, set())
+        assert scorer.evals_total == evals_after_prefetch
+        assert scorer.cache_hits > 0
 
 
 class TestFactory:

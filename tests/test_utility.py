@@ -2,10 +2,15 @@
 
 import numpy as np
 import pytest
-from hypothesis import given
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import entropy, marginal_utility, object_entropy
+from repro.core import (
+    entropy,
+    gain_from_probabilities,
+    marginal_utility,
+    object_entropy,
+)
 from repro.ctable import Condition, var_greater_const
 from repro.probability import DistributionStore, ProbabilityEngine
 
@@ -122,6 +127,19 @@ class TestMarginalUtility:
             )
             assert syntactic == pytest.approx(conditional, abs=1e-9)
 
+    def test_matches_gain_from_probabilities(self, movies_ctable, movies_store):
+        """The scalar path is exactly the shared arithmetic over its probes."""
+        engine = ProbabilityEngine(movies_store)
+        condition = movies_ctable.condition(0)
+        for expression in condition.distinct_expressions():
+            p_phi = engine.probability(condition)
+            p_e = engine.store.prob_expression(expression)
+            p_true = engine.probability(condition.assign_expression(expression, True))
+            p_false = engine.probability(condition.assign_expression(expression, False))
+            assert marginal_utility(condition, expression, engine) == (
+                gain_from_probabilities(p_phi, p_e, p_true, p_false)
+            )
+
     def test_syntactic_mode_may_go_negative_with_repeated_variables(
         self, movies_ctable, movies_store
     ):
@@ -137,3 +155,38 @@ class TestMarginalUtility:
         ]
         assert min(gains) < 0.0
         assert max(gains) > 0.0
+
+
+class TestDisjointVariableProperty:
+    """When an expression's variables are disjoint from the rest of the
+    condition, the expression is independent of the remaining clauses, so
+    the paper's syntactic substitution and proper conditioning agree."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        weights=st.lists(
+            st.lists(st.floats(0.05, 1.0), min_size=4, max_size=4),
+            min_size=2,
+            max_size=4,
+        ),
+        thresholds=st.lists(st.integers(0, 2), min_size=4, max_size=4),
+    )
+    def test_syntactic_equals_conditional(self, weights, thresholds):
+        pmfs = {}
+        clauses = []
+        for i, row in enumerate(weights):
+            pmf = np.asarray(row) / np.sum(row)
+            pmfs[(i, 0)] = pmf
+            # One single-expression clause per variable: each expression's
+            # variable occurs nowhere else in the condition.
+            clauses.append([var_greater_const(i, 0, thresholds[i])])
+        engine = engine_for(pmfs)
+        condition = Condition.of(clauses)
+        expression = clauses[0][0]
+        if condition.is_constant:
+            return
+        syntactic = marginal_utility(condition, expression, engine)
+        conditional = marginal_utility(
+            condition, expression, engine, mode="conditional"
+        )
+        assert syntactic == pytest.approx(conditional, abs=1e-9)

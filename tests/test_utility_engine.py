@@ -1,0 +1,200 @@
+"""Tests for the batched utility scorer (gain parity, caching, counters)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BayesCrowdConfig,
+    UtilityEngine,
+    marginal_utility,
+    run_bayescrowd,
+)
+from repro.ctable import Condition, Relation, build_ctable, var_greater_const
+from repro.datasets import MISSING, IncompleteDataset, generate_synthetic
+from repro.probability import DistributionStore, ProbabilityEngine
+
+
+def random_dataset(seed, n=40, d=3, domain=5, missing_rate=0.3):
+    rng = np.random.default_rng(seed)
+    values = rng.integers(0, domain, size=(n, d))
+    values[rng.random((n, d)) < missing_rate] = MISSING
+    return IncompleteDataset(values=values, domain_sizes=[domain] * d)
+
+
+def scoring_fixture(seed=0, alpha=0.3):
+    from repro.bayesnet.posteriors import uniform_distributions
+
+    dataset = random_dataset(seed)
+    ctable = build_ctable(dataset, alpha=alpha)
+    store = DistributionStore(uniform_distributions(dataset), ctable.constraints)
+    engine = ProbabilityEngine(store)
+    pairs = [
+        (ctable.condition(obj), expression)
+        for obj in ctable.undecided()
+        for expression in sorted(
+            ctable.condition(obj).distinct_expressions(),
+            key=lambda e: e.sort_key(),
+        )
+    ]
+    # Objects can share identical conditions; keep each pair once so the
+    # counter assertions below don't have to model duplicate servicing.
+    return ctable, engine, list(dict.fromkeys(pairs))
+
+
+class TestGainParity:
+    @pytest.mark.parametrize("seed", range(3))
+    @pytest.mark.parametrize("mode", ["syntactic", "conditional"])
+    def test_matches_marginal_utility(self, seed, mode):
+        __, engine, pairs = scoring_fixture(seed)
+        scorer = UtilityEngine(engine, mode=mode)
+        batched = scorer.gains(pairs)
+        reference = ProbabilityEngine(engine.store)
+        for (condition, expression), gain in zip(pairs, batched):
+            assert gain == pytest.approx(
+                marginal_utility(condition, expression, reference, mode=mode),
+                abs=1e-12,
+            )
+
+    def test_empty_batch(self, movies_store):
+        scorer = UtilityEngine(ProbabilityEngine(movies_store))
+        assert scorer.gains([]) == []
+        assert scorer.candidates_total == 0
+
+    def test_rejects_unknown_mode(self, movies_store):
+        with pytest.raises(ValueError):
+            UtilityEngine(ProbabilityEngine(movies_store), mode="magic")
+
+
+class TestCounters:
+    def test_every_candidate_accounted_once(self):
+        __, engine, pairs = scoring_fixture()
+        scorer = UtilityEngine(engine)
+        scorer.gains(pairs)
+        assert scorer.candidates_total == len(pairs)
+        assert (
+            scorer.evals_total + scorer.cache_hits + scorer.skipped_total
+            == scorer.candidates_total
+        )
+        assert scorer.probability_computed <= scorer.probability_submitted
+        assert scorer.probability_submitted <= scorer.probability_requests
+
+    def test_second_call_is_all_cache_hits(self):
+        __, engine, pairs = scoring_fixture()
+        scorer = UtilityEngine(engine)
+        first = scorer.gains(pairs)
+        evals = scorer.evals_total
+        second = scorer.gains(pairs)
+        assert second == first
+        assert scorer.evals_total == evals
+        assert scorer.cache_hits == len(pairs)
+
+    def test_within_batch_duplicates_served_once(self):
+        __, engine, pairs = scoring_fixture()
+        doubled = pairs + pairs
+        scorer = UtilityEngine(engine)
+        gains = scorer.gains(doubled)
+        assert gains[: len(pairs)] == gains[len(pairs) :]
+        assert scorer.evals_total + scorer.skipped_total == len(pairs)
+        assert scorer.cache_hits == len(pairs)
+
+    def test_certain_condition_skipped_without_residual_work(self):
+        engine = ProbabilityEngine(
+            DistributionStore({(0, 0): np.array([0.0, 1.0])})
+        )
+        certain = var_greater_const(0, 0, 0)  # Pr = 1 under the pmf above
+        scorer = UtilityEngine(engine)
+        (gain,) = scorer.gains([(Condition.of([[certain]]), certain)])
+        assert gain == 0.0
+        assert scorer.skipped_total == 1
+        assert scorer.evals_total == 0
+
+    def test_stats_schema(self):
+        __, engine, pairs = scoring_fixture()
+        scorer = UtilityEngine(engine)
+        scorer.gains(pairs)
+        stats = scorer.stats()
+        assert stats["utility_evals_total"] == (
+            stats["utility_candidates_total"]
+            - stats["residual_cache_hits"]
+            - stats["utility_skipped_total"]
+        )
+        assert 0.0 <= stats["utility_batch_dedup_ratio"] <= 1.0
+        assert stats["utility_batch_seconds"] >= 0.0
+
+
+class TestInvalidation:
+    def test_answers_invalidate_only_touched_pairs(self):
+        ctable, engine, pairs = scoring_fixture()
+        scorer = UtilityEngine(engine)
+        scorer.gains(pairs)
+        answered = pairs[0][1]
+        ctable.apply_answer(answered, Relation.GREATER)
+        touched = {
+            pair
+            for pair in pairs
+            if set(answered.variables()) & UtilityEngine._pair_variables(pair)
+        }
+        assert touched  # the answer must intersect some pair
+        evals_before = scorer.evals_total
+        hits_before = scorer.cache_hits
+        skipped_before = scorer.skipped_total
+        scorer.gains(pairs)
+        fresh = (
+            scorer.evals_total - evals_before
+            + scorer.skipped_total - skipped_before
+        )
+        # Pairs with no variable in common with the answer revalidate.
+        assert scorer.cache_hits - hits_before == len(pairs) - len(touched)
+        assert fresh == len(touched)
+
+    def test_recomputed_gains_match_scalar_after_update(self):
+        ctable, engine, pairs = scoring_fixture()
+        scorer = UtilityEngine(engine)
+        scorer.gains(pairs)
+        ctable.apply_answer(pairs[0][1], Relation.GREATER)
+        after = scorer.gains(pairs)
+        reference = ProbabilityEngine(engine.store)
+        for (condition, expression), gain in zip(pairs, after):
+            assert gain == pytest.approx(
+                marginal_utility(condition, expression, reference), abs=1e-12
+            )
+
+
+class TestEndToEndParity:
+    """Batched and scalar selection pick identical tasks round by round."""
+
+    @pytest.mark.parametrize("strategy", ["ubs", "hhs"])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_identical_rounds_and_answers(self, strategy, seed):
+        dataset = generate_synthetic(n_objects=90, missing_rate=0.15, seed=seed + 20)
+        results = {}
+        for batched in (True, False):
+            config = BayesCrowdConfig(
+                budget=18,
+                latency=6,
+                strategy=strategy,
+                alpha=0.1,
+                m=4,
+                selection_batch=batched,
+                seed=seed,
+            )
+            results[batched] = run_bayescrowd(dataset, config)
+        batched, scalar = results[True], results[False]
+        assert len(batched.history) == len(scalar.history)
+        for round_b, round_s in zip(batched.history, scalar.history):
+            assert round_b.objects == round_s.objects
+        assert set(batched.answers) == set(scalar.answers)
+        assert set(batched.certain_answers) == set(scalar.certain_answers)
+
+    def test_batched_run_exports_selection_counters(self):
+        dataset = generate_synthetic(n_objects=60, missing_rate=0.15, seed=31)
+        config = BayesCrowdConfig(
+            budget=10, latency=5, strategy="hhs", alpha=0.1, seed=0
+        )
+        stats = run_bayescrowd(dataset, config).engine_stats
+        assert stats["utility_evals_total"] == (
+            stats["utility_candidates_total"]
+            - stats["residual_cache_hits"]
+            - stats["utility_skipped_total"]
+        )
+        assert stats["selection_seconds"] >= 0.0

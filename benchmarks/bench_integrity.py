@@ -1,0 +1,70 @@
+"""Benchmarks for answer integrity and resource-guarded probability.
+
+Two sweeps backing the EXPERIMENTS.md robustness entries:
+
+* **accuracy vs spam rate** -- F1 of a trusting run against a
+  ``strict_integrity`` run at increasing spam fractions, plus the
+  ledger's contradiction/quarantine counts (the integrity analogue of
+  the worker-accuracy sweep in Fig. 9);
+* **guarded probability cost** -- end-to-end runtime and the number of
+  approximate answer probabilities at decreasing ADPLL node budgets,
+  tracking what the degrade-to-sampling path costs and flags.
+"""
+
+import pytest
+
+from repro.core import BayesCrowd, BayesCrowdConfig
+from repro.crowd import FaultModel
+from repro.datasets import generate_nba
+from repro.metrics import f1_score
+from repro.skyline.algorithms import skyline
+
+N = 30
+MISSING = 0.4
+SEED = 3
+
+
+def _config(**overrides):
+    return BayesCrowdConfig(
+        budget=30,
+        latency=5,
+        worker_accuracy=0.95,
+        alpha=0.1,
+        seed=SEED,
+        **overrides,
+    )
+
+
+@pytest.mark.parametrize("spam", [0.0, 0.2, 0.4, 0.6])
+@pytest.mark.parametrize("strict", [False, True])
+def test_accuracy_vs_spam_rate(benchmark, once, spam, strict):
+    dataset = generate_nba(n_objects=N, missing_rate=MISSING, seed=SEED)
+    truth = skyline(dataset.complete)
+    faults = FaultModel(spam_fraction=spam) if spam else None
+    config = _config(faults=faults, strict_integrity=strict)
+
+    result = once(benchmark, lambda: BayesCrowd(dataset, config).run())
+    benchmark.extra_info.update(
+        spam=spam,
+        strict=strict,
+        f1=f1_score(result.answers, truth),
+        tasks=result.tasks_posted,
+        contradictions=result.integrity.get("contradictions_detected", 0),
+        quarantined=result.integrity.get("answers_quarantined", 0),
+        reasked=result.integrity.get("answers_reasked", 0),
+    )
+
+
+@pytest.mark.parametrize("node_budget", [0, 10_000, 100])
+def test_guarded_probability_cost(benchmark, once, node_budget):
+    dataset = generate_nba(n_objects=N, missing_rate=MISSING, seed=SEED)
+    truth = skyline(dataset.complete)
+    config = _config(adpll_node_budget=node_budget)
+
+    result = once(benchmark, lambda: BayesCrowd(dataset, config).run())
+    benchmark.extra_info.update(
+        node_budget=node_budget,
+        f1=f1_score(result.answers, truth),
+        approx_objects=len(result.approximate_objects()),
+        guard_fallbacks=result.engine_stats.get("guard_fallbacks", 0),
+    )

@@ -91,6 +91,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--transient-every", type=int, default=0,
         help="every Nth batch post fails transiently (0 disables)",
     )
+    integrity = parser.add_argument_group("answer integrity & resource guards")
+    integrity.add_argument(
+        "--strict-integrity", action="store_true",
+        help="quarantine answers that contradict the accepted partial "
+        "order and re-ask them (reliability-weighted) instead of "
+        "applying them",
+    )
+    integrity.add_argument(
+        "--reask-budget-frac", type=float, default=None, metavar="F",
+        help="cap on re-ask spend as a fraction of the budget "
+        "(default %.2f)" % BayesCrowdConfig.reask_budget_frac,
+    )
+    integrity.add_argument(
+        "--adpll-node-budget", type=int, default=None, metavar="N",
+        help="ADPLL branch-node budget per condition before degrading "
+        "to sampling (0 = unlimited)",
+    )
+    integrity.add_argument(
+        "--adpll-deadline-s", type=float, default=None, metavar="S",
+        help="per-condition wall-clock deadline for exact ADPLL in "
+        "seconds (0 = none)",
+    )
+    integrity.add_argument(
+        "--reliability-prior", type=float, nargs=2, default=None,
+        metavar=("ALPHA", "BETA"),
+        help="Beta prior pseudo-counts of the online worker-reliability "
+        "model (default %.1f %.1f)" % BayesCrowdConfig.reliability_prior,
+    )
     resilience = parser.add_argument_group("resilience")
     resilience.add_argument(
         "--max-retries", type=int, default=3,
@@ -175,6 +203,27 @@ def main(argv: Optional[List[str]] = None) -> int:
             ),
             max_retries=args.max_retries,
             requeue_policy=args.requeue_policy,
+            strict_integrity=args.strict_integrity,
+            **(
+                {"reask_budget_frac": args.reask_budget_frac}
+                if args.reask_budget_frac is not None
+                else {}
+            ),
+            **(
+                {"adpll_node_budget": args.adpll_node_budget}
+                if args.adpll_node_budget is not None
+                else {}
+            ),
+            **(
+                {"adpll_deadline_s": args.adpll_deadline_s}
+                if args.adpll_deadline_s is not None
+                else {}
+            ),
+            **(
+                {"reliability_prior": tuple(args.reliability_prior)}
+                if args.reliability_prior is not None
+                else {}
+            ),
             faults=faults,
             trace_path=args.trace_out,
             metrics_path=args.metrics_out,
@@ -218,6 +267,31 @@ def main(argv: Optional[List[str]] = None) -> int:
             "%s=%d" % (key, value) for key, value in sorted(result.fault_counts.items())
         )
         print("DEGRADED run: platform faults cost information (%s)" % faults_text)
+    if result.integrity.get("contradictions_detected"):
+        print(
+            "integrity: %d/%d answers contradictory (%d quarantined, "
+            "%d re-asks issued)"
+            % (
+                result.integrity.get("contradictions_detected", 0),
+                result.integrity.get("answers_aggregated", 0),
+                result.integrity.get("answers_quarantined", 0),
+                result.integrity.get("answers_reasked", 0),
+            )
+        )
+    approx_objects = result.approximate_objects()
+    if approx_objects:
+        print(
+            "resource guard: %d answer probabilit%s approximate "
+            "(max error bound %.3f)"
+            % (
+                len(approx_objects),
+                "y" if len(approx_objects) == 1 else "ies",
+                max(
+                    result.probability_error_bounds.get(obj, 0.0)
+                    for obj in approx_objects
+                ),
+            )
+        )
     print("machine-only F1 %.3f -> crowd-assisted F1 %.3f (%s)" % (
         initial.f1, report.f1, report))
     print("answers: %d objects (%d certain)" % (

@@ -4,8 +4,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional, Union
+from typing import Optional, Tuple, Union
 
+from ..crowd.quality import DEFAULT_RELIABILITY_PRIOR
 from ..crowd.unreliable import FaultModel
 from ..ctable.constraints import INFERENCE_MODES
 from ..ctable.construction import BACKENDS
@@ -96,6 +97,21 @@ class BayesCrowdConfig:
     #: fault injection applied to the auto-constructed simulated platform
     #: (None = reliable oracle platform; see repro.crowd.FaultModel)
     faults: Optional[FaultModel] = None
+    #: quarantine answers that contradict the accepted partial order and
+    #: re-ask them (reliability-weighted) instead of applying them; off,
+    #: the ledger still records every contradiction but applies the answer
+    strict_integrity: bool = False
+    #: cap on re-ask spend under strict integrity, as a fraction of the
+    #: total budget (re-asks are charged like any other answered task)
+    reask_budget_frac: float = 0.25
+    #: ADPLL branch-node budget per condition before the engine degrades
+    #: to adaptive sampling (0 = unlimited)
+    adpll_node_budget: int = 0
+    #: per-condition wall-clock deadline for exact ADPLL in seconds
+    #: (0 = no deadline)
+    adpll_deadline_s: float = 0.0
+    #: Beta(alpha, beta) prior of the online worker-reliability model
+    reliability_prior: Tuple[float, float] = DEFAULT_RELIABILITY_PRIOR
     #: write the run's JSONL trace event log here (CLI: --trace-out);
     #: None keeps the events in memory only (QueryResult.trace)
     trace_path: Optional[Union[str, Path]] = None
@@ -166,6 +182,38 @@ class BayesCrowdConfig:
             )
         if self.faults is not None and not isinstance(self.faults, FaultModel):
             raise ValueError("faults must be a FaultModel or None")
+        # Integrity / resource-guard knobs raise the typed ConfigError
+        # (a ValueError subclass, so blanket handlers keep working).
+        from ..errors import ConfigError
+
+        if not isinstance(self.strict_integrity, bool):
+            raise ConfigError("strict_integrity must be a bool")
+        if not 0.0 <= self.reask_budget_frac <= 1.0:
+            raise ConfigError(
+                "reask_budget_frac must lie in [0, 1], got %r"
+                % (self.reask_budget_frac,)
+            )
+        if not isinstance(self.adpll_node_budget, int) or isinstance(
+            self.adpll_node_budget, bool
+        ):
+            raise ConfigError("adpll_node_budget must be an int (0 = unlimited)")
+        if self.adpll_node_budget < 0:
+            raise ConfigError("adpll_node_budget must be non-negative")
+        if self.adpll_deadline_s < 0:
+            raise ConfigError("adpll_deadline_s must be non-negative (0 = none)")
+        try:
+            prior = tuple(float(x) for x in self.reliability_prior)
+        except (TypeError, ValueError):
+            raise ConfigError(
+                "reliability_prior must be a (alpha, beta) pair of "
+                "positive pseudo-counts, got %r" % (self.reliability_prior,)
+            )
+        if len(prior) != 2 or not all(p > 0 for p in prior):
+            raise ConfigError(
+                "reliability_prior must be a (alpha, beta) pair of "
+                "positive pseudo-counts, got %r" % (self.reliability_prior,)
+            )
+        self.reliability_prior = prior
         for knob in ("trace_path", "metrics_path"):
             value = getattr(self, knob)
             if value is not None and not isinstance(value, (str, Path)):

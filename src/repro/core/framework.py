@@ -52,7 +52,9 @@ from ..bayesnet.posteriors import (
     empirical_distributions,
     uniform_distributions,
 )
+from ..crowd.integrity import AnswerLedger
 from ..crowd.platform import SimulatedCrowdPlatform
+from ..crowd.quality import WorkerReliability, weighted_vote
 from ..crowd.task import ComparisonTask
 from ..crowd.unreliable import UnreliableCrowdPlatform
 from ..ctable.construction import build_ctable
@@ -76,6 +78,11 @@ from .utility_engine import UtilityEngine
 #: Complete rows beyond this are subsampled for structure learning only
 #: (parameters still use every complete row).
 _STRUCTURE_SAMPLE_CAP = 4000
+
+#: A quarantined expression is re-asked at most this many times; past
+#: that the crowd has twice failed to produce a consistent answer and the
+#: expression is left to probabilistic inference.
+_MAX_REASK_ATTEMPTS = 2
 
 logger = logging.getLogger("repro.bayescrowd")
 
@@ -217,6 +224,8 @@ class BayesCrowd:
         self.metrics: Optional[MetricsRegistry] = None
         self.tracer: Optional[Tracer] = None
         self.events: Optional[EventLog] = None
+        self.ledger: Optional[AnswerLedger] = None
+        self.reliability: Optional[WorkerReliability] = None
 
     # ------------------------------------------------------------------
     def run(
@@ -317,9 +326,21 @@ class BayesCrowd:
             rng=self._rng,
             cache_size=config.cache_size,
             n_jobs=config.n_jobs,
+            node_budget=config.adpll_node_budget,
+            deadline_s=config.adpll_deadline_s,
         )
         self.ctable = ctable
         self.engine = engine
+        # Answer integrity: the ledger shares the c-table's constraint
+        # store, so its contradiction checks see exactly the accepted
+        # answers (including everything a checkpoint replays below).
+        ledger = AnswerLedger(constraints=ctable.constraints)
+        reliability = WorkerReliability(prior=config.reliability_prior)
+        self.ledger = ledger
+        self.reliability = reliability
+        #: total re-asks the bounded policy may issue over the whole run
+        reask_budget_total = int(config.reask_budget_frac * config.budget)
+        reasks_issued = 0
         # Batched utility scorer: one deduplicated probability batch per
         # round plus a cross-round gain cache, instead of per-candidate
         # serial ADPLL calls.  FBS never scores utilities, so it skips the
@@ -365,10 +386,13 @@ class BayesCrowd:
         degraded = False
         resumed = False
         if resume and checkpoint_path is not None:
-            restored = self._restore_checkpoint(checkpoint_path, ctable)
+            restored = self._restore_checkpoint(
+                checkpoint_path, ctable, ledger=ledger, reliability=reliability
+            )
             if restored is not None:
                 budget, history, answer_log, pending, fault_totals, degraded = restored
                 resumed = True
+                reasks_issued = ledger.answers_reasked
                 events.emit(
                     "resumed",
                     rounds_done=len(history),
@@ -479,14 +503,81 @@ class BayesCrowd:
                 crowd_wait += time.perf_counter() - post_start
 
                 open_before = len(ctable.undecided())
+                platform_votes = dict(
+                    getattr(self.platform, "last_votes", None) or {}
+                )
+                pending_reasks: List[ComparisonTask] = []
+                applied_count = 0
                 for task, relation in answers.items():
-                    ranker.mark_dirty(ctable.apply_answer(task.expression, relation))
-                    answer_log.append((task.expression, relation))
+                    votes = tuple(platform_votes.get(task.task_id, ()))
+                    if task.is_reask() and votes and reliability.n_workers() > 0:
+                        # Re-ask arbitration: replace the platform's
+                        # aggregate with a vote weighted by the online
+                        # reliability posteriors, so workers who have
+                        # disagreed with accepted majorities count less.
+                        relation = weighted_vote(
+                            list(votes),
+                            reliability.accuracies(),
+                            rng=self._rng,
+                            default_accuracy=reliability.prior_mean,
+                        )
+                    entry = ledger.observe(
+                        task.expression,
+                        relation,
+                        strict=config.strict_integrity,
+                        round_index=round_index,
+                        task_id=task.task_id,
+                        votes=votes,
+                        reask_of=task.reask_of,
+                    )
+                    if entry.status == "applied":
+                        ranker.mark_dirty(
+                            ctable.apply_answer(task.expression, relation)
+                        )
+                        answer_log.append((task.expression, relation))
+                        reliability.observe_votes(votes, relation)
+                        applied_count += 1
+                        continue
+                    # Quarantined: charged-but-flagged, never applied.
+                    events.emit(
+                        "answer_quarantined",
+                        round=round_index,
+                        task_id=task.task_id,
+                        expression=str(task.expression),
+                        relation=relation.value,
+                        reason=entry.reason,
+                    )
+                    # Re-ask only while the expression is still genuinely
+                    # open: a "direct" conflict means accepted answers
+                    # already pin the expression's truth, and the ledger
+                    # is append-only -- no answer can overturn them.
+                    if (
+                        reasks_issued < reask_budget_total
+                        and ledger.reask_attempts(task.expression)
+                        < _MAX_REASK_ATTEMPTS
+                        and self._task_still_open(ctable, task)
+                    ):
+                        ledger.note_reask(task.expression)
+                        reasks_issued += 1
+                        reask = ComparisonTask(
+                            task.expression,
+                            for_object=task.for_object,
+                            reask_of=task.task_id,
+                        )
+                        pending_reasks.append(reask)
+                        events.emit(
+                            "reask_issued",
+                            round=round_index,
+                            of_task=task.task_id,
+                            task_id=reask.task_id,
+                            expression=str(task.expression),
+                        )
                 open_after = len(ctable.undecided())
                 events.emit(
                     "answers_applied",
                     round=round_index,
-                    count=len(answers),
+                    count=applied_count,
+                    quarantined=len(answers) - applied_count,
                     task_ids=sorted(task.task_id for task in answers),
                 )
                 events.emit(
@@ -504,10 +595,17 @@ class BayesCrowd:
                 ]
                 if unanswered:
                     round_faults["unanswered"] = len(unanswered)
+                quarantined_count = len(answers) - applied_count
+                if quarantined_count:
+                    round_faults["quarantined"] = quarantined_count
+                # Re-asks go to the head of the queue: the next round's
+                # batch consumes pending tasks before the entropy ranking
+                # runs, so a quarantined variable is re-verified before
+                # ranking ever sees a (potentially poisoned) answer.
                 if config.requeue_policy == "requeue":
-                    pending = leftover_pending + unanswered
+                    pending = pending_reasks + leftover_pending + unanswered
                 else:
-                    pending = leftover_pending
+                    pending = pending_reasks + leftover_pending
                 for key, value in round_faults.items():
                     fault_totals[key] = fault_totals.get(key, 0) + value
                 if unanswered or abandoned or round_faults.get("failed_round") or fatal:
@@ -569,11 +667,19 @@ class BayesCrowd:
             )
             answers = ctable.result_set(engine.probability, config.answer_threshold)
             probabilities: Dict[int, float] = {}
+            probability_exact: Dict[int, bool] = {}
+            probability_error_bounds: Dict[int, float] = {}
             for obj in answers:
                 condition = ctable.condition(obj)
-                probabilities[obj] = (
-                    1.0 if condition.is_true else engine.probability(condition)
-                )
+                if condition.is_true:
+                    probabilities[obj] = 1.0
+                    probability_exact[obj] = True
+                    probability_error_bounds[obj] = 0.0
+                else:
+                    detail = engine.probability_detailed(condition)
+                    probabilities[obj] = detail.value
+                    probability_exact[obj] = detail.exact
+                    probability_error_bounds[obj] = detail.error_bound
         total_seconds = time.perf_counter() - start - crowd_wait
         engine_stats = engine.stats()
         engine_stats["objects_rescored"] = ranker.n_rescored
@@ -627,6 +733,15 @@ class BayesCrowd:
         registry.counter("crowd_retries").inc(sum(r.retries for r in history))
         for key, value in fault_totals.items():
             registry.counter("crowd_fault_%s" % key).inc(value)
+        # Integrity accounting: always exported (strict or not), so the
+        # obs verifier's invariant answers_quarantined + answers_applied
+        # == answers_aggregated is checkable on every run.
+        registry.absorb(ledger.summary())
+        registry.gauge("reliability_workers_tracked").set(reliability.n_workers())
+        registry.counter("reasks_issued").inc(reasks_issued)
+        registry.gauge("probability_approx_objects").set(
+            sum(1 for exact in probability_exact.values() if not exact)
+        )
         registry.gauge("crowd_budget_left").set(budget)
         registry.gauge("run_degraded").set(1.0 if degraded else 0.0)
         registry.gauge("run_resumed").set(1.0 if resumed else 0.0)
@@ -662,6 +777,10 @@ class BayesCrowd:
             degraded=degraded,
             fault_counts=fault_totals,
             resumed=resumed,
+            integrity=ledger.summary(),
+            worker_reliability=reliability.accuracies(),
+            probability_exact=probability_exact,
+            probability_error_bounds=probability_error_bounds,
         )
 
     # ------------------------------------------------------------------
@@ -778,10 +897,24 @@ class BayesCrowd:
                 degraded=degraded,
                 rng_state=self._rng.bit_generator.state,
                 platform_state=platform_state,
+                ledger_state=(
+                    self.ledger.state_dict() if self.ledger is not None else None
+                ),
+                reliability_state=(
+                    self.reliability.state_dict()
+                    if self.reliability is not None
+                    else None
+                ),
             ),
         )
 
-    def _restore_checkpoint(self, path, ctable: CTable):
+    def _restore_checkpoint(
+        self,
+        path,
+        ctable: CTable,
+        ledger: Optional[AnswerLedger] = None,
+        reliability: Optional[WorkerReliability] = None,
+    ):
         """Fold a checkpoint back into a freshly built c-table.
 
         Returns the restored loop state, or ``None`` when no checkpoint
@@ -799,6 +932,15 @@ class BayesCrowd:
             )
         for expression, relation in checkpoint.answer_log:
             ctable.apply_answer(expression, relation)
+        # v1 checkpoints predate the integrity layer: the ledger simply
+        # starts empty and reliability at its prior.
+        if ledger is not None and checkpoint.ledger_state is not None:
+            ledger.load_state_dict(checkpoint.ledger_state)
+        if reliability is not None and checkpoint.reliability_state is not None:
+            restored = WorkerReliability.from_state_dict(checkpoint.reliability_state)
+            reliability.prior = restored.prior
+            reliability._observed = restored._observed
+            self.reliability = reliability
         pending = [
             ComparisonTask(expression, for_object=obj)
             for expression, obj in checkpoint.pending

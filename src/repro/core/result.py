@@ -77,10 +77,27 @@ class QueryResult:
     fault_counts: Dict[str, int] = field(default_factory=dict)
     #: True when this run was resumed from a round-level checkpoint
     resumed: bool = False
+    #: answer-integrity accounting (AnswerLedger.summary()):
+    #: answers_aggregated/applied/quarantined/reasked, contradiction
+    #: counts by reason
+    integrity: Dict[str, int] = field(default_factory=dict)
+    #: online per-worker reliability estimates at the end of the run
+    #: (posterior-mean accuracy; empty without vote provenance)
+    worker_reliability: Dict[int, float] = field(default_factory=dict)
+    #: per-object: True when the reported probability came from exact
+    #: ADPLL, False when the resource guard degraded it to sampling
+    probability_exact: Dict[int, bool] = field(default_factory=dict)
+    #: per-object half-width of the estimate's confidence interval
+    #: (0.0 for exact probabilities, finite for approximate ones)
+    probability_error_bounds: Dict[int, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.tasks_answered is None:
             self.tasks_answered = self.tasks_posted
+
+    def approximate_objects(self) -> List[int]:
+        """Objects whose probability was degraded to an approximation."""
+        return sorted(o for o, exact in self.probability_exact.items() if not exact)
 
     def evaluate(self, ground_truth: List[int]) -> AccuracyReport:
         """F1 of the answer set against the complete-data skyline."""

@@ -1,6 +1,7 @@
 """Simulated crowdsourcing substrate: tasks, workers, platform, quality."""
 
-from .aggregation import majority_vote
+from .aggregation import majority_vote, vote_shares
+from .integrity import AnswerLedger, LedgerEntry
 from .platform import (
     ConflictingBatchError,
     CrowdPlatform,
@@ -9,6 +10,7 @@ from .platform import (
     SimulatedCrowdPlatform,
 )
 from .quality import (
+    WorkerReliability,
     estimate_worker_accuracies,
     filter_pool,
     make_weighted_aggregator,
@@ -20,6 +22,9 @@ from .worker import SimulatedWorker, WorkerPool
 
 __all__ = [
     "majority_vote",
+    "vote_shares",
+    "AnswerLedger",
+    "LedgerEntry",
     "ConflictingBatchError",
     "CrowdPlatform",
     "CrowdStats",
@@ -27,6 +32,7 @@ __all__ = [
     "FaultModel",
     "SimulatedCrowdPlatform",
     "UnreliableCrowdPlatform",
+    "WorkerReliability",
     "estimate_worker_accuracies",
     "filter_pool",
     "make_weighted_aggregator",

@@ -21,6 +21,20 @@ from ..ctable.expression import Relation
 _fallback_rng = np.random.default_rng(0)
 
 
+def vote_shares(answers: Sequence[Relation]) -> dict:
+    """Fraction of votes behind each voted relation (sums to 1).
+
+    The answer-integrity ledger records this as per-answer provenance: a
+    3-0 majority and a 2-1 split aggregate to the same relation but carry
+    very different evidence, which matters when arbitrating re-asks.
+    """
+    if not answers:
+        raise ValueError("cannot summarize zero answers")
+    counts = Counter(answers)
+    total = len(answers)
+    return {relation: count / total for relation, count in counts.items()}
+
+
 def majority_vote(
     answers: Sequence[Relation],
     rng: Optional[np.random.Generator] = None,

@@ -124,6 +124,11 @@ class SimulatedCrowdPlatform:
         self.stats = CrowdStats()
         #: every task ever posted, in posting order (for post-hoc analysis)
         self.task_log: List["ComparisonTask"] = []
+        #: per-task worker votes of the *latest* batch, keyed by task id:
+        #: ``{task_id: [(worker_id, Relation), ...]}``.  Overwritten on
+        #: every post; the answer-integrity layer reads it to attribute
+        #: provenance and run online reliability updates.
+        self.last_votes: Dict[int, List] = {}
 
     # ------------------------------------------------------------------
     def true_relation(self, task: ComparisonTask) -> Relation:
@@ -144,6 +149,7 @@ class SimulatedCrowdPlatform:
         if self._enforce_conflict_free:
             self._check_conflicts(tasks)
         answers: Dict[ComparisonTask, Relation] = {}
+        self.last_votes = {}
         for task in tasks:
             truth = self.true_relation(task)
             pairs = [
@@ -155,6 +161,9 @@ class SimulatedCrowdPlatform:
             if not voted_pairs:
                 self.stats.tasks_unanswered += 1
                 continue
+            self.last_votes[task.task_id] = [
+                (worker.worker_id, relation) for worker, relation in voted_pairs
+            ]
             if self._aggregator is not None:
                 voted = self._aggregator(voted_pairs)
             else:

@@ -11,7 +11,13 @@ machinery behind both ideas:
   comparisons between observed values that are presented as if unknown);
 * :func:`weighted_vote` -- Dawid-Skene-style log-odds weighted voting,
   which beats plain majority voting when worker quality varies;
-* :func:`filter_pool` -- drop workers below an accuracy bar.
+* :func:`filter_pool` -- drop workers below an accuracy bar;
+* :class:`WorkerReliability` -- *online* per-worker accuracy estimation:
+  a sequential Bayesian (Beta-Bernoulli) update from each worker's
+  agreement with accepted majorities, generalizing the static gold-task
+  calibration to run continuously during a crowd campaign.  Used by the
+  answer-integrity layer (:mod:`repro.crowd.integrity`) to weight re-ask
+  votes without spending extra gold questions.
 
 All pieces plug into :class:`~repro.crowd.platform.SimulatedCrowdPlatform`
 via its ``aggregator`` hook.
@@ -111,6 +117,92 @@ def make_weighted_aggregator(
         return weighted_vote(pairs, accuracies, rng=rng)
 
     return aggregate
+
+
+#: Default Beta prior over worker accuracy: mean 0.8 (a mildly optimistic
+#: crowd), pseudo-counts low enough that ~5 observations dominate it.
+DEFAULT_RELIABILITY_PRIOR: Tuple[float, float] = (4.0, 1.0)
+
+
+class WorkerReliability:
+    """Online per-worker accuracy from agreement with accepted majorities.
+
+    Each worker carries a Beta posterior over their accuracy, updated
+    sequentially: agreeing with an answer the integrity layer *accepted*
+    counts as a success, disagreeing as a failure.  The posterior mean is
+    the running estimate, usable anywhere a gold-question estimate is
+    (e.g. :func:`weighted_vote`).  Unseen workers report the prior mean.
+
+    Accepted majorities are a noisy ground-truth proxy, so this is the
+    standard EM-flavoured approximation (Dawid-Skene with hard labels);
+    the prior keeps early estimates from collapsing on one disagreement.
+    """
+
+    def __init__(
+        self, prior: Tuple[float, float] = DEFAULT_RELIABILITY_PRIOR
+    ) -> None:
+        alpha, beta = float(prior[0]), float(prior[1])
+        if alpha <= 0.0 or beta <= 0.0:
+            raise ValueError(
+                "reliability prior needs positive pseudo-counts, got %r" % (prior,)
+            )
+        self.prior = (alpha, beta)
+        #: worker -> [successes, failures] observed so far
+        self._observed: Dict[int, List[float]] = {}
+
+    @property
+    def prior_mean(self) -> float:
+        alpha, beta = self.prior
+        return alpha / (alpha + beta)
+
+    def observe(self, worker_id: int, agreed: bool) -> None:
+        """Fold one agreement observation into the worker's posterior."""
+        counts = self._observed.setdefault(int(worker_id), [0.0, 0.0])
+        counts[0 if agreed else 1] += 1.0
+
+    def observe_votes(
+        self, votes: Sequence[Tuple[int, Relation]], accepted: Relation
+    ) -> None:
+        """Update every voter against the accepted aggregated answer."""
+        for worker_id, relation in votes:
+            self.observe(worker_id, relation is accepted)
+
+    def accuracy(self, worker_id: int) -> float:
+        """Posterior-mean accuracy of one worker (prior mean if unseen)."""
+        counts = self._observed.get(int(worker_id))
+        alpha, beta = self.prior
+        if counts is None:
+            return alpha / (alpha + beta)
+        return (alpha + counts[0]) / (alpha + beta + counts[0] + counts[1])
+
+    def n_observations(self, worker_id: int) -> int:
+        counts = self._observed.get(int(worker_id))
+        return int(counts[0] + counts[1]) if counts else 0
+
+    def accuracies(self) -> Dict[int, float]:
+        """Current estimate for every observed worker."""
+        return {worker_id: self.accuracy(worker_id) for worker_id in self._observed}
+
+    def n_workers(self) -> int:
+        return len(self._observed)
+
+    # -- checkpoint support --------------------------------------------
+    def state_dict(self) -> dict:
+        return {
+            "prior": list(self.prior),
+            "observed": {
+                str(worker_id): list(counts)
+                for worker_id, counts in self._observed.items()
+            },
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "WorkerReliability":
+        prior = state.get("prior", DEFAULT_RELIABILITY_PRIOR)
+        tracker = cls(prior=(float(prior[0]), float(prior[1])))
+        for worker_id, counts in state.get("observed", {}).items():
+            tracker._observed[int(worker_id)] = [float(counts[0]), float(counts[1])]
+        return tracker
 
 
 def filter_pool(

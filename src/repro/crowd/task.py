@@ -24,6 +24,13 @@ class ComparisonTask:
     expression: Expression
     for_object: Optional[int] = None
     task_id: int = field(default_factory=lambda: next(_task_ids))
+    #: task id of the quarantined original this task re-asks (None for a
+    #: first ask); set by the integrity layer's bounded re-ask policy
+    reask_of: Optional[int] = None
+
+    def is_reask(self) -> bool:
+        """Was this task issued to re-verify a quarantined answer?"""
+        return self.reask_of is not None
 
     def question(self) -> str:
         return self.expression.question()

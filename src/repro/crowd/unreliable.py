@@ -119,6 +119,12 @@ class UnreliableCrowdPlatform:
         self.simulated_wait_seconds = 0.0
         self._attempts = 0
         self._post_counts: Dict[int, int] = {}
+        #: vote provenance of the latest delivered batch, mirroring the
+        #: inner platform's but consistent with the injected faults:
+        #: withheld tasks vanish, spammed tasks carry a synthetic spammer
+        #: identity (negative worker id) so online reliability tracking
+        #: can learn to distrust it.  Shadows the inner attribute.
+        self.last_votes: Dict[int, List] = {}
 
     # ------------------------------------------------------------------
     def post_batch(self, tasks: Sequence[ComparisonTask]) -> Dict[ComparisonTask, Relation]:
@@ -153,7 +159,9 @@ class UnreliableCrowdPlatform:
                 raise TaskExpiredError(expired)
 
         answers = self.inner.post_batch(tasks)
+        inner_votes = dict(getattr(self.inner, "last_votes", None) or {})
         delivered: Dict[ComparisonTask, Relation] = {}
+        votes: Dict[int, List] = {}
         for task in tasks:
             relation = answers.get(task)
             if relation is None:
@@ -164,13 +172,21 @@ class UnreliableCrowdPlatform:
             if faults.abstention_rate and self._rng.random() < faults.abstention_rate:
                 self.stats.tasks_unanswered += 1
                 continue
+            task_votes = inner_votes.get(task.task_id)
             if faults.spam_fraction and self._rng.random() < faults.spam_fraction:
                 relation = _ALL_RELATIONS[int(self._rng.integers(3))]
                 self.stats.spam_answers += 1
+                # The spammer's single overriding vote replaces the honest
+                # provenance.  Its identity is derived from the task id
+                # (not the rng) so fault streams stay seed-stable.
+                task_votes = [(-1 - (task.task_id % 3), relation)]
             if faults.straggler_rate and self._rng.random() < faults.straggler_rate:
                 self.stats.stragglers += 1
                 self.simulated_wait_seconds += faults.straggler_seconds
+            if task_votes is not None:
+                votes[task.task_id] = task_votes
             delivered[task] = relation
+        self.last_votes = votes
         return delivered
 
     # ------------------------------------------------------------------

@@ -327,6 +327,108 @@ class VariableConstraints:
         return False
 
     # ------------------------------------------------------------------
+    # contradiction detection (the answer-integrity check)
+    # ------------------------------------------------------------------
+    def conflict(self, expression: Expression, relation: Relation) -> Optional[str]:
+        """Why the answered relation contradicts accepted knowledge, or ``None``.
+
+        Called *before* an aggregated crowd answer is applied: the store
+        holds only accepted answers, so a non-``None`` return means this
+        answer cannot be true together with them.  Reasons:
+
+        * ``"direct"`` -- the accepted answers already decide the
+          expression's truth (directly or through transitive inference /
+          interval bounds) and this answer flips it;
+        * ``"cycle"`` -- a var-vs-var answer closes a cycle in the strict
+          partial order implied by accepted ``<``/``=``/``>`` answers
+          (e.g. ``a > b``, ``b > c`` accepted, then ``c >= a`` arrives);
+        * ``"empty-domain"`` -- a var-vs-const (or equality) answer would
+          leave some variable with no possible value at all;
+        * ``"bounds"`` -- a strict var-vs-var ordering is impossible
+          under the interval bounds accepted answers propagated.
+
+        Detection is sound but deliberately conservative: a consistent
+        answer set (one drawn from any fixed total order per attribute)
+        is never flagged (property-tested), while every flagged answer is
+        genuinely incompatible with what was accepted before it.
+        """
+        implied = expression.truth_under(relation)
+        resolved = self.resolve(expression)
+        if resolved is not None and resolved != implied:
+            return "direct"
+        if self.mode == "direct":
+            return None  # no masks or ordering facts to contradict
+        left, right = expression.left, expression.right
+        if isinstance(left, Var) and isinstance(right, Const):
+            return self._conflict_vs_const(left.variable, relation, right.value)
+        if isinstance(left, Const) and isinstance(right, Var):
+            return self._conflict_vs_const(
+                right.variable, relation.flipped(), left.value
+            )
+        if isinstance(left, Var) and isinstance(right, Var):
+            return self._conflict_var_var(left.variable, right.variable, relation)
+        return None  # pragma: no cover - Expression forbids const-const
+
+    def _conflict_vs_const(
+        self, variable: Variable, relation: Relation, c: int
+    ) -> Optional[str]:
+        """Would ``variable REL c`` empty the variable's allowed set?"""
+        size = self._domain_size(variable)
+        values = np.arange(size)
+        if relation is Relation.GREATER:
+            new = values > c
+        elif relation is Relation.LESS:
+            new = values < c
+        else:
+            new = values == c
+        if not new.any():
+            return "empty-domain"  # e.g. "> max domain value"
+        mask = self._allowed.get(variable)
+        if mask is not None and not (mask & new).any():
+            return "empty-domain"
+        return None
+
+    def _conflict_var_var(
+        self, a: Variable, b: Variable, relation: Relation
+    ) -> Optional[str]:
+        """Does ``a REL b`` close a cycle or contradict interval bounds?
+
+        The binary ``resolve`` check upstream cannot see every three-way
+        contradiction: ``a < b`` accepted and ``a = b`` arriving both
+        falsify the expression ``a > b``, yet contradict each other.
+        """
+        if self.mode != "full":
+            # Without the ordering graph only the mask overlap is known.
+            if relation is Relation.EQUAL:
+                shared = self._mask(a) & self._mask(b)
+                if not shared.any():
+                    return "empty-domain"
+            return None
+        same_class = self._find(a) == self._find(b)
+        a_values = self.allowed_values(a)
+        b_values = self.allowed_values(b)
+        if relation is Relation.EQUAL:
+            if same_class:
+                return None
+            if self._strictly_above(a, b) or self._strictly_above(b, a):
+                return "cycle"
+            if not (self._mask(a) & self._mask(b)).any():
+                return "empty-domain"
+            return None
+        if relation is Relation.GREATER:
+            if same_class or self._strictly_above(b, a):
+                return "cycle"
+            if int(a_values[-1]) <= int(b_values[0]):
+                return "bounds"  # max(a) <= min(b): a > b impossible
+            return None
+        # LESS: a < b
+        if same_class or self._strictly_above(a, b):
+            return "cycle"
+        if int(a_values[0]) >= int(b_values[-1]):
+            return "bounds"  # min(a) >= max(b): a < b impossible
+        return None
+
+    # ------------------------------------------------------------------
     # resolution
     # ------------------------------------------------------------------
     def resolve(self, expression: Expression) -> Optional[bool]:

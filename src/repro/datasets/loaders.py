@@ -10,12 +10,14 @@ better" can be flipped.
 from __future__ import annotations
 
 import csv
+import math
 from pathlib import Path
 from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
 from ..bayesnet.discretize import Discretizer
+from ..errors import DataValidationError
 from .dataset import MISSING, IncompleteDataset
 
 PathLike = Union[str, Path]
@@ -91,12 +93,27 @@ def load_csv(
                 mask[i, j] = True
             else:
                 try:
-                    raw[i, j] = float(token)
+                    parsed = float(token)
                 except ValueError:
                     raise ValueError(
                         "row %d, column %r: %r is not numeric"
                         % (i + 2, attribute_names[j], token)
                     ) from None
+                # A NaN/inf observed cell would silently poison the
+                # discretizer's quantiles (and every downstream
+                # probability); spell the missing marker instead.
+                if not math.isfinite(parsed):
+                    raise DataValidationError(
+                        "row %d, column %r: non-finite value %r in an "
+                        "observed cell (use one of %s to mark missing)"
+                        % (
+                            i + 2,
+                            attribute_names[j],
+                            token,
+                            sorted(t for t in MISSING_TOKENS if t),
+                        )
+                    )
+                raw[i, j] = parsed
             j += 1
 
     for j, column_name in enumerate(attribute_names):

@@ -26,6 +26,20 @@ bug rather than a platform fault:
 Independently of batches, :class:`CheckpointError` marks an unusable
 round-level checkpoint (wrong version, or written by a different
 query/config than the one trying to resume).
+
+Beyond the crowd boundary the library raises three more typed errors:
+
+* :class:`ConfigError` -- an invalid knob value in
+  :class:`repro.core.BayesCrowdConfig` (subclasses ``ValueError`` so
+  pre-existing ``except ValueError`` callers keep working);
+* :class:`DataValidationError` -- rejected input data, e.g. a NaN/inf in
+  an *observed* cell of a user-supplied CSV, which would silently poison
+  Bayesian-network training downstream;
+* :class:`ResourceBudgetError` -- an exact probability computation
+  exceeded its node budget or wall-clock deadline.  Raised internally by
+  :class:`repro.probability.ADPLL` and caught by the resource guard
+  (:mod:`repro.probability.guard`), which degrades to the Monte Carlo
+  estimator instead of stalling the round.
 """
 
 from __future__ import annotations
@@ -74,3 +88,27 @@ class DuplicateTaskError(BatchRejectedError):
 
 class CheckpointError(RuntimeError):
     """A checkpoint could not be used to resume a query run."""
+
+
+class ConfigError(ValueError):
+    """An invalid configuration knob value."""
+
+
+class DataValidationError(ValueError):
+    """Input data was rejected before it could poison the pipeline."""
+
+
+class ResourceBudgetError(RuntimeError):
+    """An exact computation exceeded its node budget or deadline.
+
+    Carries which budget tripped (``"node_budget"`` or ``"deadline"``)
+    and how much work was done, so the guard can report why it degraded.
+    """
+
+    def __init__(self, reason: str, spent: float = 0.0, limit: float = 0.0) -> None:
+        self.reason = reason
+        self.spent = spent
+        self.limit = limit
+        super().__init__(
+            "%s exhausted (spent %s of %s)" % (reason, spent, limit)
+        )

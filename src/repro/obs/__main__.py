@@ -29,6 +29,48 @@ SELECTION_COUNTERS = (
     "utility_skipped_total",
 )
 
+#: Answer-integrity counters the ledger exports on every run.
+INTEGRITY_COUNTERS = (
+    "answers_aggregated",
+    "answers_applied",
+    "answers_quarantined",
+)
+
+
+def verify_integrity(snapshot: dict, require: bool = False) -> List[str]:
+    """Problems with the answer-integrity counters (empty = consistent).
+
+    Checks the ledger's accounting invariant: every aggregated answer is
+    either applied to the c-table or quarantined, i.e.
+    ``answers_quarantined + answers_applied == answers_aggregated``.
+    With ``require=False`` snapshots that predate the ledger pass
+    vacuously; ``require=True`` makes their absence an error.
+    """
+    counters = snapshot.get("counters", {})
+    missing = [name for name in INTEGRITY_COUNTERS if name not in counters]
+    if missing:
+        if require:
+            return ["integrity counter(s) missing: %s" % ", ".join(missing)]
+        return []
+    problems: List[str] = []
+    aggregated = counters["answers_aggregated"]
+    applied = counters["answers_applied"]
+    quarantined = counters["answers_quarantined"]
+    if quarantined + applied != aggregated:
+        problems.append(
+            "answers_quarantined %r + answers_applied %r != "
+            "answers_aggregated %r" % (quarantined, applied, aggregated)
+        )
+    reasked = counters.get("answers_reasked", 0)
+    if reasked > aggregated and aggregated > 0:
+        problems.append(
+            "answers_reasked %r exceeds answers_aggregated %r"
+            % (reasked, aggregated)
+        )
+    if quarantined < 0 or applied < 0 or aggregated < 0:
+        problems.append("integrity counters must be non-negative")
+    return problems
+
 
 def verify_selection(snapshot: dict, require: bool = False) -> List[str]:
     """Problems with the selection-phase counters (empty = consistent).
@@ -138,6 +180,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "skipped); without this flag the invariant is still checked "
         "whenever the counters are present",
     )
+    parser.add_argument(
+        "--integrity", action="store_true",
+        help="require the answer-integrity ledger counters and check "
+        "their accounting invariant (quarantined + applied == "
+        "aggregated); without this flag the invariant is still checked "
+        "whenever the counters are present",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -159,6 +208,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         for problem in selection_problems:
             print("selection problem: %s" % problem, file=sys.stderr)
         return 2
+    integrity_problems = verify_integrity(snapshot, require=args.integrity)
+    if integrity_problems:
+        for problem in integrity_problems:
+            print("integrity problem: %s" % problem, file=sys.stderr)
+        return 2
     print(
         "metrics ok: %d counters, %d gauges, %d histograms (phases: %s)"
         % (
@@ -170,6 +224,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     if args.selection:
         print("selection ok: utility counter accounting adds up")
+    if args.integrity:
+        print("integrity ok: quarantined + applied == aggregated")
     if args.trace is not None:
         problems = verify_trace(args.trace)
         if problems:

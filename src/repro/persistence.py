@@ -29,8 +29,13 @@ PathLike = Union[str, Path]
 #: file-format version written into every artifact
 FORMAT_VERSION = 1
 
-#: file-format version of run checkpoints
-CHECKPOINT_VERSION = 1
+#: file-format version of run checkpoints.  v2 added the answer-integrity
+#: ledger and per-worker reliability snapshots; v1 checkpoints still load
+#: (the ledger starts empty, reliability at its prior).
+CHECKPOINT_VERSION = 2
+
+#: checkpoint versions :func:`load_checkpoint` accepts
+_SUPPORTED_CHECKPOINT_VERSIONS = (1, 2)
 
 
 # ----------------------------------------------------------------------
@@ -218,6 +223,10 @@ class QueryCheckpoint:
     rng_state: Optional[dict] = None
     #: opaque ``platform.state_dict()`` snapshot, when supported
     platform_state: Optional[dict] = None
+    #: ``AnswerLedger.state_dict()`` snapshot (v2+; None on v1 files)
+    ledger_state: Optional[dict] = None
+    #: ``WorkerReliability.state_dict()`` snapshot (v2+; None on v1 files)
+    reliability_state: Optional[dict] = None
 
 
 def save_checkpoint(checkpoint_or_path, path_or_checkpoint) -> None:
@@ -250,6 +259,8 @@ def save_checkpoint(checkpoint_or_path, path_or_checkpoint) -> None:
         "degraded": checkpoint.degraded,
         "rng_state": checkpoint.rng_state,
         "platform_state": checkpoint.platform_state,
+        "ledger_state": checkpoint.ledger_state,
+        "reliability_state": checkpoint.reliability_state,
     }
     fd, tmp = tempfile.mkstemp(
         dir=str(path.parent) or ".", prefix=path.name, suffix=".tmp"
@@ -274,10 +285,10 @@ def load_checkpoint(path: PathLike) -> QueryCheckpoint:
     if data.get("kind") != "bayescrowd-checkpoint":
         raise CheckpointError("%s is not a BayesCrowd checkpoint" % path)
     version = int(data.get("format_version", -1))
-    if version != CHECKPOINT_VERSION:
+    if version not in _SUPPORTED_CHECKPOINT_VERSIONS:
         raise CheckpointError(
-            "unsupported checkpoint version %d (expected %d)"
-            % (version, CHECKPOINT_VERSION)
+            "unsupported checkpoint version %d (expected one of %r)"
+            % (version, _SUPPORTED_CHECKPOINT_VERSIONS)
         )
     return QueryCheckpoint(
         fingerprint=dict(data["fingerprint"]),
@@ -295,4 +306,8 @@ def load_checkpoint(path: PathLike) -> QueryCheckpoint:
         degraded=bool(data.get("degraded", False)),
         rng_state=data.get("rng_state"),
         platform_state=data.get("platform_state"),
+        # v1 files carry neither key: both default to None and the run
+        # starts with an empty ledger / prior reliability.
+        ledger_state=data.get("ledger_state"),
+        reliability_state=data.get("reliability_state"),
     )

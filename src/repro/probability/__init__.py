@@ -13,6 +13,7 @@ from .engine import (
     ProbabilityEngine,
     resolve_n_jobs,
 )
+from .guard import CircuitBreaker, GuardedProbability
 from .naive import EnumerationLimitExceeded, naive_probability
 
 __all__ = [
@@ -26,6 +27,8 @@ __all__ = [
     "METHODS",
     "ProbabilityEngine",
     "resolve_n_jobs",
+    "CircuitBreaker",
+    "GuardedProbability",
     "EnumerationLimitExceeded",
     "naive_probability",
 ]

@@ -20,13 +20,24 @@ model-counting refinements (both can be disabled for ablation):
   factorize, so each component is solved independently and multiplied;
 * **sub-condition memoization** -- identical residual conditions reached
   along different branches are computed once.
+
+Exact model counting is worst-case exponential, so the solver can run
+under a **resource guard**: ``node_budget`` bounds the branch nodes one
+``probability`` call may expand and ``deadline_s`` its wall time; on
+exhaustion the call raises :class:`repro.errors.ResourceBudgetError`
+(callers degrade to sampling; see :mod:`repro.probability.guard`).  The
+memo is only written after a subtree completes, so an aborted call never
+poisons it, and a guarded call that does *not* trip returns bit-for-bit
+the same value as an unguarded one.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Tuple
 
 from ..ctable.condition import Condition
+from ..errors import ResourceBudgetError
 from ..lru import LRUCache
 from .distributions import DistributionStore
 
@@ -110,26 +121,71 @@ class ADPLL:
         branch_heuristic: str = "frequency",
         use_absorption: bool = False,
         memo_size: int = DEFAULT_MEMO_SIZE,
+        node_budget: int = 0,
+        deadline_s: float = 0.0,
     ) -> None:
         if branch_heuristic not in self.BRANCH_HEURISTICS:
             raise ValueError(
                 "unknown branch heuristic %r; expected one of %r"
                 % (branch_heuristic, self.BRANCH_HEURISTICS)
             )
+        if node_budget < 0:
+            raise ValueError("node_budget must be non-negative (0 = unlimited)")
+        if deadline_s < 0:
+            raise ValueError("deadline_s must be non-negative (0 = no deadline)")
         self._store = store
         self._use_components = use_components
         self._use_memo = use_memo
         self._branch_heuristic = branch_heuristic
         self._use_absorption = use_absorption
+        #: per-call cap on branch nodes (0 = unlimited)
+        self.node_budget = int(node_budget)
+        #: per-call wall-clock deadline in seconds (0 = none)
+        self.deadline_s = float(deadline_s)
         #: condition -> (probability, store version when computed), bounded
         #: LRU (``memo_size <= 0`` keeps it unbounded)
         self._memo: "LRUCache[Condition, Tuple[float, int]]" = LRUCache(memo_size)
         #: number of branching (variable assignment) steps taken so far
         self.branch_count = 0
+        #: probability calls aborted by the resource guard
+        self.guard_trips = 0
+        self._call_branch_start = 0
+        self._deadline_at: Optional[float] = None
 
     def probability(self, condition: Condition) -> float:
-        """``Pr(condition)`` under the store's current distributions."""
-        return self._probability(condition)
+        """``Pr(condition)`` under the store's current distributions.
+
+        With a ``node_budget`` or ``deadline_s`` configured, raises
+        :class:`ResourceBudgetError` when this one call exceeds either;
+        the memo stays clean (only completed subtrees are ever cached).
+        """
+        self._call_branch_start = self.branch_count
+        self._deadline_at = (
+            time.perf_counter() + self.deadline_s if self.deadline_s > 0 else None
+        )
+        try:
+            return self._probability(condition)
+        except ResourceBudgetError:
+            self.guard_trips += 1
+            raise
+        finally:
+            self._deadline_at = None
+
+    def _check_guards(self) -> None:
+        if self.node_budget:
+            spent = self.branch_count - self._call_branch_start
+            if spent >= self.node_budget:
+                raise ResourceBudgetError(
+                    "ADPLL node budget", float(spent), float(self.node_budget)
+                )
+        if self._deadline_at is not None:
+            now = time.perf_counter()
+            if now >= self._deadline_at:
+                raise ResourceBudgetError(
+                    "ADPLL deadline",
+                    self.deadline_s + (now - self._deadline_at),
+                    self.deadline_s,
+                )
 
     # ------------------------------------------------------------------
     def _memo_get(self, condition: Condition) -> Optional[float]:
@@ -189,6 +245,8 @@ class ADPLL:
 
     def _branch(self, condition: Condition) -> float:
         """Sum over the support of the chosen branching variable."""
+        if self.node_budget or self._deadline_at is not None:
+            self._check_guards()
         if self._use_absorption:
             condition = condition.absorbed()
             if condition.is_constant:

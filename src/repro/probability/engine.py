@@ -24,10 +24,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..ctable.condition import Condition
+from ..errors import ResourceBudgetError
 from ..lru import LRUCache
 from .adpll import ADPLL
-from .approxcount import approx_probability
+from .approxcount import adaptive_approx_probability, approx_probability
 from .distributions import DistributionStore
+from .guard import CircuitBreaker, GuardedProbability
 from .naive import naive_probability
 
 #: Supported computation methods.
@@ -85,6 +87,9 @@ class ProbabilityEngine:
         use_components: bool = True,
         cache_size: int = DEFAULT_CACHE_SIZE,
         n_jobs: int = 1,
+        node_budget: int = 0,
+        deadline_s: float = 0.0,
+        breaker_threshold: int = 3,
     ) -> None:
         if method not in METHODS:
             raise ValueError("unknown method %r; expected one of %r" % (method, METHODS))
@@ -93,7 +98,24 @@ class ProbabilityEngine:
         self._use_cache = use_cache
         self._approx_samples = approx_samples
         self._rng = rng or np.random.default_rng(0)
-        self._adpll = ADPLL(store, use_components=use_components)
+        self._adpll = ADPLL(
+            store,
+            use_components=use_components,
+            node_budget=node_budget,
+            deadline_s=deadline_s,
+        )
+        #: resource guard: active when exact ADPLL runs under a node
+        #: budget or deadline; exhaustion degrades the condition to
+        #: adaptive sampling and feeds the circuit breaker
+        self.guard_active = method == "adpll" and (node_budget > 0 or deadline_s > 0)
+        self.breaker: Optional[CircuitBreaker] = (
+            CircuitBreaker(failure_threshold=breaker_threshold)
+            if self.guard_active
+            else None
+        )
+        #: condition -> (exact?, error bound) for guarded computations
+        self._guard_info: Dict[Condition, Tuple[bool, float]] = {}
+        self.n_guard_fallbacks = 0
         #: default worker count for :meth:`probability_many`
         self.n_jobs = resolve_n_jobs(n_jobs)
         #: condition -> (probability, store version when computed)
@@ -179,7 +201,13 @@ class ProbabilityEngine:
         self.n_batch_pending += len(pending)
         if pending:
             self._warm_leaves(pending)
-            if n_jobs > 1 and len(pending) >= 2 * MIN_CONDITIONS_PER_WORKER:
+            # The guard's circuit-breaker state cannot be shared across a
+            # process pool, so guarded batches always run in-process.
+            if (
+                n_jobs > 1
+                and not self.guard_active
+                and len(pending) >= 2 * MIN_CONDITIONS_PER_WORKER
+            ):
                 computed = self._compute_parallel(pending, n_jobs, chunk_size)
             else:
                 computed = [self._compute(condition) for condition in pending]
@@ -267,18 +295,56 @@ class ProbabilityEngine:
 
     def _compute(self, condition: Condition) -> float:
         if self.method == "adpll":
-            return self._adpll.probability(condition)
+            if self.breaker is None:
+                return self._adpll.probability(condition)
+            return self._compute_guarded(condition)
         if self.method == "naive":
             return naive_probability(condition, self.store)
         return approx_probability(
             condition, self.store, n_samples=self._approx_samples, rng=self._rng
         ).probability
 
+    def _compute_guarded(self, condition: Condition) -> float:
+        """Exact ADPLL under the resource guard, sampling on exhaustion.
+
+        While the guard never trips, the returned value is bit-for-bit
+        the unguarded ADPLL result.  On a trip the condition degrades to
+        adaptive Monte Carlo; the circuit breaker turns *repeated* trips
+        into approximate-first (skipping the doomed exact attempt).
+        """
+        breaker = self.breaker
+        if breaker.allow_exact():
+            try:
+                value = self._adpll.probability(condition)
+            except ResourceBudgetError:
+                breaker.record_failure()
+                self.n_guard_fallbacks += 1
+            else:
+                breaker.record_success()
+                self._guard_info[condition] = (True, 0.0)
+                return value
+        estimate = adaptive_approx_probability(condition, self.store, rng=self._rng)
+        self._guard_info[condition] = (False, estimate.half_width)
+        return estimate.probability
+
+    def probability_detailed(self, condition: Condition) -> GuardedProbability:
+        """``Pr(condition)`` plus how it was obtained.
+
+        Constants and unguarded computations are exact by construction;
+        guarded computations report whether the resource guard degraded
+        this condition to sampling, with the Wilson-interval error bound.
+        """
+        value = self.probability(condition)
+        if condition.is_constant or not self.guard_active:
+            return GuardedProbability(value, exact=True)
+        exact, error_bound = self._guard_info.get(condition, (True, 0.0))
+        return GuardedProbability(value, exact=exact, error_bound=error_bound)
+
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, float]:
         """Perf counter snapshot (cache behavior, batch/pool activity)."""
         lookups = self.n_cache_hits + self.n_computations
-        return {
+        stats: Dict[str, float] = {
             "computations": self.n_computations,
             "cache_hits": self.n_cache_hits,
             "cache_hit_rate": self.n_cache_hits / lookups if lookups else 0.0,
@@ -299,6 +365,13 @@ class ProbabilityEngine:
             ),
             "n_jobs": self.n_jobs,
         }
+        stats["guard_active"] = 1 if self.guard_active else 0
+        stats["guard_fallbacks"] = self.n_guard_fallbacks
+        stats["guard_trips"] = self._adpll.guard_trips
+        if self.breaker is not None:
+            for key, value in self.breaker.stats().items():
+                stats[key] = value
+        return stats
 
     def __call__(self, condition: Condition) -> float:
         return self.probability(condition)

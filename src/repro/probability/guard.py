@@ -1,0 +1,126 @@
+"""Resource-guarded probability computation.
+
+Exact ADPLL is worst-case exponential in the condition's variable
+overlap; one pathological condition can stall a whole crowdsourcing
+round.  The guard bounds the damage:
+
+* :class:`GuardedProbability` -- a probability together with *how* it was
+  obtained: exact (error bound 0) or degraded to adaptive Monte Carlo
+  sampling with a finite Wilson-interval error bound, so results can
+  report exactly which objects are approximate;
+* :class:`CircuitBreaker` -- after ``failure_threshold`` consecutive
+  exact-path blowups the breaker opens and the engine goes
+  approximate-first, probing the exact path again every
+  ``probe_interval`` calls (half-open) instead of paying a full budget
+  exhaustion per condition.
+
+The breaker is deliberately count-based (not wall-clock) so its behavior
+is deterministic under test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["GuardedProbability", "CircuitBreaker"]
+
+
+@dataclass(frozen=True)
+class GuardedProbability:
+    """A probability labelled with its computation provenance."""
+
+    value: float
+    #: True when exact ADPLL produced the value (error_bound is then 0)
+    exact: bool
+    #: half-width of the estimate's confidence interval (finite and
+    #: positive for approximate values, 0.0 for exact ones)
+    error_bound: float = 0.0
+    #: Monte Carlo samples drawn (0 for exact values)
+    n_samples: int = 0
+
+    def __post_init__(self) -> None:
+        if self.exact and self.error_bound != 0.0:
+            raise ValueError("an exact probability cannot carry an error bound")
+
+    def interval(self) -> "tuple[float, float]":
+        return (
+            max(0.0, self.value - self.error_bound),
+            min(1.0, self.value + self.error_bound),
+        )
+
+
+class CircuitBreaker:
+    """Closed / open / half-open breaker over the exact ADPLL path.
+
+    *Closed*: every call may go exact; ``failure_threshold`` consecutive
+    failures trip it open.  *Open*: calls are told to skip the exact path
+    (approximate-first); every ``probe_interval``-th call is let through
+    as a half-open probe.  A successful probe closes the breaker, a
+    failed one re-opens it.
+    """
+
+    STATES = ("closed", "open", "half-open")
+
+    def __init__(self, failure_threshold: int = 3, probe_interval: int = 32) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if probe_interval < 1:
+            raise ValueError("probe_interval must be at least 1")
+        self.failure_threshold = failure_threshold
+        self.probe_interval = probe_interval
+        self._state = "closed"
+        self._consecutive_failures = 0
+        self._calls_while_open = 0
+        #: times the breaker tripped closed -> open
+        self.trips = 0
+        #: exact attempts skipped because the breaker was open
+        self.skipped = 0
+        self.failures = 0
+        self.successes = 0
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    def allow_exact(self) -> bool:
+        """Should this call attempt the exact path?
+
+        Also advances the open-state probe schedule, so call it exactly
+        once per probability computation.
+        """
+        if self._state == "closed":
+            return True
+        self._calls_while_open += 1
+        if self._calls_while_open >= self.probe_interval:
+            self._calls_while_open = 0
+            self._state = "half-open"
+            return True
+        self.skipped += 1
+        return False
+
+    def record_success(self) -> None:
+        self.successes += 1
+        self._consecutive_failures = 0
+        self._state = "closed"
+
+    def record_failure(self) -> None:
+        self.failures += 1
+        if self._state == "half-open":
+            self._state = "open"
+            return
+        self._consecutive_failures += 1
+        if self._consecutive_failures >= self.failure_threshold:
+            self._state = "open"
+            self._consecutive_failures = 0
+            self._calls_while_open = 0
+            self.trips += 1
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "breaker_state": self._state,
+            "breaker_trips": self.trips,
+            "breaker_failures": self.failures,
+            "breaker_successes": self.successes,
+            "breaker_skipped": self.skipped,
+        }

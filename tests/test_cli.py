@@ -117,3 +117,70 @@ class TestMain:
         )
         out = capsys.readouterr().out
         assert "synthetic-80" in out
+
+
+class TestIntegrityAndGuardFlags:
+    def test_flag_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.strict_integrity is False
+        assert args.reask_budget_frac is None
+        assert args.adpll_node_budget is None
+        assert args.adpll_deadline_s is None
+        assert args.reliability_prior is None
+
+    def test_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "--strict-integrity",
+                "--reask-budget-frac", "0.5",
+                "--adpll-node-budget", "5000",
+                "--adpll-deadline-s", "0.25",
+                "--reliability-prior", "2", "3",
+            ]
+        )
+        assert args.strict_integrity is True
+        assert args.reask_budget_frac == 0.5
+        assert args.adpll_node_budget == 5000
+        assert args.adpll_deadline_s == 0.25
+        assert args.reliability_prior == [2.0, 3.0]
+
+    def test_strict_run_with_spam(self, capsys):
+        code = main(
+            [
+                "--dataset", "movies",
+                "--budget", "6",
+                "--latency", "3",
+                "--strict-integrity",
+                "--spam-fraction", "0.5",
+                "--worker-accuracy", "0.95",
+            ]
+        )
+        assert code == 0
+        assert "F1" in capsys.readouterr().out
+
+    def test_deadline_flag_reports_approximations(self, capsys):
+        code = main(
+            [
+                "--dataset", "nba",
+                "--n", "30",
+                "--missing-rate", "0.4",
+                "--alpha", "0.1",
+                "--budget", "12",
+                "--latency", "3",
+                "--seed", "3",
+                "--adpll-deadline-s", "1e-9",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "resource guard:" in out
+
+    def test_invalid_guard_config_is_clean_error(self, capsys):
+        code = main(["--dataset", "movies", "--reask-budget-frac", "1.5"])
+        assert code == 2
+        assert "invalid configuration" in capsys.readouterr().err
+
+    def test_invalid_prior_is_clean_error(self, capsys):
+        code = main(["--dataset", "movies", "--reliability-prior", "0", "1"])
+        assert code == 2
+        assert "invalid configuration" in capsys.readouterr().err

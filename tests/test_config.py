@@ -70,3 +70,55 @@ class TestTasksPerRound:
 
     def test_zero_budget(self):
         assert BayesCrowdConfig(budget=0).tasks_per_round() == 0
+
+
+class TestIntegrityAndGuardKnobs:
+    def test_defaults(self):
+        config = BayesCrowdConfig()
+        assert config.strict_integrity is False
+        assert config.reask_budget_frac == 0.25
+        assert config.adpll_node_budget == 0
+        assert config.adpll_deadline_s == 0.0
+        assert config.reliability_prior == (4.0, 1.0)
+
+    def test_valid_values_accepted(self):
+        config = BayesCrowdConfig(
+            strict_integrity=True,
+            reask_budget_frac=0.0,
+            adpll_node_budget=10_000,
+            adpll_deadline_s=0.5,
+            reliability_prior=(2, 2),
+        )
+        assert config.strict_integrity is True
+        assert config.reask_budget_frac == 0.0
+        assert config.reliability_prior == (2.0, 2.0)  # normalized to floats
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"strict_integrity": "yes"},
+            {"reask_budget_frac": -0.1},
+            {"reask_budget_frac": 1.5},
+            {"adpll_node_budget": -1},
+            {"adpll_node_budget": True},
+            {"adpll_node_budget": 2.5},
+            {"adpll_deadline_s": -0.5},
+            {"reliability_prior": (0.0, 1.0)},
+            {"reliability_prior": (1.0,)},
+            {"reliability_prior": (1.0, 2.0, 3.0)},
+            {"reliability_prior": "broad"},
+        ],
+    )
+    def test_invalid_values_rejected_with_typed_error(self, kwargs):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            BayesCrowdConfig(**kwargs)
+
+    def test_config_error_is_a_value_error(self):
+        from repro.errors import ConfigError
+
+        # Pre-existing `except ValueError` call sites must keep working.
+        assert issubclass(ConfigError, ValueError)
+        with pytest.raises(ValueError):
+            BayesCrowdConfig(reask_budget_frac=2.0)

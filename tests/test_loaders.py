@@ -107,3 +107,28 @@ class TestLoadCsv:
         )
         assert result.tasks_posted == 0
         assert result.answers  # something survives
+
+
+class TestNonFiniteCells:
+    @pytest.mark.parametrize("bad", ["inf", "-inf", "Infinity", "1e999"])
+    def test_infinite_observed_cell_rejected(self, tmp_path, bad):
+        from repro.errors import DataValidationError
+
+        text = BASIC.replace("4.5", bad)
+        with pytest.raises(DataValidationError) as excinfo:
+            load_csv(write_csv(tmp_path, text), levels=3, id_column="name")
+        assert "rating" in str(excinfo.value)
+
+    def test_error_is_a_value_error(self, tmp_path):
+        # Callers catching ValueError (the loader's historical contract)
+        # must still catch the typed error.
+        text = BASIC.replace("3.0", "inf")
+        with pytest.raises(ValueError):
+            load_csv(write_csv(tmp_path, text), levels=3, id_column="name")
+
+    def test_nan_spelling_is_missing_not_error(self, tmp_path):
+        # "nan" is a documented missing marker; it must never reach the
+        # finiteness check.
+        text = BASIC.replace("4.5", "NaN")
+        ds = load_csv(write_csv(tmp_path, text), levels=3, id_column="name")
+        assert ds.is_missing(0, 1)

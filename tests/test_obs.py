@@ -317,3 +317,57 @@ class TestCLIFlags:
         metrics_path.write_text(registry.to_json())
         assert obs_main([str(metrics_path)]) == 2
         assert "missing phase histogram" in capsys.readouterr().err
+
+
+def integrity_snapshot(aggregated=10, applied=8, quarantined=2, reasked=1):
+    return {
+        "counters": {
+            "answers_aggregated": aggregated,
+            "answers_applied": applied,
+            "answers_quarantined": quarantined,
+            "answers_reasked": reasked,
+        },
+        "gauges": {},
+    }
+
+
+class TestIntegrityVerifier:
+    def test_consistent_counters_pass(self):
+        from repro.obs.__main__ import verify_integrity
+
+        assert verify_integrity(integrity_snapshot(), require=True) == []
+
+    def test_accounting_mismatch_reported(self):
+        from repro.obs.__main__ import verify_integrity
+
+        problems = verify_integrity(integrity_snapshot(applied=9))
+        assert len(problems) == 1
+        assert "answers_aggregated" in problems[0]
+
+    def test_missing_counters_pass_unless_required(self):
+        from repro.obs.__main__ import verify_integrity
+
+        assert verify_integrity({"counters": {}}) == []
+        problems = verify_integrity({"counters": {}}, require=True)
+        assert problems and "missing" in problems[0]
+
+    def test_excess_reasks_reported(self):
+        from repro.obs.__main__ import verify_integrity
+
+        problems = verify_integrity(integrity_snapshot(reasked=99))
+        assert problems and "answers_reasked" in problems[0]
+
+    def test_real_run_passes_strict_verification(self, tmp_path, capsys):
+        metrics_path = tmp_path / "m.json"
+        movie_query(metrics_path=metrics_path).run()
+        assert obs_main([str(metrics_path), "--integrity"]) == 0
+        assert "integrity ok" in capsys.readouterr().out
+
+    def test_violated_invariant_fails_cli(self, tmp_path, capsys):
+        metrics_path = tmp_path / "m.json"
+        movie_query(metrics_path=metrics_path).run()
+        snapshot = json.loads(metrics_path.read_text())
+        snapshot["counters"]["answers_applied"] += 1
+        metrics_path.write_text(json.dumps(snapshot))
+        assert obs_main([str(metrics_path)]) == 2
+        assert "integrity problem" in capsys.readouterr().err

@@ -215,3 +215,93 @@ class TestCheckpointRoundTrip:
         save_checkpoint(self._checkpoint(), path)
         save_checkpoint(self._checkpoint(), path)  # overwrite in place
         assert [p.name for p in tmp_path.iterdir()] == ["run.ckpt.json"]
+
+
+class TestCheckpointV2:
+    def _checkpoint_with_ledger(self):
+        from repro.crowd import AnswerLedger, WorkerReliability
+
+        ledger = AnswerLedger(domain_sizes=[6, 4])
+        ledger.observe(var_greater_var(0, 1, 0), Relation.GREATER)
+        ledger.observe(
+            var_greater_var(0, 1, 0), Relation.LESS, strict=True, task_id=9
+        )
+        reliability = WorkerReliability(prior=(4.0, 1.0))
+        reliability.observe(1, True)
+        reliability.observe(-1, False)
+        return QueryCheckpoint(
+            fingerprint={"dataset": "nba", "seed": 3},
+            budget_left=5,
+            answer_log=[(var_greater_var(0, 1, 0), Relation.GREATER)],
+            ledger_state=ledger.state_dict(),
+            reliability_state=reliability.state_dict(),
+        )
+
+    def test_v2_round_trips_ledger_and_reliability(self, tmp_path):
+        from repro.crowd import AnswerLedger, WorkerReliability
+
+        path = tmp_path / "run.ckpt.json"
+        save_checkpoint(self._checkpoint_with_ledger(), path)
+        loaded = load_checkpoint(path)
+        assert json.loads(path.read_text())["format_version"] == 2
+
+        restored = AnswerLedger(domain_sizes=[6, 4])
+        restored.load_state_dict(loaded.ledger_state)
+        assert restored.answers_aggregated == 2
+        assert restored.answers_quarantined == 1
+
+        reliability = WorkerReliability.from_state_dict(loaded.reliability_state)
+        assert reliability.accuracy(1) > reliability.accuracy(-1)
+
+    def test_v1_checkpoint_still_loads(self, tmp_path):
+        """A checkpoint written before the ledger existed resumes with an
+        empty ledger and prior reliability (both fields None)."""
+        path = tmp_path / "old.ckpt.json"
+        payload = {
+            "format_version": 1,
+            "kind": "bayescrowd-checkpoint",
+            "fingerprint": {"dataset": "nba", "seed": 3},
+            "budget_left": 4,
+            "answer_log": [
+                [expression_to_json(var_greater_const(0, 1, 2)),
+                 Relation.GREATER.value],
+            ],
+            "pending": [],
+            "history": [],
+            "fault_totals": {},
+            "degraded": False,
+            "rng_state": None,
+            "platform_state": None,
+        }
+        path.write_text(json.dumps(payload))
+        loaded = load_checkpoint(path)
+        assert loaded.budget_left == 4
+        assert loaded.answer_log == [(var_greater_const(0, 1, 2), Relation.GREATER)]
+        assert loaded.ledger_state is None
+        assert loaded.reliability_state is None
+
+    def test_run_resumes_from_v1_checkpoint(self, tmp_path):
+        """End-to-end: checkpoint a run, strip the v2 fields to mimic a
+        v1 file, and resume -- the run completes with an empty ledger."""
+        dataset = generate_nba(n_objects=30, missing_rate=0.4, seed=3)
+        config = BayesCrowdConfig(
+            budget=30, latency=5, worker_accuracy=0.95, alpha=0.1, seed=3
+        )
+        path = tmp_path / "run.ckpt.json"
+        BayesCrowd(dataset, config).run(checkpoint_path=path)
+
+        data = json.loads(path.read_text())
+        data["format_version"] = 1
+        data.pop("ledger_state", None)
+        data.pop("reliability_state", None)
+        path.write_text(json.dumps(data))
+
+        result = BayesCrowd(dataset, config).run(
+            checkpoint_path=path, resume=True
+        )
+        assert result.resumed
+        counters = result.metrics["counters"]
+        assert (
+            counters["answers_quarantined"] + counters["answers_applied"]
+            == counters["answers_aggregated"]
+        )

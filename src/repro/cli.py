@@ -18,7 +18,7 @@ from typing import List, Optional
 
 from .core import BayesCrowd, BayesCrowdConfig
 from .crowd.unreliable import FaultModel
-from .errors import CheckpointError
+from .errors import CheckpointError, JournalError, SessionCancelledError
 from .datasets import (
     example_distributions,
     generate_nba,
@@ -134,7 +134,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     resilience.add_argument(
         "--resume", action="store_true",
-        help="resume from --checkpoint PATH if it exists",
+        help="resume from --checkpoint and/or --journal PATH if present",
+    )
+    resilience.add_argument(
+        "--journal", metavar="PATH", default=None,
+        help="write-ahead answer journal (append-only JSONL, fsync + "
+        "CRC): every accepted answer and budget charge is durable before "
+        "engine state mutates, so a killed run resumes bit-identically "
+        "with --resume",
+    )
+    resilience.add_argument(
+        "--no-journal-fsync", action="store_true",
+        help="skip the per-record fsync (faster, but a power loss may "
+        "drop the last few journal records)",
+    )
+    resilience.add_argument(
+        "--session-deadline-s", type=float, default=None, metavar="S",
+        help="cooperative wall-clock deadline for the whole run; on "
+        "expiry the run stops at the next phase boundary with a "
+        "SessionCancelledError (journaled state stays resumable)",
     )
     obs = parser.add_argument_group("observability")
     obs.add_argument(
@@ -162,8 +180,8 @@ def _fault_model(args) -> "FaultModel | None":
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.resume and not args.checkpoint:
-        print("--resume needs --checkpoint PATH", file=sys.stderr)
+    if args.resume and not (args.checkpoint or args.journal):
+        print("--resume needs --checkpoint or --journal PATH", file=sys.stderr)
         return 2
     try:
         faults = _fault_model(args)
@@ -227,6 +245,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             faults=faults,
             trace_path=args.trace_out,
             metrics_path=args.metrics_out,
+            journal_path=args.journal,
+            journal_fsync=not args.no_journal_fsync,
+            **(
+                {"session_deadline_s": args.session_deadline_s}
+                if args.session_deadline_s is not None
+                else {}
+            ),
             seed=args.seed,
             **overrides,
         )
@@ -241,9 +266,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     try:
         result = query.run(checkpoint_path=args.checkpoint, resume=args.resume)
-    except CheckpointError as err:
+    except (CheckpointError, JournalError) as err:
         print("cannot resume: %s" % err, file=sys.stderr)
         return 2
+    except SessionCancelledError as err:
+        print(
+            "run cancelled: %s (journal/checkpoint state remains; "
+            "re-run with --resume to continue)" % err,
+            file=sys.stderr,
+        )
+        return 3
     truth = skyline(dataset.complete)
     report = accuracy_report(result.answers, truth)
     initial = accuracy_report(result.initial_answers, truth)
@@ -261,7 +293,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     )
     if result.resumed:
-        print("resumed from checkpoint %s" % args.checkpoint)
+        sources = [
+            "checkpoint %s" % args.checkpoint if args.checkpoint else None,
+            "journal %s" % args.journal if args.journal else None,
+        ]
+        print("resumed from %s" % " + ".join(s for s in sources if s))
     if result.degraded:
         faults_text = ", ".join(
             "%s=%d" % (key, value) for key, value in sorted(result.fault_counts.items())
@@ -300,6 +336,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("trace: wrote JSONL event log to %s" % args.trace_out)
     if args.metrics_out:
         print("metrics: wrote snapshot to %s" % args.metrics_out)
+    if args.journal:
+        print("journal: write-ahead answer journal at %s" % args.journal)
     if args.perf:
         stats = result.engine_stats
         print(

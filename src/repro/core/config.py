@@ -119,6 +119,18 @@ class BayesCrowdConfig:
     #: ``.prom``/``.txt`` suffix selects Prometheus text, anything else
     #: the JSON schema; None keeps it in memory only (QueryResult.metrics)
     metrics_path: Optional[Union[str, Path]] = None
+    #: write-ahead answer journal (CLI: --journal): every accepted
+    #: answer / quarantine / budget charge is durably appended *before*
+    #: engine state mutates, so a crashed run resumes bit-identically
+    #: from checkpoint + journal replay; None disables journaling
+    journal_path: Optional[Union[str, Path]] = None
+    #: fsync every journal append (the durability guarantee); False
+    #: trades the last few records for speed in tests/benchmarks
+    journal_fsync: bool = True
+    #: wall-clock deadline for the whole run in seconds (0 = none); on
+    #: expiry the session raises SessionCancelledError at the next phase
+    #: boundary -- journaled/checkpointed state survives for resumption
+    session_deadline_s: float = 0.0
     #: RNG seed for every stochastic component of the run
     seed: int = 0
 
@@ -214,10 +226,14 @@ class BayesCrowdConfig:
                 "positive pseudo-counts, got %r" % (self.reliability_prior,)
             )
         self.reliability_prior = prior
-        for knob in ("trace_path", "metrics_path"):
+        for knob in ("trace_path", "metrics_path", "journal_path"):
             value = getattr(self, knob)
             if value is not None and not isinstance(value, (str, Path)):
                 raise ValueError("%s must be a path-like string or None" % knob)
+        if not isinstance(self.journal_fsync, bool):
+            raise ConfigError("journal_fsync must be a bool")
+        if self.session_deadline_s < 0:
+            raise ConfigError("session_deadline_s must be non-negative (0 = none)")
 
     def tasks_per_round(self) -> int:
         """``mu = ceil(B / L)`` (Algorithm 4, line 1)."""

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import logging
 import time
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
@@ -61,14 +62,21 @@ from ..ctable.construction import build_ctable
 from ..ctable.ctable import CTable
 from ..datasets.dataset import IncompleteDataset, Variable
 from ..errors import (
-    CheckpointError,
     PlatformFatalError,
     PlatformTransientError,
     TaskExpiredError,
 )
+from ..ctable.expression import Expression, Relation
 from ..obs import PIPELINE_PHASES, EventLog, MetricsRegistry, Tracer
 from ..probability.distributions import DistributionStore
 from ..probability.engine import ProbabilityEngine
+from ..session.context import SessionContext
+from ..session.journal import JOURNAL_VERSION, AnswerJournal, read_journal
+from ..session.recovery import (
+    InterruptedRound,
+    recover_run_state,
+    task_to_payload,
+)
 from .config import BayesCrowdConfig
 from .result import QueryResult, RoundRecord
 from .selection import IncrementalRanker
@@ -85,6 +93,62 @@ _STRUCTURE_SAMPLE_CAP = 4000
 _MAX_REASK_ATTEMPTS = 2
 
 logger = logging.getLogger("repro.bayescrowd")
+
+
+@dataclass
+class _RoundPlan:
+    """One crowdsourcing round, planned but not yet executed.
+
+    Fresh rounds come out of :meth:`BayesCrowd._plan_round`; recovered
+    rounds are rebuilt from the journal's ``round_begin`` record, carry
+    the answers/re-asks that were already journaled before the crash
+    (``journaled``/``reasks``) and skip re-journaling ``round_begin``.
+    """
+
+    round_index: int
+    tasks: List[ComparisonTask]
+    leftover_pending: List[ComparisonTask]
+    objects: List[Optional[int]]
+    #: open conditions before the round's answers; None = compute live
+    #: (recovered rounds must use the journaled value, because replay has
+    #: already folded some of the round's answers into the c-table)
+    open_before: Optional[int] = None
+    #: task id -> journaled ``answer`` payload (replayed, idempotent)
+    journaled: Dict[int, dict] = field(default_factory=dict)
+    #: quarantined task id -> journaled ``reask`` payload
+    reasks: Dict[int, dict] = field(default_factory=dict)
+    recovered: bool = False
+    #: perf-counter timestamp planning started (round wall time)
+    started_at: float = 0.0
+
+
+@dataclass
+class _CrowdRunState:
+    """Mutable state of the crowdsourcing loop, explicit and passable.
+
+    Everything the old monolithic loop kept in local variables; making
+    it a value lets the round planner/executor be separate re-entrant
+    methods and lets crash recovery seed the loop mid-flight.
+    """
+
+    budget: int
+    reask_budget_total: int
+    history: List[RoundRecord] = field(default_factory=list)
+    answer_log: List[Tuple[Expression, Relation]] = field(default_factory=list)
+    pending: List[ComparisonTask] = field(default_factory=list)
+    fault_totals: Dict[str, int] = field(default_factory=dict)
+    degraded: bool = False
+    resumed: bool = False
+    fatal: bool = False
+    reasks_issued: int = 0
+    issued_this_run: int = 0
+    answered_this_run: int = 0
+    crowd_wait: float = 0.0
+    selection_seconds: float = 0.0
+    utility_evaluations: int = 0
+    utility_skipped: int = 0
+    probability_requests: int = 0
+    probability_computed: int = 0
 
 
 def learn_distributions(
@@ -165,9 +229,15 @@ class BayesCrowd:
         platform: Optional[SimulatedCrowdPlatform] = None,
         distributions: Optional[Dict[Variable, np.ndarray]] = None,
         network: Optional[BayesianNetwork] = None,
+        session: Optional[SessionContext] = None,
     ) -> None:
         self.dataset = dataset
         self.config = config or BayesCrowdConfig()
+        #: per-session execution context (RNG streams, task ids, cancel
+        #: token); every run executes inside ``session.activate()`` so
+        #: ambient library fallbacks are session-isolated and N engines
+        #: can run concurrently in one process without shared state
+        self.session = session or SessionContext(seed=self.config.seed)
         self._rng = np.random.default_rng(self.config.seed)
         if platform is None and dataset.has_ground_truth():
             platform_rng = np.random.default_rng(self.config.seed + 1)
@@ -226,12 +296,18 @@ class BayesCrowd:
         self.events: Optional[EventLog] = None
         self.ledger: Optional[AnswerLedger] = None
         self.reliability: Optional[WorkerReliability] = None
+        #: run-scoped collaborators of the round planner/executor
+        self._journal: Optional[AnswerJournal] = None
+        self._ranker: Optional[IncrementalRanker] = None
+        self._checkpoint_path: Optional[Path] = None
 
     # ------------------------------------------------------------------
     def run(
         self,
         checkpoint_path: Optional[Union[str, Path]] = None,
         resume: bool = False,
+        journal_path: Optional[Union[str, Path]] = None,
+        journal_crash_after: Optional[int] = None,
     ) -> QueryResult:
         """Execute the query and return the answer set with run statistics.
 
@@ -239,6 +315,22 @@ class BayesCrowd:
         round history are snapshotted after every crowdsourcing round;
         ``resume=True`` continues from such a snapshot (if the file
         exists) instead of re-spending crowd budget.
+
+        With ``journal_path`` (or ``config.journal_path``) every accepted
+        answer, quarantine verdict and budget charge is durably appended
+        to a write-ahead journal *before* engine state mutates, so a run
+        killed at any instant resumes bit-identically: recovery folds the
+        last checkpoint (if any) plus the journal suffix back into a
+        fresh c-table and finishes the interrupted round deterministically.
+        ``journal_crash_after`` is the crash-injection test hook (SIGKILL
+        after the N-th journal append); production code never sets it.
+
+        The whole run executes inside the engine's
+        :class:`~repro.session.SessionContext`: ambient RNG fallbacks and
+        task-id allocation are session-local, and the session's
+        cancellation token (plus ``config.session_deadline_s``) is
+        honoured at phase boundaries with a typed
+        ``SessionCancelledError`` -- journaled state survives for resume.
 
         Every run is traced: spans for each pipeline phase land in
         ``phase_seconds_*`` histograms, per-round decisions in the event
@@ -268,18 +360,32 @@ class BayesCrowd:
             strategy=config.strategy,
             seed=config.seed,
             resume=bool(resume),
+            session=self.session.session_id,
         )
+        if config.session_deadline_s:
+            self.session.cancellation.set_deadline(config.session_deadline_s)
         try:
-            with tracer.span("run"):
-                result = self._run_phases(
-                    config, registry, events, tracer, checkpoint_path, resume
-                )
+            with self.session.activate():
+                with tracer.span("run"):
+                    result = self._run_phases(
+                        config,
+                        registry,
+                        events,
+                        tracer,
+                        checkpoint_path,
+                        resume,
+                        journal_path,
+                        journal_crash_after,
+                    )
             result.metrics = registry.snapshot()
             result.trace = tracer.to_dicts()
             if config.metrics_path is not None:
                 self._write_metrics(config.metrics_path, registry)
             return result
         finally:
+            if self._journal is not None:
+                self._journal.close()
+                self._journal = None
             events.close()
 
     @staticmethod
@@ -301,13 +407,17 @@ class BayesCrowd:
         tracer: Tracer,
         checkpoint_path: Optional[Union[str, Path]],
         resume: bool,
+        journal_path: Optional[Union[str, Path]] = None,
+        journal_crash_after: Optional[int] = None,
     ) -> QueryResult:
         """The pipeline proper; every phase runs inside a tracing span."""
         start = time.perf_counter()
+        cancel = self.session.cancellation
         # Preprocessing happened in __init__ (distributions may be shared
         # across runs); record it as a back-dated span so the phase still
         # shows up in this run's histograms and trace.
         tracer.record("preprocess", self.preprocess_seconds)
+        cancel.check("preprocess")
 
         # --- modeling phase -------------------------------------------
         with tracer.span("ctable"):
@@ -317,6 +427,7 @@ class BayesCrowd:
                 dominator_method=config.dominator_method,
                 inference_mode=config.inference_mode,
                 backend=config.backend,
+                cancel_check=lambda: cancel.check("ctable"),
             )
         modeling_seconds = time.perf_counter() - start
         store = DistributionStore(self.distributions, ctable.constraints)
@@ -329,6 +440,7 @@ class BayesCrowd:
             node_budget=config.adpll_node_budget,
             deadline_s=config.adpll_deadline_s,
         )
+        engine.attach_cancellation(cancel)
         self.ctable = ctable
         self.engine = engine
         # Answer integrity: the ledger shares the c-table's constraint
@@ -338,9 +450,6 @@ class BayesCrowd:
         reliability = WorkerReliability(prior=config.reliability_prior)
         self.ledger = ledger
         self.reliability = reliability
-        #: total re-asks the bounded policy may issue over the whole run
-        reask_budget_total = int(config.reask_budget_frac * config.budget)
-        reasks_issued = 0
         # Batched utility scorer: one deduplicated probability batch per
         # round plus a cross-round gain cache, instead of per-candidate
         # serial ADPLL calls.  FBS never scores utilities, so it skips the
@@ -354,11 +463,6 @@ class BayesCrowd:
                 cache_size=config.utility_cache_size,
             )
         self.utility_engine = utility_engine
-        selection_seconds = 0.0
-        utility_evaluations_total = 0
-        utility_skipped_total = 0
-        probability_requests_total = 0
-        probability_computed_total = 0
         # Warm the engine's cache in one batch so the initial result set
         # and the first round's ranking reuse every probability.
         with tracer.span("probability", stage="initial"):
@@ -370,295 +474,111 @@ class BayesCrowd:
             )
 
         # --- crowdsourcing phase --------------------------------------
-        crowd_wait = 0.0
-        budget = config.budget
-        mu = config.tasks_per_round()
-        history: List[RoundRecord] = []
-        #: every answer folded into the c-table, in order (for checkpoints)
-        answer_log: List[Tuple] = []
-        #: unanswered tasks carried into the next round (requeue policy)
-        pending: List[ComparisonTask] = []
-        fault_totals: Dict[str, int] = {}
-        #: tasks issued within this run (resumed runs exclude replayed
-        #: rounds here, unlike the history totals)
-        issued_this_run = 0
-        answered_this_run = 0
-        degraded = False
-        resumed = False
-        if resume and checkpoint_path is not None:
-            restored = self._restore_checkpoint(
-                checkpoint_path, ctable, ledger=ledger, reliability=reliability
-            )
-            if restored is not None:
-                budget, history, answer_log, pending, fault_totals, degraded = restored
-                resumed = True
-                reasks_issued = ledger.answers_reasked
-                events.emit(
-                    "resumed",
-                    rounds_done=len(history),
-                    answers_replayed=len(answer_log),
-                    budget_left=budget,
-                )
-        # Built after any checkpoint replay: the ranker re-scores only
-        # objects whose conditions a round's answers actually touched.
-        ranker = IncrementalRanker(ctable, engine)
-        fatal = False
-        with tracer.span("crowd"):
-            while budget > 0 and len(history) < config.latency and not fatal:
-                round_start = time.perf_counter()
-                round_index = len(history) + 1
-                # Requeued tasks that other answers already decided are
-                # moot: drop them instead of paying the crowd for known
-                # relations.
-                pending = [t for t in pending if self._task_still_open(ctable, t)]
-                if not pending and not ctable.has_open_expressions():
-                    break
-                k = min(budget, mu)
-                tasks: List[ComparisonTask] = list(pending[:k])
-                leftover_pending = pending[k:]
-                banned = set()
-                objects: List[int] = []
-                for task in tasks:
-                    banned.update(task.variables())
-                    objects.append(task.for_object)
-                ranked = ranker.rank()
-                if (
-                    not tasks
-                    and ranked
-                    and config.entropy_epsilon > 0.0
-                    and ranked[0].entropy < config.entropy_epsilon
-                ):
-                    # Every undecided object is already near-certain;
-                    # further tasks would buy negligible information.
-                    logger.debug(
-                        "early stop: max entropy %.4f below epsilon %.4f",
-                        ranked[0].entropy,
-                        config.entropy_epsilon,
-                    )
-                    events.emit(
-                        "early_stop",
-                        round=round_index,
-                        max_entropy=ranked[0].entropy,
-                        epsilon=config.entropy_epsilon,
-                    )
-                    break
-                if ranked and len(tasks) < k:
-                    selection_start = time.perf_counter()
-                    # Expression frequencies are counted over the chosen
-                    # top-k objects' conditions (Section 6.2, step two).
-                    chosen = [ctable.condition(r.obj) for r in ranked[:k]]
-                    context = SelectionContext(
-                        engine=engine,
-                        frequencies=expression_frequencies(chosen),
-                        utility_mode=config.utility_mode,
-                        utility_engine=utility_engine,
-                    )
-                    # One deduplicated gain batch for the whole round; the
-                    # per-object walk below is then served from its cache.
-                    self._strategy.prefetch_round(chosen, context, banned)
-                    # Walk the full ranking so a conflict-skipped slot is
-                    # refilled by the next most uncertain object, keeping
-                    # rounds at size k.
-                    for r in ranked:
-                        if len(tasks) >= k:
-                            break
-                        expression = self._strategy.select_expression(
-                            ctable.condition(r.obj), context, banned
-                        )
-                        if expression is None:
-                            continue
-                        banned.update(expression.variables())
-                        tasks.append(ComparisonTask(expression, for_object=r.obj))
-                        objects.append(r.obj)
-                    utility_evaluations_total += context.utility_evaluations
-                    utility_skipped_total += context.utility_skipped
-                    probability_requests_total += context.probability_requests
-                    probability_computed_total += context.probability_computed
-                    selection_seconds += time.perf_counter() - selection_start
-                if not tasks:
-                    break
-                if self.platform is None:
-                    raise RuntimeError(
-                        "crowdsourcing needs a platform; supply one or use a "
-                        "dataset with ground truth for the simulated crowd"
-                    )
-
-                events.emit(
-                    "tasks_issued",
-                    round=round_index,
-                    count=len(tasks),
-                    objects=list(objects),
-                    tasks=[
-                        {
-                            "task_id": task.task_id,
-                            "object": task.for_object,
-                            "expression": str(task.expression),
-                        }
-                        for task in tasks
-                    ],
-                )
-                issued_this_run += len(tasks)
-                post_start = time.perf_counter()
-                answers, round_faults, fatal, abandoned = self._post_with_retries(tasks)
-                crowd_wait += time.perf_counter() - post_start
-
-                open_before = len(ctable.undecided())
-                platform_votes = dict(
-                    getattr(self.platform, "last_votes", None) or {}
-                )
-                pending_reasks: List[ComparisonTask] = []
-                applied_count = 0
-                for task, relation in answers.items():
-                    votes = tuple(platform_votes.get(task.task_id, ()))
-                    if task.is_reask() and votes and reliability.n_workers() > 0:
-                        # Re-ask arbitration: replace the platform's
-                        # aggregate with a vote weighted by the online
-                        # reliability posteriors, so workers who have
-                        # disagreed with accepted majorities count less.
-                        relation = weighted_vote(
-                            list(votes),
-                            reliability.accuracies(),
-                            rng=self._rng,
-                            default_accuracy=reliability.prior_mean,
-                        )
-                    entry = ledger.observe(
-                        task.expression,
-                        relation,
-                        strict=config.strict_integrity,
-                        round_index=round_index,
-                        task_id=task.task_id,
-                        votes=votes,
-                        reask_of=task.reask_of,
-                    )
-                    if entry.status == "applied":
-                        ranker.mark_dirty(
-                            ctable.apply_answer(task.expression, relation)
-                        )
-                        answer_log.append((task.expression, relation))
-                        reliability.observe_votes(votes, relation)
-                        applied_count += 1
-                        continue
-                    # Quarantined: charged-but-flagged, never applied.
-                    events.emit(
-                        "answer_quarantined",
-                        round=round_index,
-                        task_id=task.task_id,
-                        expression=str(task.expression),
-                        relation=relation.value,
-                        reason=entry.reason,
-                    )
-                    # Re-ask only while the expression is still genuinely
-                    # open: a "direct" conflict means accepted answers
-                    # already pin the expression's truth, and the ledger
-                    # is append-only -- no answer can overturn them.
-                    if (
-                        reasks_issued < reask_budget_total
-                        and ledger.reask_attempts(task.expression)
-                        < _MAX_REASK_ATTEMPTS
-                        and self._task_still_open(ctable, task)
-                    ):
-                        ledger.note_reask(task.expression)
-                        reasks_issued += 1
-                        reask = ComparisonTask(
-                            task.expression,
-                            for_object=task.for_object,
-                            reask_of=task.task_id,
-                        )
-                        pending_reasks.append(reask)
-                        events.emit(
-                            "reask_issued",
-                            round=round_index,
-                            of_task=task.task_id,
-                            task_id=reask.task_id,
-                            expression=str(task.expression),
-                        )
-                open_after = len(ctable.undecided())
-                events.emit(
-                    "answers_applied",
-                    round=round_index,
-                    count=applied_count,
-                    quarantined=len(answers) - applied_count,
-                    task_ids=sorted(task.task_id for task in answers),
-                )
-                events.emit(
-                    "objects_decided",
-                    round=round_index,
-                    newly_decided=open_before - open_after,
-                    open_conditions=open_after,
-                )
-                answered_this_run += len(answers)
-                # The paper's cost model charges per answered task;
-                # no-shows and expired tasks are refunds, not spend.
-                budget -= len(answers)
-                unanswered = [
-                    t for t in tasks if t not in answers and t.task_id not in abandoned
-                ]
-                if unanswered:
-                    round_faults["unanswered"] = len(unanswered)
-                quarantined_count = len(answers) - applied_count
-                if quarantined_count:
-                    round_faults["quarantined"] = quarantined_count
-                # Re-asks go to the head of the queue: the next round's
-                # batch consumes pending tasks before the entropy ranking
-                # runs, so a quarantined variable is re-verified before
-                # ranking ever sees a (potentially poisoned) answer.
-                if config.requeue_policy == "requeue":
-                    pending = pending_reasks + leftover_pending + unanswered
+        # Durable write-ahead journal: every accepted answer, quarantine
+        # verdict and budget charge is appended (and fsync-ed) *before*
+        # the corresponding engine state mutates, so a crash at any
+        # instant loses nothing that was paid for.
+        journal_records = None
+        journal_target = (
+            journal_path if journal_path is not None else config.journal_path
+        )
+        if journal_target is not None:
+            journal_target = Path(journal_target)
+            if journal_target.exists():
+                if resume:
+                    journal_records = read_journal(journal_target)
                 else:
-                    pending = pending_reasks + leftover_pending
-                for key, value in round_faults.items():
-                    fault_totals[key] = fault_totals.get(key, 0) + value
-                if unanswered or abandoned or round_faults.get("failed_round") or fatal:
-                    degraded = True
-                logger.debug(
-                    "round %d: %d tasks posted, %d answered, %d conditions still "
-                    "open, budget %d left",
-                    round_index,
-                    len(tasks),
-                    len(answers),
-                    open_after,
-                    budget,
+                    journal_target.unlink()
+            self._journal = AnswerJournal(
+                journal_target,
+                fsync=config.journal_fsync,
+                crash_after=journal_crash_after,
+            )
+            if self._journal.last_seq == 0:
+                self._journal.append(
+                    "open",
+                    {
+                        "version": JOURNAL_VERSION,
+                        "fingerprint": self._fingerprint(),
+                        "session": self.session.session_id,
+                    },
                 )
-                round_seconds = time.perf_counter() - round_start
-                history.append(
-                    RoundRecord(
-                        round_index=round_index,
-                        tasks_posted=len(tasks),
-                        objects=objects,
-                        newly_decided=open_before - open_after,
-                        open_conditions=open_after,
-                        seconds=round_seconds,
-                        tasks_answered=len(answers),
-                        retries=round_faults.get("transient_retries", 0),
-                        faults=dict(round_faults),
-                    )
-                )
-                tracer.record(
-                    "round[%d]" % round_index,
-                    round_seconds,
-                    phase="round",
-                    tasks_posted=len(tasks),
-                    tasks_answered=len(answers),
-                )
+        checkpoint = None
+        if resume and checkpoint_path is not None and Path(checkpoint_path).exists():
+            from ..persistence import load_checkpoint
+
+            checkpoint = load_checkpoint(checkpoint_path)
+        recovered = recover_run_state(
+            ctable,
+            ledger,
+            reliability,
+            self._fingerprint(),
+            config.budget,
+            checkpoint=checkpoint,
+            journal_records=journal_records,
+        )
+        if recovered.rng_state is not None:
+            self._rng.bit_generator.state = recovered.rng_state
+        if recovered.platform_state is not None and hasattr(
+            self.platform, "load_state_dict"
+        ):
+            self.platform.load_state_dict(recovered.platform_state)
+        if recovered.task_ids_state is not None:
+            self.session.task_ids.load_state_dict(recovered.task_ids_state)
+        run = _CrowdRunState(
+            budget=recovered.budget_left,
+            reask_budget_total=int(config.reask_budget_frac * config.budget),
+            history=recovered.history,
+            answer_log=recovered.answer_log,
+            pending=recovered.pending,
+            fault_totals=recovered.fault_totals,
+            degraded=recovered.degraded,
+            resumed=recovered.resumed,
+            reasks_issued=ledger.answers_reasked,
+        )
+        registry.counter("journal_replayed_answers").inc(recovered.replayed_answers)
+        registry.counter("journal_deduped_answers").inc(recovered.deduped_answers)
+        registry.counter("recovered_rounds")
+        if run.resumed:
+            events.emit(
+                "resumed",
+                rounds_done=len(run.history),
+                answers_replayed=len(run.answer_log),
+                budget_left=run.budget,
+            )
+        if recovered.replayed_answers or recovered.deduped_answers:
+            events.emit(
+                "journal_replayed",
+                replayed=recovered.replayed_answers,
+                deduped=recovered.deduped_answers,
+            )
+        # Built after any checkpoint/journal replay: the ranker re-scores
+        # only objects whose conditions a round's answers actually touched.
+        ranker = IncrementalRanker(ctable, engine)
+        self._ranker = ranker
+        self._checkpoint_path = (
+            Path(checkpoint_path) if checkpoint_path is not None else None
+        )
+        with tracer.span("crowd"):
+            if recovered.interrupted is not None:
+                registry.counter("recovered_rounds").inc(1)
                 events.emit(
-                    "round_end",
-                    round=round_index,
-                    seconds=round_seconds,
-                    budget_left=budget,
-                    tasks_answered=len(answers),
-                    newly_decided=open_before - open_after,
-                    faults=dict(round_faults),
+                    "round_recovered",
+                    round=recovered.interrupted.round_index,
+                    journaled_answers=len(recovered.interrupted.journaled),
+                    journaled_reasks=len(recovered.interrupted.reasks),
                 )
-                if checkpoint_path is not None:
-                    self._write_checkpoint(
-                        checkpoint_path,
-                        budget,
-                        history,
-                        answer_log,
-                        pending,
-                        fault_totals,
-                        degraded,
-                    )
+                self._finish_interrupted_round(recovered.interrupted, run)
+            while (
+                run.budget > 0
+                and len(run.history) < config.latency
+                and not run.fatal
+            ):
+                cancel.check("selection")
+                plan = self._plan_round(run)
+                if plan is None:
+                    break
+                self._execute_round(plan, run)
 
         # One last batch pass so the final result set reads from cache.
         with tracer.span("probability", stage="final"):
@@ -680,7 +600,7 @@ class BayesCrowd:
                     probabilities[obj] = detail.value
                     probability_exact[obj] = detail.exact
                     probability_error_bounds[obj] = detail.error_bound
-        total_seconds = time.perf_counter() - start - crowd_wait
+        total_seconds = time.perf_counter() - start - run.crowd_wait
         engine_stats = engine.stats()
         engine_stats["objects_rescored"] = ranker.n_rescored
         engine_stats["rankings"] = ranker.n_rankings
@@ -695,21 +615,21 @@ class BayesCrowd:
         else:
             selection_stats = {
                 "utility_candidates_total": (
-                    utility_evaluations_total + utility_skipped_total
+                    run.utility_evaluations + run.utility_skipped
                 ),
-                "utility_evals_total": utility_evaluations_total,
+                "utility_evals_total": run.utility_evaluations,
                 "residual_cache_hits": 0,
-                "utility_skipped_total": utility_skipped_total,
+                "utility_skipped_total": run.utility_skipped,
                 "utility_batches": 0,
-                "utility_probability_requests": probability_requests_total,
-                "utility_probability_submitted": probability_requests_total,
-                "utility_probability_computed": probability_computed_total,
+                "utility_probability_requests": run.probability_requests,
+                "utility_probability_submitted": run.probability_requests,
+                "utility_probability_computed": run.probability_computed,
                 "utility_batch_dedup_ratio": 0.0,
                 "utility_gain_cache_size": 0,
                 "utility_residual_cache_size": 0,
                 "utility_batch_seconds": 0.0,
             }
-        selection_stats["selection_seconds"] = float(selection_seconds)
+        selection_stats["selection_seconds"] = float(run.selection_seconds)
         engine_stats.update(selection_stats)
         for key, value in self.preprocess_stats.items():
             engine_stats["posterior_%s" % key] = value
@@ -725,26 +645,28 @@ class BayesCrowd:
         registry.absorb(self.preprocess_stats, prefix="posterior_")
         registry.counter("ranker_objects_rescored").inc(ranker.n_rescored)
         registry.counter("ranker_rankings").inc(ranker.n_rankings)
-        tasks_posted_total = sum(r.tasks_posted for r in history)
-        tasks_answered_total = sum(r.tasks_answered for r in history)
-        registry.counter("crowd_rounds").inc(len(history))
+        tasks_posted_total = sum(r.tasks_posted for r in run.history)
+        tasks_answered_total = sum(r.tasks_answered for r in run.history)
+        registry.counter("crowd_rounds").inc(len(run.history))
         registry.counter("crowd_tasks_posted").inc(tasks_posted_total)
         registry.counter("crowd_tasks_answered").inc(tasks_answered_total)
-        registry.counter("crowd_retries").inc(sum(r.retries for r in history))
-        for key, value in fault_totals.items():
+        registry.counter("crowd_retries").inc(sum(r.retries for r in run.history))
+        for key, value in run.fault_totals.items():
             registry.counter("crowd_fault_%s" % key).inc(value)
         # Integrity accounting: always exported (strict or not), so the
         # obs verifier's invariant answers_quarantined + answers_applied
         # == answers_aggregated is checkable on every run.
         registry.absorb(ledger.summary())
+        if self._journal is not None:
+            registry.absorb(self._journal.stats())
         registry.gauge("reliability_workers_tracked").set(reliability.n_workers())
-        registry.counter("reasks_issued").inc(reasks_issued)
+        registry.counter("reasks_issued").inc(run.reasks_issued)
         registry.gauge("probability_approx_objects").set(
             sum(1 for exact in probability_exact.values() if not exact)
         )
-        registry.gauge("crowd_budget_left").set(budget)
-        registry.gauge("run_degraded").set(1.0 if degraded else 0.0)
-        registry.gauge("run_resumed").set(1.0 if resumed else 0.0)
+        registry.gauge("crowd_budget_left").set(run.budget)
+        registry.gauge("run_degraded").set(1.0 if run.degraded else 0.0)
+        registry.gauge("run_resumed").set(1.0 if run.resumed else 0.0)
         registry.gauge("answers_total").set(len(answers))
         registry.gauge("answers_certain").set(len(ctable.certain_answers()))
         registry.gauge("modeling_seconds").set(modeling_seconds)
@@ -753,30 +675,30 @@ class BayesCrowd:
 
         events.emit(
             "run_end",
-            rounds=len(history),
+            rounds=len(run.history),
             # trace-scoped totals: a resumed run's replayed rounds are in
             # the history counts but never in this trace's tasks_issued
-            tasks_posted=issued_this_run,
-            tasks_answered=answered_this_run,
+            tasks_posted=run.issued_this_run,
+            tasks_answered=run.answered_this_run,
             answers=len(answers),
-            degraded=degraded,
+            degraded=run.degraded,
             seconds=total_seconds,
         )
         return QueryResult(
             answers=answers,
             certain_answers=ctable.certain_answers(),
             tasks_posted=tasks_posted_total,
-            rounds=len(history),
+            rounds=len(run.history),
             seconds=total_seconds,
             tasks_answered=tasks_answered_total,
             modeling_seconds=modeling_seconds,
-            history=history,
+            history=run.history,
             initial_answers=initial_answers,
             answer_probabilities=probabilities,
             engine_stats=engine_stats,
-            degraded=degraded,
-            fault_counts=fault_totals,
-            resumed=resumed,
+            degraded=run.degraded,
+            fault_counts=run.fault_totals,
+            resumed=run.resumed,
             integrity=ledger.summary(),
             worker_reliability=reliability.accuracies(),
             probability_exact=probability_exact,
@@ -857,8 +779,468 @@ class BayesCrowd:
         return ctable.expression_frequency(task.expression) > 0
 
     # ------------------------------------------------------------------
+    # round planning / execution
+    # ------------------------------------------------------------------
+    def _plan_round(self, run: _CrowdRunState) -> Optional[_RoundPlan]:
+        """Select the next round's conflict-free batch (Section 6).
+
+        Returns ``None`` when the loop should stop: every expression is
+        decided, the entropy early-stop fired, or selection found no
+        postable task.
+        """
+        config = self.config
+        ctable = self.ctable
+        events = self.events
+        started_at = time.perf_counter()
+        round_index = len(run.history) + 1
+        # Requeued tasks that other answers already decided are moot:
+        # drop them instead of paying the crowd for known relations.
+        run.pending = [
+            t for t in run.pending if self._task_still_open(ctable, t)
+        ]
+        if not run.pending and not ctable.has_open_expressions():
+            return None
+        k = min(run.budget, config.tasks_per_round())
+        tasks: List[ComparisonTask] = list(run.pending[:k])
+        leftover_pending = run.pending[k:]
+        banned = set()
+        objects: List[Optional[int]] = []
+        for task in tasks:
+            banned.update(task.variables())
+            objects.append(task.for_object)
+        ranked = self._ranker.rank()
+        if (
+            not tasks
+            and ranked
+            and config.entropy_epsilon > 0.0
+            and ranked[0].entropy < config.entropy_epsilon
+        ):
+            # Every undecided object is already near-certain; further
+            # tasks would buy negligible information.
+            logger.debug(
+                "early stop: max entropy %.4f below epsilon %.4f",
+                ranked[0].entropy,
+                config.entropy_epsilon,
+            )
+            events.emit(
+                "early_stop",
+                round=round_index,
+                max_entropy=ranked[0].entropy,
+                epsilon=config.entropy_epsilon,
+            )
+            return None
+        if ranked and len(tasks) < k:
+            selection_start = time.perf_counter()
+            # Expression frequencies are counted over the chosen top-k
+            # objects' conditions (Section 6.2, step two).
+            chosen = [ctable.condition(r.obj) for r in ranked[:k]]
+            context = SelectionContext(
+                engine=self.engine,
+                frequencies=expression_frequencies(chosen),
+                utility_mode=config.utility_mode,
+                utility_engine=self.utility_engine,
+            )
+            # One deduplicated gain batch for the whole round; the
+            # per-object walk below is then served from its cache.
+            self._strategy.prefetch_round(chosen, context, banned)
+            # Walk the full ranking so a conflict-skipped slot is
+            # refilled by the next most uncertain object, keeping
+            # rounds at size k.
+            for r in ranked:
+                if len(tasks) >= k:
+                    break
+                expression = self._strategy.select_expression(
+                    ctable.condition(r.obj), context, banned
+                )
+                if expression is None:
+                    continue
+                banned.update(expression.variables())
+                tasks.append(ComparisonTask(expression, for_object=r.obj))
+                objects.append(r.obj)
+            run.utility_evaluations += context.utility_evaluations
+            run.utility_skipped += context.utility_skipped
+            run.probability_requests += context.probability_requests
+            run.probability_computed += context.probability_computed
+            run.selection_seconds += time.perf_counter() - selection_start
+        if not tasks:
+            return None
+        if self.platform is None:
+            raise RuntimeError(
+                "crowdsourcing needs a platform; supply one or use a "
+                "dataset with ground truth for the simulated crowd"
+            )
+        return _RoundPlan(
+            round_index=round_index,
+            tasks=tasks,
+            leftover_pending=leftover_pending,
+            objects=objects,
+            started_at=started_at,
+        )
+
+    def _finish_interrupted_round(
+        self, interrupted: InterruptedRound, run: _CrowdRunState
+    ) -> None:
+        """Deterministically finish the round a crash cut short.
+
+        Restores the ``round_begin`` snapshots (framework RNG, platform
+        state, task-id allocator) and re-posts the *same* task batch the
+        crashed process posted: the platform reproduces the same
+        answers, the ones already journaled are recognised by task id
+        and skipped, and the fresh tail continues exactly where the
+        crash interrupted.  Journaled re-ask ids are reserved first so
+        fresh allocations never collide with them.
+        """
+        if interrupted.rng_state is not None:
+            self._rng.bit_generator.state = interrupted.rng_state
+        if interrupted.platform_state is not None and hasattr(
+            self.platform, "load_state_dict"
+        ):
+            self.platform.load_state_dict(interrupted.platform_state)
+        if interrupted.task_ids_state is not None:
+            self.session.task_ids.load_state_dict(interrupted.task_ids_state)
+        for payload in interrupted.reasks.values():
+            self.session.task_ids.reserve(int(payload["task_id"]))
+        plan = _RoundPlan(
+            round_index=interrupted.round_index,
+            tasks=interrupted.tasks,
+            leftover_pending=interrupted.leftover_pending,
+            objects=[task.for_object for task in interrupted.tasks],
+            open_before=interrupted.open_before,
+            journaled=interrupted.journaled,
+            reasks=interrupted.reasks,
+            recovered=True,
+            started_at=time.perf_counter(),
+        )
+        self._execute_round(plan, run)
+
+    def _execute_round(self, plan: _RoundPlan, run: _CrowdRunState) -> None:
+        """Post one planned batch and durably fold its answers back.
+
+        Write-ahead ordering: ``round_begin`` (tasks + pre-post RNG /
+        platform / allocator snapshots) is journaled before posting,
+        every answer before the ledger and c-table mutate, and
+        ``round_commit`` before the round checkpoint.  For a recovered
+        plan the ``round_begin`` is already durable, and answers the
+        crashed process journaled are recognised by task id: their
+        verdict, budget charge and post-arbitration RNG snapshot come
+        from the journal instead of being recomputed.
+        """
+        from ..persistence import _round_to_dict, expression_to_json
+
+        config = self.config
+        ctable = self.ctable
+        ledger = self.ledger
+        reliability = self.reliability
+        events = self.events
+        journal = self._journal
+        round_index = plan.round_index
+        tasks = plan.tasks
+        events.emit(
+            "tasks_issued",
+            round=round_index,
+            count=len(tasks),
+            objects=list(plan.objects),
+            tasks=[
+                {
+                    "task_id": task.task_id,
+                    "object": task.for_object,
+                    "expression": str(task.expression),
+                }
+                for task in tasks
+            ],
+        )
+        run.issued_this_run += len(tasks)
+        open_before = (
+            plan.open_before
+            if plan.open_before is not None
+            else len(ctable.undecided())
+        )
+        if journal is not None and not plan.recovered:
+            journal.append(
+                "round_begin",
+                {
+                    "round": round_index,
+                    "open_before": open_before,
+                    "tasks": [task_to_payload(t) for t in tasks],
+                    "leftover_pending": [
+                        task_to_payload(t) for t in plan.leftover_pending
+                    ],
+                    "rng_state": self._rng.bit_generator.state,
+                    "platform_state": self._platform_state(),
+                    "task_ids": self.session.task_ids.state_dict(),
+                },
+            )
+        post_start = time.perf_counter()
+        answers, round_faults, fatal, abandoned = self._post_with_retries(tasks)
+        run.crowd_wait += time.perf_counter() - post_start
+        run.fatal = fatal
+
+        platform_votes = dict(getattr(self.platform, "last_votes", None) or {})
+        pending_reasks: List[ComparisonTask] = []
+        applied_count = 0
+        for task, relation in answers.items():
+            journaled = plan.journaled.get(task.task_id)
+            if journaled is not None:
+                # Idempotent re-application: this answer survived the
+                # crash in the journal and recovery already charged and
+                # folded it.  Restore its post-arbitration RNG snapshot
+                # so every *fresh* answer after it draws exactly what
+                # the crashed process would have drawn.
+                if journaled.get("rng_state") is not None:
+                    self._rng.bit_generator.state = journaled["rng_state"]
+                if journaled["status"] == "applied":
+                    applied_count += 1
+                    continue
+                events.emit(
+                    "answer_quarantined",
+                    round=round_index,
+                    task_id=task.task_id,
+                    expression=str(task.expression),
+                    relation=journaled.get("relation", relation.value),
+                    reason=journaled.get("reason"),
+                    replayed=True,
+                )
+                self._maybe_reask(task, plan, run, pending_reasks)
+                continue
+            votes = tuple(platform_votes.get(task.task_id, ()))
+            if task.is_reask() and votes and reliability.n_workers() > 0:
+                # Re-ask arbitration: replace the platform's aggregate
+                # with a vote weighted by the online reliability
+                # posteriors, so workers who have disagreed with
+                # accepted majorities count less.
+                relation = weighted_vote(
+                    list(votes),
+                    reliability.accuracies(),
+                    rng=self._rng,
+                    default_accuracy=reliability.prior_mean,
+                )
+            reason = ledger.check(task.expression, relation)
+            status = (
+                "quarantined"
+                if (reason is not None and config.strict_integrity)
+                else "applied"
+            )
+            if journal is not None:
+                journal.append(
+                    "answer",
+                    {
+                        "round": round_index,
+                        "task_id": task.task_id,
+                        "expression": expression_to_json(task.expression),
+                        "relation": relation.value,
+                        "votes": [[wid, rel.value] for wid, rel in votes],
+                        "status": status,
+                        "reason": reason,
+                        "charge": 1,
+                        "reask_of": task.reask_of,
+                        "rng_state": self._rng.bit_generator.state,
+                    },
+                )
+            ledger.record(
+                task.expression,
+                relation,
+                status=status,
+                reason=reason,
+                round_index=round_index,
+                task_id=task.task_id,
+                votes=votes,
+                reask_of=task.reask_of,
+            )
+            # The paper's cost model charges per answered task; the
+            # charge is durable (journaled) before any state mutates.
+            run.budget -= 1
+            if status == "applied":
+                self._ranker.mark_dirty(
+                    ctable.apply_answer(task.expression, relation)
+                )
+                run.answer_log.append((task.expression, relation))
+                reliability.observe_votes(votes, relation)
+                applied_count += 1
+                continue
+            # Quarantined: charged-but-flagged, never applied.
+            events.emit(
+                "answer_quarantined",
+                round=round_index,
+                task_id=task.task_id,
+                expression=str(task.expression),
+                relation=relation.value,
+                reason=reason,
+            )
+            self._maybe_reask(task, plan, run, pending_reasks)
+        open_after = len(ctable.undecided())
+        events.emit(
+            "answers_applied",
+            round=round_index,
+            count=applied_count,
+            quarantined=len(answers) - applied_count,
+            task_ids=sorted(task.task_id for task in answers),
+        )
+        events.emit(
+            "objects_decided",
+            round=round_index,
+            newly_decided=open_before - open_after,
+            open_conditions=open_after,
+        )
+        run.answered_this_run += len(answers)
+        unanswered = [
+            t for t in tasks if t not in answers and t.task_id not in abandoned
+        ]
+        if unanswered:
+            round_faults["unanswered"] = len(unanswered)
+        quarantined_count = len(answers) - applied_count
+        if quarantined_count:
+            round_faults["quarantined"] = quarantined_count
+        # Re-asks go to the head of the queue: the next round's batch
+        # consumes pending tasks before the entropy ranking runs, so a
+        # quarantined variable is re-verified before ranking ever sees
+        # a (potentially poisoned) answer.
+        if config.requeue_policy == "requeue":
+            run.pending = pending_reasks + plan.leftover_pending + unanswered
+        else:
+            run.pending = pending_reasks + plan.leftover_pending
+        for key, value in round_faults.items():
+            run.fault_totals[key] = run.fault_totals.get(key, 0) + value
+        if unanswered or abandoned or round_faults.get("failed_round") or fatal:
+            run.degraded = True
+        logger.debug(
+            "round %d: %d tasks posted, %d answered, %d conditions still "
+            "open, budget %d left",
+            round_index,
+            len(tasks),
+            len(answers),
+            open_after,
+            run.budget,
+        )
+        round_seconds = time.perf_counter() - plan.started_at
+        record = RoundRecord(
+            round_index=round_index,
+            tasks_posted=len(tasks),
+            objects=list(plan.objects),
+            newly_decided=open_before - open_after,
+            open_conditions=open_after,
+            seconds=round_seconds,
+            tasks_answered=len(answers),
+            retries=round_faults.get("transient_retries", 0),
+            faults=dict(round_faults),
+        )
+        run.history.append(record)
+        self.tracer.record(
+            "round[%d]" % round_index,
+            round_seconds,
+            phase="round",
+            tasks_posted=len(tasks),
+            tasks_answered=len(answers),
+        )
+        events.emit(
+            "round_end",
+            round=round_index,
+            seconds=round_seconds,
+            budget_left=run.budget,
+            tasks_answered=len(answers),
+            newly_decided=open_before - open_after,
+            faults=dict(round_faults),
+        )
+        if journal is not None:
+            # The commit is a mini-checkpoint: with it, a journal alone
+            # (no checkpoint file) can recover the whole run.
+            journal.append(
+                "round_commit",
+                {
+                    "round": round_index,
+                    "record": _round_to_dict(record),
+                    "budget_left": run.budget,
+                    "pending": [task_to_payload(t) for t in run.pending],
+                    "fault_totals": dict(run.fault_totals),
+                    "degraded": run.degraded,
+                    "rng_state": self._rng.bit_generator.state,
+                    "platform_state": self._platform_state(),
+                    "task_ids": self.session.task_ids.state_dict(),
+                },
+            )
+        if self._checkpoint_path is not None:
+            self._write_checkpoint(self._checkpoint_path, run)
+
+    def _maybe_reask(
+        self,
+        task: ComparisonTask,
+        plan: _RoundPlan,
+        run: _CrowdRunState,
+        pending_reasks: List[ComparisonTask],
+    ) -> None:
+        """Issue (or re-create) the bounded re-ask for a quarantined task.
+
+        A journaled re-ask is re-created under its original task id: the
+        crashed process already decided and durably recorded it, and
+        replay already counted it against the re-ask budget.  Otherwise
+        the gate is evaluated live; for a replayed answer whose re-ask
+        was *not* journaled that evaluation is exact, because the ledger
+        attempts, issued counter and c-table openness at this point are
+        precisely the crashed process's decision state.
+        """
+        events = self.events
+        journaled = plan.reasks.get(task.task_id)
+        if journaled is not None:
+            reask = ComparisonTask(
+                task.expression,
+                for_object=task.for_object,
+                task_id=int(journaled["task_id"]),
+                reask_of=task.task_id,
+            )
+            pending_reasks.append(reask)
+            events.emit(
+                "reask_issued",
+                round=plan.round_index,
+                of_task=task.task_id,
+                task_id=reask.task_id,
+                expression=str(task.expression),
+                replayed=True,
+            )
+            return
+        # Re-ask only while the expression is still genuinely open: a
+        # "direct" conflict means accepted answers already pin the
+        # expression's truth, and the ledger is append-only -- no answer
+        # can overturn them.
+        if (
+            run.reasks_issued < run.reask_budget_total
+            and self.ledger.reask_attempts(task.expression) < _MAX_REASK_ATTEMPTS
+            and self._task_still_open(self.ctable, task)
+        ):
+            reask = ComparisonTask(
+                task.expression,
+                for_object=task.for_object,
+                reask_of=task.task_id,
+            )
+            if self._journal is not None:
+                from ..persistence import expression_to_json
+
+                self._journal.append(
+                    "reask",
+                    {
+                        "round": plan.round_index,
+                        "of_task": task.task_id,
+                        "task_id": reask.task_id,
+                        "expression": expression_to_json(task.expression),
+                    },
+                )
+            self.ledger.note_reask(task.expression)
+            run.reasks_issued += 1
+            pending_reasks.append(reask)
+            events.emit(
+                "reask_issued",
+                round=plan.round_index,
+                of_task=task.task_id,
+                task_id=reask.task_id,
+                expression=str(task.expression),
+            )
+
+    # ------------------------------------------------------------------
     # checkpoint / resume
     # ------------------------------------------------------------------
+    def _platform_state(self) -> Optional[dict]:
+        """The platform's JSON snapshot, when it supports one."""
+        state_fn = getattr(self.platform, "state_dict", None)
+        return state_fn() if callable(state_fn) else None
+
     def _fingerprint(self) -> Dict[str, object]:
         """Identity of the query a checkpoint belongs to.
 
@@ -876,27 +1258,24 @@ class BayesCrowd:
             "answer_threshold": config.answer_threshold,
         }
 
-    def _write_checkpoint(
-        self, path, budget_left, history, answer_log, pending, fault_totals, degraded
-    ) -> None:
+    def _write_checkpoint(self, path, run: _CrowdRunState) -> None:
         from ..persistence import QueryCheckpoint, save_checkpoint
 
-        platform_state = None
-        state_fn = getattr(self.platform, "state_dict", None)
-        if callable(state_fn):
-            platform_state = state_fn()
         save_checkpoint(
             path,
             QueryCheckpoint(
                 fingerprint=self._fingerprint(),
-                budget_left=budget_left,
-                answer_log=list(answer_log),
-                pending=[(t.expression, t.for_object) for t in pending],
-                history=list(history),
-                fault_totals=dict(fault_totals),
-                degraded=degraded,
+                budget_left=run.budget,
+                answer_log=list(run.answer_log),
+                pending=[
+                    (t.expression, t.for_object, t.task_id, t.reask_of)
+                    for t in run.pending
+                ],
+                history=list(run.history),
+                fault_totals=dict(run.fault_totals),
+                degraded=run.degraded,
                 rng_state=self._rng.bit_generator.state,
-                platform_state=platform_state,
+                platform_state=self._platform_state(),
                 ledger_state=(
                     self.ledger.state_dict() if self.ledger is not None else None
                 ),
@@ -905,67 +1284,14 @@ class BayesCrowd:
                     if self.reliability is not None
                     else None
                 ),
+                # v3: the journal sequence this checkpoint covers -- only
+                # records *after* it are replayed on resume -- and the
+                # allocator snapshot so resumed tasks keep stable ids.
+                journal_seq=(
+                    self._journal.last_seq if self._journal is not None else None
+                ),
+                task_ids_state=self.session.task_ids.state_dict(),
             ),
-        )
-
-    def _restore_checkpoint(
-        self,
-        path,
-        ctable: CTable,
-        ledger: Optional[AnswerLedger] = None,
-        reliability: Optional[WorkerReliability] = None,
-    ):
-        """Fold a checkpoint back into a freshly built c-table.
-
-        Returns the restored loop state, or ``None`` when no checkpoint
-        file exists yet (a first run with ``resume=True`` just starts).
-        """
-        from ..persistence import load_checkpoint
-
-        if not Path(path).exists():
-            return None
-        checkpoint = load_checkpoint(path)
-        if checkpoint.fingerprint != self._fingerprint():
-            raise CheckpointError(
-                "checkpoint at %s belongs to a different query: %r != %r"
-                % (path, checkpoint.fingerprint, self._fingerprint())
-            )
-        for expression, relation in checkpoint.answer_log:
-            ctable.apply_answer(expression, relation)
-        # v1 checkpoints predate the integrity layer: the ledger simply
-        # starts empty and reliability at its prior.
-        if ledger is not None and checkpoint.ledger_state is not None:
-            ledger.load_state_dict(checkpoint.ledger_state)
-        if reliability is not None and checkpoint.reliability_state is not None:
-            restored = WorkerReliability.from_state_dict(checkpoint.reliability_state)
-            reliability.prior = restored.prior
-            reliability._observed = restored._observed
-            self.reliability = reliability
-        pending = [
-            ComparisonTask(expression, for_object=obj)
-            for expression, obj in checkpoint.pending
-        ]
-        if checkpoint.rng_state is not None:
-            self._rng.bit_generator.state = checkpoint.rng_state
-        if checkpoint.platform_state is not None and hasattr(
-            self.platform, "load_state_dict"
-        ):
-            self.platform.load_state_dict(checkpoint.platform_state)
-        logger.info(
-            "resumed from %s: %d round(s) done, %d answer(s) replayed, "
-            "budget %d left",
-            path,
-            len(checkpoint.history),
-            len(checkpoint.answer_log),
-            checkpoint.budget_left,
-        )
-        return (
-            checkpoint.budget_left,
-            list(checkpoint.history),
-            list(checkpoint.answer_log),
-            pending,
-            dict(checkpoint.fault_totals),
-            checkpoint.degraded,
         )
 
 

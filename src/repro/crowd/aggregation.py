@@ -14,11 +14,25 @@ import numpy as np
 
 from ..ctable.expression import Relation
 
-#: Shared fallback for callers that do not thread an rng.  A module-level
-#: generator advances across calls, so repeated no-rng ties are still
-#: random relative to each other; creating ``default_rng(0)`` inside the
-#: call would replay the identical tie-break every time.
+#: Deprecated process-global fallback for callers that do not thread an
+#: rng.  A module-level generator advances across calls, so repeated
+#: no-rng ties are still random relative to each other -- but it is
+#: *shared mutable state*: concurrent sessions interleave draws on it.
+#: Inside an activated :class:`repro.session.SessionContext` the fallback
+#: therefore resolves to a per-session stream instead (see
+#: :func:`_resolve_fallback_rng`); this global only serves library-mode
+#: callers outside any session and is kept for backward compatibility.
 _fallback_rng = np.random.default_rng(0)
+
+
+def _resolve_fallback_rng(stream: str = "crowd.aggregation") -> np.random.Generator:
+    """Session-local fallback stream, or the deprecated process global."""
+    from ..session.context import session_rng
+
+    rng = session_rng(stream)
+    if rng is not None:
+        return rng
+    return _fallback_rng
 
 
 def vote_shares(answers: Sequence[Relation]) -> dict:
@@ -50,5 +64,5 @@ def majority_vote(
     if len(winners) == 1:
         return winners[0]
     if rng is None:
-        rng = _fallback_rng
+        rng = _resolve_fallback_rng()
     return winners[int(rng.integers(len(winners)))]

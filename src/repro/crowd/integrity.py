@@ -137,6 +137,8 @@ class AnswerLedger:
             self._owns_constraints = False
         self.constraints = constraints
         self._entries: List[LedgerEntry] = []
+        #: task ids already recorded (journal-replay dedupe)
+        self._task_ids: set = set()
         #: re-ask attempts per expression (the bounded-re-ask bookkeeping)
         self._reask_attempts: Dict[Expression, int] = {}
         self.answers_applied = 0
@@ -162,6 +164,15 @@ class AnswerLedger:
         accepted ``<``/``=``/``>`` answers per attribute.
         """
         return self.constraints.conflict(expression, relation)
+
+    def has_task(self, task_id: int) -> bool:
+        """Is an answer for this task id already in the ledger?
+
+        Journal replay uses this to make re-application idempotent: an
+        answer whose task id is already recorded (because the checkpoint
+        covered it, or a resumed round reproduced it) is a no-op.
+        """
+        return task_id in self._task_ids
 
     def observe(
         self,
@@ -225,6 +236,8 @@ class AnswerLedger:
             reask_of=reask_of,
         )
         self._entries.append(entry)
+        if task_id is not None:
+            self._task_ids.add(task_id)
         if status == "applied":
             self.answers_applied += 1
         else:
@@ -318,6 +331,9 @@ class AnswerLedger:
         self._entries = [
             LedgerEntry.from_dict(entry) for entry in state.get("entries", [])
         ]
+        self._task_ids = {
+            e.task_id for e in self._entries if e.task_id is not None
+        }
         self.answers_applied = sum(
             1 for e in self._entries if e.status == "applied"
         )

@@ -31,7 +31,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..ctable.expression import Relation
-from .aggregation import _fallback_rng
+from .aggregation import _resolve_fallback_rng
 from .worker import SimulatedWorker, WorkerPool
 
 #: number of wrong options in a triple-choice task
@@ -101,9 +101,11 @@ def weighted_vote(
     if len(winners) == 1:
         return winners[0]
     if rng is None:
-        # Shared module-level fallback: a fresh default_rng(0) here would
-        # replay the identical tie-break on every call.
-        rng = _fallback_rng
+        # Session-local fallback stream when a session is active; the
+        # deprecated process-global generator otherwise.  A fresh
+        # default_rng(0) here would replay the identical tie-break on
+        # every call.
+        rng = _resolve_fallback_rng("crowd.quality")
     return winners[int(rng.integers(len(winners)))]
 
 

@@ -14,7 +14,20 @@ from typing import Optional
 
 from ..ctable.expression import Expression
 
+#: Process-global fallback counter, used only outside an active session.
+#: It resets per process and interleaves across concurrent runs, so the
+#: session layer replaces it: inside ``SessionContext.activate()`` new
+#: tasks draw ids from the session's own resumable allocator instead.
 _task_ids = itertools.count(1)
+
+
+def _next_task_id() -> int:
+    from ..session.context import current_session
+
+    session = current_session()
+    if session is not None:
+        return session.task_ids.allocate()
+    return next(_task_ids)
 
 
 @dataclass(frozen=True)
@@ -23,7 +36,7 @@ class ComparisonTask:
 
     expression: Expression
     for_object: Optional[int] = None
-    task_id: int = field(default_factory=lambda: next(_task_ids))
+    task_id: int = field(default_factory=_next_task_id)
     #: task id of the quarantined original this task re-asks (None for a
     #: first ask); set by the integrity layer's bounded re-ask policy
     reask_of: Optional[int] = None

@@ -85,6 +85,7 @@ def build_ctable(
     dominator_method: str = "fast",
     inference_mode: str = "full",
     backend: str = "auto",
+    cancel_check=None,
 ) -> CTable:
     """Run Algorithm 2 and return the populated :class:`CTable`.
 
@@ -109,6 +110,10 @@ def build_ctable(
         for the Figure-2 scalar comparison).  Both backends produce
         identical c-tables; construction statistics land in
         :attr:`CTable.build_stats`.
+    cancel_check:
+        optional zero-argument callable invoked at per-object boundaries;
+        raising from it (e.g. a session ``CancellationToken.check``)
+        aborts construction cooperatively.
     """
     if alpha <= 0:
         raise ValueError("alpha must be positive")
@@ -118,9 +123,13 @@ def build_ctable(
         backend = "python" if dominator_method == "baseline" else "numpy"
     start = time.perf_counter()
     if backend == "numpy":
-        ctable = _build_ctable_numpy(dataset, alpha, inference_mode, dominator_method)
+        ctable = _build_ctable_numpy(
+            dataset, alpha, inference_mode, dominator_method, cancel_check
+        )
     else:
-        ctable = _build_ctable_python(dataset, alpha, dominator_method, inference_mode)
+        ctable = _build_ctable_python(
+            dataset, alpha, dominator_method, inference_mode, cancel_check
+        )
     stats = ctable.build_stats
     stats["backend"] = backend
     stats["seconds"] = time.perf_counter() - start
@@ -136,6 +145,7 @@ def _build_ctable_python(
     alpha: float,
     dominator_method: str,
     inference_mode: str,
+    cancel_check=None,
 ) -> CTable:
     """The scalar reference path: per-object loops over dominator sets."""
     sets = dominator_sets(dataset, method=dominator_method)
@@ -149,6 +159,8 @@ def _build_ctable_python(
     complete_object = ~mask.any(axis=1)
 
     for o in range(n):
+        if cancel_check is not None:
+            cancel_check()
         dominators = sets[o]
         if dominators.size == 0:
             conditions[o] = Condition.true()
@@ -175,6 +187,7 @@ def _build_ctable_numpy(
     alpha: float,
     inference_mode: str,
     dominator_method: str = "fast",
+    cancel_check=None,
 ) -> CTable:
     """Bulk path: dominance, alpha-pruning and clause layout via arrays.
 
@@ -202,6 +215,8 @@ def _build_ctable_numpy(
     if dominator_method != "numpy":
         sets = dominator_sets(dataset, method=dominator_method)
         for o in range(n):
+            if cancel_check is not None:
+                cancel_check()
             dominators = sets[o]
             if dominators.size == 0:
                 conditions[o] = Condition.true()
@@ -230,6 +245,8 @@ def _build_ctable_numpy(
         )
 
     for start, possible in possible_dominator_blocks(dataset):
+        if cancel_check is not None:
+            cancel_check()
         counts = possible.sum(axis=1)
         block_rows = np.arange(possible.shape[0])
         block_objs = block_rows + start

@@ -112,3 +112,40 @@ class ResourceBudgetError(RuntimeError):
         super().__init__(
             "%s exhausted (spent %s of %s)" % (reason, spent, limit)
         )
+
+
+class JournalError(RuntimeError):
+    """An answer journal could not be written or used for recovery."""
+
+
+class JournalCorruptError(JournalError):
+    """A journal record failed its checksum or sequence check.
+
+    A torn *final* line (the record a crash interrupted mid-write) is
+    tolerated and dropped by the reader; corruption anywhere before the
+    tail means the file cannot be trusted and raises this error.
+    """
+
+
+class SessionCancelledError(RuntimeError):
+    """A session's cooperative cancellation token was triggered.
+
+    Raised from a :meth:`repro.session.CancellationToken.check` call at a
+    phase boundary (or inside a long-running phase loop).  State already
+    journaled/checkpointed stays durable: a cancelled run can resume.
+    """
+
+    def __init__(self, phase: str = "", reason: str = "") -> None:
+        self.phase = phase
+        self.reason = reason
+        super().__init__(
+            "session cancelled%s%s"
+            % (
+                " during %s" % phase if phase else "",
+                " (%s)" % reason if reason else "",
+            )
+        )
+
+
+class BackpressureError(RuntimeError):
+    """A bounded pending-answer queue rejected a submission (full)."""

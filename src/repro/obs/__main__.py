@@ -187,6 +187,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "aggregated); without this flag the invariant is still checked "
         "whenever the counters are present",
     )
+    parser.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="verify a write-ahead answer journal: per-record checksums "
+        "and sequence, plus replay invariants (open header first, "
+        "answers inside rounds, rounds commit in order, no task "
+        "answered twice)",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -233,6 +240,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print("trace problem: %s" % problem, file=sys.stderr)
             return 2
         print("trace ok: %s parses and accounts for every issued task" % args.trace)
+    if args.journal is not None:
+        from ..session.journal import journal_problems
+
+        problems = journal_problems(args.journal)
+        if problems:
+            for problem in problems:
+                print("journal problem: %s" % problem, file=sys.stderr)
+            return 2
+        print("journal ok: %s verifies and replays consistently" % args.journal)
     return 0
 
 

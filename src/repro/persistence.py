@@ -30,12 +30,55 @@ PathLike = Union[str, Path]
 FORMAT_VERSION = 1
 
 #: file-format version of run checkpoints.  v2 added the answer-integrity
-#: ledger and per-worker reliability snapshots; v1 checkpoints still load
-#: (the ledger starts empty, reliability at its prior).
-CHECKPOINT_VERSION = 2
+#: ledger and per-worker reliability snapshots; v3 layers the write-ahead
+#: answer journal underneath (``journal_seq`` records how much of the
+#: journal the checkpoint covers), snapshots the per-session task-id
+#: allocator and keeps task identity on pending entries.  v1/v2
+#: checkpoints still load (missing state starts empty / at its prior,
+#: and a journal cannot be layered on top of them).
+CHECKPOINT_VERSION = 3
 
 #: checkpoint versions :func:`load_checkpoint` accepts
-_SUPPORTED_CHECKPOINT_VERSIONS = (1, 2)
+_SUPPORTED_CHECKPOINT_VERSIONS = (1, 2, 3)
+
+
+def _fsync_directory(path: Path) -> None:
+    """Persist a directory entry (rename durability on POSIX)."""
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - e.g. directories on some FS
+        pass
+    finally:
+        os.close(fd)
+
+
+def _atomic_write(path: Path, write_payload, mode: str = "w") -> None:
+    """Write a file atomically: temp file + fsync + ``os.replace``.
+
+    ``write_payload`` receives the open temp-file handle.  A crash at any
+    instant leaves either the old file or the new one, never a torn mix;
+    the fsync-before-rename (plus a directory fsync after) makes the
+    rename itself durable.
+    """
+    path = Path(path)
+    fd, tmp = tempfile.mkstemp(
+        dir=str(path.parent) or ".", prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, mode) as handle:
+            write_payload(handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        _fsync_directory(path.parent)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
 
 
 # ----------------------------------------------------------------------
@@ -54,7 +97,15 @@ def save_dataset(dataset: IncompleteDataset, path: PathLike) -> None:
     }
     if dataset.complete is not None:
         payload["complete"] = dataset.complete
-    np.savez_compressed(path, **payload, allow_pickle=True)
+    # numpy appends ".npz" to bare string paths; mirror that before the
+    # atomic rename so the final name matches the historical behaviour.
+    if not path.name.endswith(".npz"):
+        path = path.with_name(path.name + ".npz")
+    _atomic_write(
+        path,
+        lambda handle: np.savez_compressed(handle, **payload, allow_pickle=True),
+        mode="wb",
+    )
 
 
 def load_dataset(path: PathLike) -> IncompleteDataset:
@@ -130,8 +181,9 @@ def result_to_dict(result: QueryResult) -> dict:
 
 
 def save_result(result: QueryResult, path: PathLike) -> None:
-    """Write a query result to JSON."""
-    Path(path).write_text(json.dumps(result_to_dict(result), indent=2))
+    """Write a query result to JSON (atomically: temp file + rename)."""
+    text = json.dumps(result_to_dict(result), indent=2)
+    _atomic_write(Path(path), lambda handle: handle.write(text))
 
 
 def load_result(path: PathLike) -> QueryResult:
@@ -214,8 +266,10 @@ class QueryCheckpoint:
     budget_left: int
     #: every crowd answer folded in so far, in application order
     answer_log: List[Tuple[Expression, Relation]]
-    #: requeued-but-unanswered tasks as (expression, for_object) pairs
-    pending: List[Tuple[Expression, Optional[int]]] = field(default_factory=list)
+    #: requeued-but-unanswered tasks: v3 stores
+    #: ``(expression, for_object, task_id, reask_of)`` so a resumed run
+    #: reposts bit-identical tasks; v1/v2 files load as 2-tuples
+    pending: List[Tuple] = field(default_factory=list)
     history: List[RoundRecord] = field(default_factory=list)
     fault_totals: Dict[str, int] = field(default_factory=dict)
     degraded: bool = False
@@ -227,6 +281,12 @@ class QueryCheckpoint:
     ledger_state: Optional[dict] = None
     #: ``WorkerReliability.state_dict()`` snapshot (v2+; None on v1 files)
     reliability_state: Optional[dict] = None
+    #: last journal sequence number this checkpoint covers (v3+); None
+    #: means "no journal coverage information" -- recovery then ignores
+    #: any journal rather than risk double-applying its records
+    journal_seq: Optional[int] = None
+    #: ``TaskIdAllocator.state_dict()`` snapshot (v3+; None on older files)
+    task_ids_state: Optional[dict] = None
 
 
 def save_checkpoint(checkpoint_or_path, path_or_checkpoint) -> None:
@@ -251,8 +311,10 @@ def save_checkpoint(checkpoint_or_path, path_or_checkpoint) -> None:
             for expression, relation in checkpoint.answer_log
         ],
         "pending": [
-            [expression_to_json(expression), obj]
-            for expression, obj in checkpoint.pending
+            # arity-preserving: v1/v2-style (expression, obj) pairs stay
+            # pairs; v3 4-tuples keep task_id and reask_of
+            [expression_to_json(entry[0])] + list(entry[1:])
+            for entry in checkpoint.pending
         ],
         "history": [_round_to_dict(record) for record in checkpoint.history],
         "fault_totals": dict(checkpoint.fault_totals),
@@ -261,18 +323,10 @@ def save_checkpoint(checkpoint_or_path, path_or_checkpoint) -> None:
         "platform_state": checkpoint.platform_state,
         "ledger_state": checkpoint.ledger_state,
         "reliability_state": checkpoint.reliability_state,
+        "journal_seq": checkpoint.journal_seq,
+        "task_ids_state": checkpoint.task_ids_state,
     }
-    fd, tmp = tempfile.mkstemp(
-        dir=str(path.parent) or ".", prefix=path.name, suffix=".tmp"
-    )
-    try:
-        with os.fdopen(fd, "w") as handle:
-            json.dump(payload, handle, indent=2)
-        os.replace(tmp, path)
-    except BaseException:
-        if os.path.exists(tmp):
-            os.unlink(tmp)
-        raise
+    _atomic_write(path, lambda handle: json.dump(payload, handle, indent=2))
 
 
 def load_checkpoint(path: PathLike) -> QueryCheckpoint:
@@ -298,8 +352,10 @@ def load_checkpoint(path: PathLike) -> QueryCheckpoint:
             for entry, value in data.get("answer_log", [])
         ],
         pending=[
-            (expression_from_json(entry), obj)
-            for entry, obj in data.get("pending", [])
+            # v1/v2: [expression, obj]; v3: [expression, obj, task_id,
+            # reask_of].  Both load; recovery normalizes the arity.
+            (expression_from_json(entry[0]),) + tuple(entry[1:])
+            for entry in data.get("pending", [])
         ],
         history=[_round_from_dict(entry) for entry in data.get("history", [])],
         fault_totals={k: int(v) for k, v in data.get("fault_totals", {}).items()},
@@ -310,4 +366,8 @@ def load_checkpoint(path: PathLike) -> QueryCheckpoint:
         # starts with an empty ledger / prior reliability.
         ledger_state=data.get("ledger_state"),
         reliability_state=data.get("reliability_state"),
+        # v3 keys; None on older files (recovery treats a None
+        # journal_seq as "journal coverage unknown").
+        journal_seq=data.get("journal_seq"),
+        task_ids_state=data.get("task_ids_state"),
     )

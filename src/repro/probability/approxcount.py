@@ -32,11 +32,23 @@ import numpy as np
 from ..ctable.condition import Condition
 from .distributions import DistributionStore
 
-#: Shared fallback for callers that do not pass an rng.  A module-level
-#: generator advances across calls, so repeated no-rng estimates are
-#: independent; creating ``default_rng(0)`` inside each call would make
-#: every "independent" estimate replay the exact same sample stream.
+#: Deprecated process-global fallback for callers that do not pass an
+#: rng.  A module-level generator advances across calls, so repeated
+#: no-rng estimates are independent -- but it is shared mutable state:
+#: concurrent sessions interleave draws on it.  Inside an activated
+#: session the fallback resolves to a per-session stream instead; this
+#: global only serves library-mode callers outside any session.
 _fallback_rng = np.random.default_rng(0)
+
+
+def _resolve_fallback_rng() -> np.random.Generator:
+    """Session-local fallback stream, or the deprecated process global."""
+    from ..session.context import session_rng
+
+    rng = session_rng("probability.approxcount")
+    if rng is not None:
+        return rng
+    return _fallback_rng
 
 
 def _wilson_half_width(hits: int, n: int, z: float) -> float:
@@ -96,7 +108,7 @@ def approx_probability(
     if condition.is_false:
         return ApproxEstimate(0.0, 0, 0.0)
     if rng is None:
-        rng = _fallback_rng
+        rng = _resolve_fallback_rng()
     return _estimate(condition, store, n_samples, rng, z)
 
 
@@ -117,7 +129,7 @@ def adaptive_approx_probability(
     if condition.is_false:
         return ApproxEstimate(0.0, 0, 0.0)
     if rng is None:
-        rng = _fallback_rng
+        rng = _resolve_fallback_rng()
     variables = sorted(condition.variables())
     hits = 0
     n = 0

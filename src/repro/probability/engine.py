@@ -118,6 +118,10 @@ class ProbabilityEngine:
         self.n_guard_fallbacks = 0
         #: default worker count for :meth:`probability_many`
         self.n_jobs = resolve_n_jobs(n_jobs)
+        #: cooperative cancellation token (None = not attached); checked
+        #: at per-condition boundaries so a session cancel/deadline stops
+        #: the engine between conditions, never mid-solve
+        self._cancellation = None
         #: condition -> (probability, store version when computed)
         self._cache: "LRUCache[Condition, Tuple[float, int]]" = LRUCache(cache_size)
         self.n_computations = 0
@@ -131,6 +135,17 @@ class ProbabilityEngine:
         self.batch_seconds = 0.0
 
     # ------------------------------------------------------------------
+    def attach_cancellation(self, token) -> None:
+        """Attach a session :class:`CancellationToken` to this engine.
+
+        Once attached, :meth:`probability` / :meth:`probability_many`
+        observe the token at condition boundaries (raising the typed
+        ``SessionCancelledError``), and a session deadline additionally
+        clamps the guarded ADPLL per-call deadline so one exact solve can
+        never outlive the session's remaining time.
+        """
+        self._cancellation = token
+
     def _cached(self, condition: Condition, version: int) -> Optional[float]:
         cached = self._cache.get(condition)
         if cached is None:
@@ -148,6 +163,8 @@ class ProbabilityEngine:
             return 1.0
         if condition.is_false:
             return 0.0
+        if self._cancellation is not None:
+            self._cancellation.check("probability")
         if self._use_cache:
             value = self._cached(condition, self.store.version)
             if value is not None:
@@ -210,7 +227,11 @@ class ProbabilityEngine:
             ):
                 computed = self._compute_parallel(pending, n_jobs, chunk_size)
             else:
-                computed = [self._compute(condition) for condition in pending]
+                computed = []
+                for condition in pending:
+                    if self._cancellation is not None:
+                        self._cancellation.check("probability")
+                    computed.append(self._compute(condition))
             self.n_computations += len(pending)
             for condition, value in zip(pending, computed):
                 results[condition] = value
@@ -314,6 +335,22 @@ class ProbabilityEngine:
         """
         breaker = self.breaker
         if breaker.allow_exact():
+            # Deadline propagation: the exact attempt may not outlive the
+            # session's remaining time, so the per-call ADPLL deadline is
+            # clamped to min(configured, session-remaining) for this call.
+            prior_deadline = self._adpll.deadline_s
+            remaining = (
+                self._cancellation.remaining()
+                if self._cancellation is not None
+                else None
+            )
+            if remaining is not None:
+                clamped = (
+                    min(prior_deadline, remaining)
+                    if prior_deadline > 0
+                    else remaining
+                )
+                self._adpll.deadline_s = max(clamped, 1e-9)
             try:
                 value = self._adpll.probability(condition)
             except ResourceBudgetError:
@@ -323,6 +360,8 @@ class ProbabilityEngine:
                 breaker.record_success()
                 self._guard_info[condition] = (True, 0.0)
                 return value
+            finally:
+                self._adpll.deadline_s = prior_deadline
         estimate = adaptive_approx_probability(condition, self.store, rng=self._rng)
         self._guard_info[condition] = (False, estimate.half_width)
         return estimate.probability

@@ -1,0 +1,290 @@
+"""Crash recovery: fold a checkpoint + journal suffix into live state.
+
+Recovery contract (the crash-matrix tests assert it literally): for a
+seeded run, ``load last checkpoint + replay journal suffix`` reproduces
+the uninterrupted run's state bit-identically, no matter where between
+two journal appends the process died.
+
+Three shapes of durable state can exist after a crash:
+
+* **checkpoint only** (legacy v1/v2, or journaling disabled): resume at
+  the last completed round, exactly as before this layer existed;
+* **checkpoint + journal**: the v3 checkpoint records the journal
+  sequence it covers (``journal_seq``); every record after it is the
+  *suffix* -- answers and re-asks of the in-flight round -- and is
+  replayed on top, deduplicated by task id;
+* **journal only**: ``round_commit`` records carry everything a
+  checkpoint would (budget, pending, RNG/platform snapshots), so the
+  whole run replays from record 1.
+
+If the journal ends inside a round (a ``round_begin`` without its
+``round_commit``), replay additionally returns an
+:class:`InterruptedRound`: the journaled task batch plus the
+round-start RNG/platform/allocator snapshots.  The framework finishes
+that round by restoring the snapshots and re-posting the *same* tasks --
+the simulated platform then reproduces the same answers, and answers
+already journaled are recognised by task id and skipped (idempotent
+re-application), so the recovered run rejoins the uninterrupted run's
+trajectory exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..crowd.integrity import AnswerLedger
+from ..crowd.quality import WorkerReliability
+from ..crowd.task import ComparisonTask
+from ..ctable.ctable import CTable
+from ..ctable.expression import Expression, Relation
+from ..errors import CheckpointError
+from .journal import JournalRecord
+
+__all__ = [
+    "InterruptedRound",
+    "RecoveredState",
+    "task_to_payload",
+    "task_from_payload",
+    "recover_run_state",
+]
+
+
+def task_to_payload(task: ComparisonTask) -> dict:
+    """JSON view of a task, preserving its id and re-ask lineage."""
+    from ..persistence import expression_to_json
+
+    return {
+        "task_id": task.task_id,
+        "expression": expression_to_json(task.expression),
+        "for_object": task.for_object,
+        "reask_of": task.reask_of,
+    }
+
+
+def task_from_payload(payload: dict) -> ComparisonTask:
+    """Inverse of :func:`task_to_payload` (explicit id, no allocation)."""
+    from ..persistence import expression_from_json
+
+    return ComparisonTask(
+        expression_from_json(payload["expression"]),
+        for_object=payload.get("for_object"),
+        task_id=int(payload["task_id"]),
+        reask_of=payload.get("reask_of"),
+    )
+
+
+@dataclass
+class InterruptedRound:
+    """A journaled round the crash cut short, ready to re-execute."""
+
+    round_index: int
+    #: open conditions before any of the round's answers (journaled, so
+    #: the recovered RoundRecord matches the uninterrupted one)
+    open_before: int
+    tasks: List[ComparisonTask]
+    leftover_pending: List[ComparisonTask]
+    #: framework RNG state captured just before the batch was posted
+    rng_state: Optional[dict]
+    platform_state: Optional[dict]
+    task_ids_state: Optional[dict]
+    #: task id -> journaled ``answer`` payload (already replayed)
+    journaled: Dict[int, dict] = field(default_factory=dict)
+    #: quarantined task id -> journaled ``reask`` payload
+    reasks: Dict[int, dict] = field(default_factory=dict)
+
+
+@dataclass
+class RecoveredState:
+    """Everything the crowdsourcing loop needs to continue a run."""
+
+    budget_left: int
+    history: List
+    answer_log: List[Tuple[Expression, Relation]]
+    pending: List[ComparisonTask]
+    fault_totals: Dict[str, int]
+    degraded: bool
+    resumed: bool
+    #: post-commit snapshots (None = nothing to restore)
+    rng_state: Optional[dict] = None
+    platform_state: Optional[dict] = None
+    task_ids_state: Optional[dict] = None
+    interrupted: Optional[InterruptedRound] = None
+    #: suffix answers folded into the c-table/ledger during replay
+    replayed_answers: int = 0
+    #: suffix answers skipped because their task id was already in the
+    #: ledger (the idempotent re-application guarantee)
+    deduped_answers: int = 0
+
+
+def recover_run_state(
+    ctable: CTable,
+    ledger: AnswerLedger,
+    reliability: WorkerReliability,
+    fingerprint: Dict[str, object],
+    initial_budget: int,
+    checkpoint=None,
+    journal_records: Optional[Sequence[JournalRecord]] = None,
+) -> RecoveredState:
+    """Replay durable state into a freshly built c-table and ledger.
+
+    Mutates ``ctable``/``ledger``/``reliability`` in place (exactly the
+    way the live loop would have) and returns the loop state.  Raises
+    :class:`CheckpointError` when the checkpoint or journal belongs to a
+    different query than ``fingerprint``.
+    """
+    from ..persistence import _round_from_dict, expression_from_json
+
+    state = RecoveredState(
+        budget_left=initial_budget,
+        history=[],
+        answer_log=[],
+        pending=[],
+        fault_totals={},
+        degraded=False,
+        resumed=False,
+    )
+    start_seq = 0
+    if checkpoint is not None:
+        if checkpoint.fingerprint != fingerprint:
+            raise CheckpointError(
+                "checkpoint belongs to a different query: %r != %r"
+                % (checkpoint.fingerprint, fingerprint)
+            )
+        for expression, relation in checkpoint.answer_log:
+            ctable.apply_answer(expression, relation)
+        if checkpoint.ledger_state is not None:
+            ledger.load_state_dict(checkpoint.ledger_state)
+        if checkpoint.reliability_state is not None:
+            restored = WorkerReliability.from_state_dict(checkpoint.reliability_state)
+            reliability.prior = restored.prior
+            reliability._observed = restored._observed
+        state.budget_left = checkpoint.budget_left
+        state.history = list(checkpoint.history)
+        state.answer_log = list(checkpoint.answer_log)
+        state.pending = [
+            ComparisonTask(expression, for_object=obj)
+            if task_id is None
+            else ComparisonTask(
+                expression, for_object=obj, task_id=task_id, reask_of=reask_of
+            )
+            for expression, obj, task_id, reask_of in _normalized_pending(checkpoint)
+        ]
+        state.fault_totals = dict(checkpoint.fault_totals)
+        state.degraded = checkpoint.degraded
+        state.rng_state = checkpoint.rng_state
+        state.platform_state = checkpoint.platform_state
+        state.task_ids_state = getattr(checkpoint, "task_ids_state", None)
+        state.resumed = True
+        journal_seq = getattr(checkpoint, "journal_seq", None)
+        if journal_seq is None:
+            # A pre-v3 checkpoint cannot say which journal records it
+            # already covers; replaying any would double-apply.  The
+            # ledger's task-id dedupe would survive it, but budget
+            # charges would not -- so fall back to checkpoint-only.
+            journal_records = None
+        else:
+            start_seq = int(journal_seq)
+
+    interrupted: Optional[InterruptedRound] = None
+    for record in journal_records or ():
+        if record.kind == "open":
+            recorded = record.payload.get("fingerprint")
+            if recorded != fingerprint:
+                raise CheckpointError(
+                    "journal belongs to a different query: %r != %r"
+                    % (recorded, fingerprint)
+                )
+            continue
+        if record.seq <= start_seq:
+            continue
+        state.resumed = True
+        payload = record.payload
+        if record.kind == "round_begin":
+            interrupted = InterruptedRound(
+                round_index=int(payload["round"]),
+                open_before=int(payload["open_before"]),
+                tasks=[task_from_payload(t) for t in payload["tasks"]],
+                leftover_pending=[
+                    task_from_payload(t) for t in payload.get("leftover_pending", [])
+                ],
+                rng_state=payload.get("rng_state"),
+                platform_state=payload.get("platform_state"),
+                task_ids_state=payload.get("task_ids"),
+            )
+        elif record.kind == "answer":
+            task_id = payload.get("task_id")
+            if task_id is not None and ledger.has_task(task_id):
+                # Idempotent re-application: an answer already in the
+                # ledger (e.g. covered by the checkpoint) is a no-op.
+                state.deduped_answers += 1
+                if interrupted is not None:
+                    interrupted.journaled[task_id] = payload
+                continue
+            expression = expression_from_json(payload["expression"])
+            relation = Relation(payload["relation"])
+            votes = tuple(
+                (int(wid), Relation(rel)) for wid, rel in payload.get("votes", [])
+            )
+            ledger.record(
+                expression,
+                relation,
+                status=payload["status"],
+                reason=payload.get("reason"),
+                round_index=int(payload.get("round", 0)),
+                task_id=task_id,
+                votes=votes,
+                reask_of=payload.get("reask_of"),
+            )
+            if payload["status"] == "applied":
+                ctable.apply_answer(expression, relation)
+                state.answer_log.append((expression, relation))
+                reliability.observe_votes(votes, relation)
+            state.budget_left -= int(payload.get("charge", 1))
+            state.replayed_answers += 1
+            if interrupted is not None and task_id is not None:
+                interrupted.journaled[task_id] = payload
+        elif record.kind == "reask":
+            task_id = payload.get("task_id")
+            if task_id is not None and ledger.has_task(int(task_id)):
+                # Overlap with the checkpoint: the re-ask's answer is
+                # already in the ledger, so this attempt was counted.
+                continue
+            expression = expression_from_json(payload["expression"])
+            ledger.note_reask(expression)
+            if interrupted is not None:
+                interrupted.reasks[int(payload["of_task"])] = payload
+        elif record.kind == "round_commit":
+            # Idempotent like answers: a commit whose round the
+            # checkpoint's history already covers must not append a
+            # duplicate entry (its snapshots still supersede below).
+            round_index = int(payload.get("round", len(state.history) + 1))
+            if round_index > len(state.history):
+                state.history.append(_round_from_dict(payload["record"]))
+            state.budget_left = int(payload["budget_left"])
+            state.pending = [task_from_payload(t) for t in payload.get("pending", [])]
+            state.fault_totals = {
+                k: int(v) for k, v in payload.get("fault_totals", {}).items()
+            }
+            state.degraded = bool(payload.get("degraded", False))
+            state.rng_state = payload.get("rng_state")
+            state.platform_state = payload.get("platform_state")
+            state.task_ids_state = payload.get("task_ids")
+            interrupted = None
+    state.interrupted = interrupted
+    return state
+
+
+def _normalized_pending(checkpoint):
+    """Yield pending entries as 4-tuples across checkpoint versions.
+
+    v1/v2 stored ``(expression, for_object)`` pairs (task identity was
+    lost on resume); v3 adds ``task_id`` and ``reask_of`` so a resumed
+    run reposts bit-identical tasks.
+    """
+    for entry in checkpoint.pending:
+        if len(entry) == 2:
+            expression, obj = entry
+            yield expression, obj, None, None
+        else:
+            yield entry

@@ -141,6 +141,30 @@ class TestResultRoundTrip:
             assert record.tasks_answered == record.tasks_posted
 
 
+class TestAtomicPersistence:
+    """Every save is tmp-file + ``os.replace``: a crash mid-write can
+    never leave a half-written artifact under the final name, and a
+    successful save leaves no stray temp files behind."""
+
+    def test_save_result_is_atomic(self, tmp_path):
+        dataset = generate_nba(n_objects=60, missing_rate=0.1, seed=1)
+        result = BayesCrowd(
+            dataset, BayesCrowdConfig(alpha=0.1, budget=6, latency=2)
+        ).run()
+        path = tmp_path / "result.json"
+        save_result(result, path)
+        save_result(result, path)  # overwrite in place
+        assert [p.name for p in tmp_path.iterdir()] == ["result.json"]
+        assert load_result(path).answers == result.answers
+
+    def test_save_dataset_is_atomic(self, tmp_path, nba_small):
+        path = tmp_path / "nba.npz"
+        save_dataset(nba_small, path)
+        save_dataset(nba_small, path)
+        assert [p.name for p in tmp_path.iterdir()] == ["nba.npz"]
+        assert np.array_equal(load_dataset(path).values, nba_small.values)
+
+
 class TestExpressionJson:
     @pytest.mark.parametrize(
         "expression",
@@ -243,7 +267,7 @@ class TestCheckpointV2:
         path = tmp_path / "run.ckpt.json"
         save_checkpoint(self._checkpoint_with_ledger(), path)
         loaded = load_checkpoint(path)
-        assert json.loads(path.read_text())["format_version"] == 2
+        assert json.loads(path.read_text())["format_version"] == CHECKPOINT_VERSION
 
         restored = AnswerLedger(domain_sizes=[6, 4])
         restored.load_state_dict(loaded.ledger_state)
@@ -279,6 +303,47 @@ class TestCheckpointV2:
         assert loaded.answer_log == [(var_greater_const(0, 1, 2), Relation.GREATER)]
         assert loaded.ledger_state is None
         assert loaded.reliability_state is None
+
+    def test_v3_round_trips_task_identity_and_journal_seq(self, tmp_path):
+        """v3 additions: 4-tuple pending (task id + re-ask lineage), the
+        journal sequence the checkpoint covers, and the session's
+        task-id allocator snapshot."""
+        checkpoint = QueryCheckpoint(
+            fingerprint={"dataset": "nba", "seed": 3},
+            budget_left=5,
+            answer_log=[],
+            pending=[
+                (var_greater_const(1, 1, 3), 1, 9, None),
+                (var_greater_var(0, 2, 1), 2, 11, 7),
+            ],
+            journal_seq=17,
+            task_ids_state={"next_id": 12},
+        )
+        path = tmp_path / "run.ckpt.json"
+        save_checkpoint(checkpoint, path)
+        loaded = load_checkpoint(path)
+        assert loaded.pending == [
+            (var_greater_const(1, 1, 3), 1, 9, None),
+            (var_greater_var(0, 2, 1), 2, 11, 7),
+        ]
+        assert loaded.journal_seq == 17
+        assert loaded.task_ids_state == {"next_id": 12}
+
+    def test_v2_pending_pairs_stay_pairs(self, tmp_path):
+        """Arity preservation: a checkpoint whose pending entries are
+        legacy 2-tuples round-trips them as 2-tuples, not padded."""
+        checkpoint = QueryCheckpoint(
+            fingerprint={"dataset": "nba", "seed": 3},
+            budget_left=5,
+            answer_log=[],
+            pending=[(var_greater_const(1, 1, 3), 1)],
+        )
+        path = tmp_path / "run.ckpt.json"
+        save_checkpoint(checkpoint, path)
+        loaded = load_checkpoint(path)
+        assert loaded.pending == [(var_greater_const(1, 1, 3), 1)]
+        assert loaded.journal_seq is None
+        assert loaded.task_ids_state is None
 
     def test_run_resumes_from_v1_checkpoint(self, tmp_path):
         """End-to-end: checkpoint a run, strip the v2 fields to mimic a

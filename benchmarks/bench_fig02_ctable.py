@@ -1,10 +1,14 @@
 """Figure 2 benchmark: c-table construction across backends.
 
 Series: construction time per (dataset, missing rate, method).  The
-``method`` axis covers the vectorized ``numpy`` backend plus both scalar
+``method`` axis covers the vectorized ``numpy`` backend, both scalar
 paths (``fast`` = selectivity-sorted filters, ``baseline`` = pure-Python
-pairwise Get-CTable).  Expected shape: ``numpy`` beats ``fast`` beats
-``baseline`` at every point; all rise with the missing rate.
+pairwise Get-CTable), and the sub-quadratic pruning pre-pass
+(``pruned`` = sequential scan, ``pruned+parallel`` = scan sharded over
+the shared-memory pool).  Expected shape: ``numpy`` beats ``fast`` beats
+``baseline`` at every point and all rise with the missing rate; the
+pruned variants test a small fraction of the pair universe while
+building the identical c-table (asserted in standalone mode).
 
 Standalone mode benchmarks scaling directly (no pytest needed) and emits
 ``BENCH_fig02_ctable.json`` in pytest-benchmark shape, so
@@ -27,18 +31,28 @@ from repro.obs import MetricsRegistry, Tracer
 MISSING_RATES = (0.05, 0.10, 0.15, 0.20)
 SIZES = {"nba": 300, "synthetic": 600}
 
-#: method axis -> (backend, dominator_method) of :func:`build_ctable`
+#: method axis -> (backend, dominator_method, prune) of :func:`build_ctable`
 METHOD_CONFIGS = {
-    "numpy": ("numpy", "fast"),
-    "fast": ("python", "fast"),
-    "baseline": ("python", "baseline"),
+    "numpy": ("numpy", "fast", "off"),
+    "fast": ("python", "fast", "off"),
+    "baseline": ("python", "baseline", "off"),
+    "pruned": ("numpy", "fast", "on"),
+    "pruned+parallel": ("numpy", "fast", "on"),
 }
 
 
-def _build(dataset, method, alpha=0.05):
-    backend, dominator_method = METHOD_CONFIGS[method]
+def _build(dataset, method, alpha=0.05, n_jobs=0):
+    backend, dominator_method, prune = METHOD_CONFIGS[method]
     return build_ctable(
-        dataset, alpha=alpha, dominator_method=dominator_method, backend=backend
+        dataset,
+        alpha=alpha,
+        dominator_method=dominator_method,
+        backend=backend,
+        prune=prune,
+        # Only the explicit parallel variant shards the pruning scan;
+        # n_jobs=0 asks for one worker per usable core (auto-fallback to
+        # sequential on single-core hosts).
+        n_jobs=n_jobs if method == "pruned+parallel" else 1,
     )
 
 
@@ -62,31 +76,54 @@ def test_ctable_construction(benchmark, once, kind, missing_rate, method):
 # ----------------------------------------------------------------------
 # standalone scaling run
 # ----------------------------------------------------------------------
-def run_standalone(n, missing_rate, methods, alpha, out_path, repeats=1):
+def run_standalone(
+    n, missing_rate, methods, alpha, out_path, repeats=1, n_jobs=0,
+    append=False, verify=True,
+):
     """Time each method at cardinality ``n``; write benchreport JSON.
 
     With ``repeats > 1`` the best (minimum) wall time is reported -- the
-    standard low-noise estimator on shared machines.  The output carries
-    a ``metrics`` key in the unified observability schema
-    (``repro.obs.MetricsRegistry.snapshot()``): every timed build lands
-    in the ``phase_seconds_ctable`` histogram and the winning build's
-    counters are absorbed per method.
+    standard low-noise estimator on shared machines.  All methods build
+    the *same* c-table by construction; with ``verify`` the run asserts
+    it (conditions and pruned sets identical to the first method's), so
+    a pruning or sharding bug fails the bench rather than skewing it.
+    ``append`` folds the rows into an existing report (e.g. adding an
+    n=100k row to the n=10k file).  The output carries a ``metrics`` key
+    in the unified observability schema: every timed build lands in the
+    ``phase_seconds_ctable`` histogram and the winning build's counters
+    are absorbed per method.
     """
     dataset = synthetic_dataset(n, missing_rate)
     registry = MetricsRegistry()
     tracer = Tracer(registry=registry)
     rows = []
     reference = None
+    reference_ctable = None
     for method in methods:
         seconds = None
         for __ in range(max(1, repeats)):
             with tracer.span("ctable[%s]" % method, phase="ctable") as span:
-                ctable = _build(dataset, method, alpha=alpha)
+                ctable = _build(dataset, method, alpha=alpha, n_jobs=n_jobs)
             elapsed = span.seconds
             if seconds is None or elapsed < seconds:
                 seconds = elapsed
         if reference is None:
             reference = seconds
+        parity_ok = None
+        if verify:
+            if reference_ctable is None:
+                reference_ctable = ctable
+                parity_ok = True
+            else:
+                parity_ok = (
+                    ctable.conditions == reference_ctable.conditions
+                    and ctable.pruned == reference_ctable.pruned
+                )
+                if not parity_ok:
+                    raise AssertionError(
+                        "method %r built a different c-table than %r"
+                        % (method, methods[0])
+                    )
         stats = ctable.build_stats
         registry.absorb(stats, prefix="ctable_%s_" % method)
         extra = {
@@ -96,11 +133,25 @@ def run_standalone(n, missing_rate, methods, alpha, out_path, repeats=1):
             "missing_rate": missing_rate,
             "alpha": alpha,
             "pairs_tested": stats["pairs_tested"],
+            "pairs_pruned": stats["pairs_pruned"],
+            "pair_universe": stats["pair_universe"],
+            "pairs_reduction": (
+                round(stats["pair_universe"] / stats["pairs_tested"], 2)
+                if stats["pairs_tested"]
+                else 0.0
+            ),
             "pairs_per_sec": round(stats["pairs_tested"] / seconds) if seconds else 0,
             "open_conditions": stats["open_conditions"],
             "repeats": max(1, repeats),
             "speedup_vs_first": round(reference / seconds, 2) if seconds else 0.0,
         }
+        if parity_ok is not None:
+            extra["parity_vs_first"] = parity_ok
+        if stats.get("prune_enabled"):
+            extra["scan_seconds"] = round(stats["scan_seconds"], 3)
+            extra["scan_workers"] = stats["scan_workers"]
+            extra["scan_decision"] = stats["scan_decision"]
+            extra["blocks_sharded"] = stats["blocks_sharded"]
         rows.append(
             {
                 "name": "ctable[n=%d,%s]" % (n, method),
@@ -110,20 +161,30 @@ def run_standalone(n, missing_rate, methods, alpha, out_path, repeats=1):
             }
         )
         print(
-            "%-10s %8.3fs  %12s pairs/s  (%.2fx vs %s)"
+            "%-16s %8.3fs  %12s pairs/s  %6.2fx pairs pruned  (%.2fx vs %s)"
             % (
                 method,
                 seconds,
                 extra["pairs_per_sec"],
+                extra["pairs_reduction"],
                 extra["speedup_vs_first"],
                 methods[0],
             )
         )
-    Path(out_path).write_text(
-        json.dumps(
-            {"benchmarks": rows, "metrics": registry.snapshot()}, indent=2
-        )
-    )
+    payload = {"benchmarks": rows, "metrics": registry.snapshot()}
+    path = Path(out_path)
+    if append and path.exists():
+        previous = json.loads(path.read_text())
+        fresh_names = {row["name"] for row in rows}
+        payload["benchmarks"] = [
+            row
+            for row in previous.get("benchmarks", [])
+            if row["name"] not in fresh_names
+        ] + rows
+        # keep the newest run's metrics: counters are additive and mixing
+        # registries across runs would break the pair-accounting invariant
+        payload["metrics"] = registry.snapshot()
+    path.write_text(json.dumps(payload, indent=2))
     print("wrote %s" % out_path)
 
 
@@ -146,10 +207,25 @@ def main(argv=None):
         "--repeats", type=int, default=1,
         help="timing repeats per method; the best run is reported",
     )
+    parser.add_argument(
+        "--n-jobs", type=int, default=0,
+        help="worker processes for the pruned+parallel variant "
+        "(0 = one per usable core; auto-falls back on single-core hosts)",
+    )
+    parser.add_argument(
+        "--append", action="store_true",
+        help="merge rows into an existing --out file (replacing rows of "
+        "the same name) instead of overwriting it",
+    )
+    parser.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the cross-method c-table parity assertion",
+    )
     args = parser.parse_args(argv)
     run_standalone(
         args.n, args.missing_rate, args.methods, args.alpha, args.out,
-        repeats=args.repeats,
+        repeats=args.repeats, n_jobs=args.n_jobs, append=args.append,
+        verify=not args.no_verify,
     )
     return 0
 

@@ -145,6 +145,8 @@ def run_standalone(kind, n, missing_rate, alpha, n_jobs, out_path):
             ),
             "parallel_chunks": stats["parallel_chunks"],
             "parallel_seconds": round(stats["parallel_seconds"], 4),
+            "pool_workers": stats["pool_workers"],
+            "pool_decision": stats["pool_decision"],
             "speedup_vs_sequential": round(reference / seconds, 2) if seconds else 0.0,
         }
         rows.append(

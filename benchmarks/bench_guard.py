@@ -11,6 +11,12 @@ fresh counterpart::
 
     python benchmarks/bench_guard.py --baseline-dir bench_baselines --fresh-dir .
 
+Beyond timings, every fresh row carrying the c-table pair-accounting
+fields is checked for the pruning invariant ``pairs_tested +
+pairs_pruned == pair_universe`` (and a pruned variant must actually
+prune: ``pairs_tested < pair_universe``), so a broken pruning pre-pass
+fails the guard even when its timing looks fine.
+
 Exit status: 0 when nothing regressed (or nothing was comparable),
 1 on regression, 2 on unreadable input.
 """
@@ -30,6 +36,31 @@ def load_rows(path):
         if row.get("name") and isinstance(mean, (int, float)):
             rows[row["name"]] = float(mean)
     return rows
+
+
+def pair_accounting_problems(path):
+    """Violations of the pair-accounting invariant in one fresh JSON."""
+    data = json.loads(Path(path).read_text())
+    problems = []
+    for row in data.get("benchmarks", []):
+        extra = row.get("extra_info", {})
+        if "pair_universe" not in extra:
+            continue  # row predates the pruning counters
+        name = row.get("name", "?")
+        tested = extra.get("pairs_tested", 0)
+        pruned = extra.get("pairs_pruned", 0)
+        universe = extra["pair_universe"]
+        if tested + pruned != universe:
+            problems.append(
+                "%s: pairs_tested %r + pairs_pruned %r != pair_universe %r"
+                % (name, tested, pruned, universe)
+            )
+        if "pruned" in extra.get("method", "") and not tested < universe:
+            problems.append(
+                "%s: pruned variant tested the full pair universe (%r)"
+                % (name, universe)
+            )
+    return problems
 
 
 def compare(baseline_path, fresh_path, threshold, min_seconds):
@@ -105,6 +136,9 @@ def main(argv=None):
                 % (name, base_mean, fresh_mean, ratio, args.threshold),
                 file=sys.stderr,
             )
+        for problem in pair_accounting_problems(fresh_path):
+            failed = True
+            print("  ACCOUNTING %s" % problem, file=sys.stderr)
     if failed:
         return 1
     print("bench guard ok: no row regressed beyond %.2fx" % args.threshold)

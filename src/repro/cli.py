@@ -59,9 +59,16 @@ def build_parser() -> argparse.ArgumentParser:
         "baseline dominator method is selected)",
     )
     perf.add_argument(
+        "--ctable-prune", choices=["auto", "on", "off"], default="auto",
+        help="sub-quadratic dominance pruning pre-pass before clause "
+        "emission (auto = on for the numpy backend); the pruned c-table "
+        "is identical, only the tested pair count shrinks",
+    )
+    perf.add_argument(
         "--n-jobs", type=int, default=1,
-        help="worker processes for batched probability computation "
-        "(1 = sequential, 0 = one per CPU core)",
+        help="worker processes for batched probability computation and "
+        "the c-table pruning scan (1 = sequential, 0 = one per CPU "
+        "core; single-core hosts auto-fall back to sequential)",
     )
     perf.add_argument(
         "--selection", choices=["batched", "scalar"], default="batched",
@@ -212,6 +219,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             m=args.m,
             worker_accuracy=args.worker_accuracy,
             backend=args.backend,
+            ctable_prune=args.ctable_prune,
             n_jobs=args.n_jobs,
             selection_batch=(args.selection == "batched"),
             **(

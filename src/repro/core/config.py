@@ -10,6 +10,7 @@ from ..crowd.quality import DEFAULT_RELIABILITY_PRIOR
 from ..crowd.unreliable import FaultModel
 from ..ctable.constraints import INFERENCE_MODES
 from ..ctable.construction import BACKENDS
+from ..ctable.pruning import PRUNE_MODES
 from ..ctable.dominators import DOMINATOR_METHODS
 from ..probability.engine import DEFAULT_CACHE_SIZE, METHODS
 from .utility import UTILITY_MODES
@@ -59,8 +60,13 @@ class BayesCrowdConfig:
     #: c-table construction backend: "auto" (numpy unless the baseline
     #: dominator method is requested), "numpy" or "python"
     backend: str = "auto"
-    #: worker processes for batched probability computation (1 =
-    #: sequential, 0 = one per CPU core)
+    #: sub-quadratic dominance pruning pre-pass before clause emission:
+    #: "auto" (on for the numpy backend), "on" or "off"; the pruned build
+    #: is clause-for-clause identical, only pairs_tested shrinks
+    ctable_prune: str = "auto"
+    #: worker processes for batched probability computation and the
+    #: c-table pruning scan (1 = sequential, 0 = one per CPU core);
+    #: single-core hosts always fall back to sequential automatically
     n_jobs: int = 1
     #: bound on the engine's condition-probability cache (0 = unbounded)
     cache_size: int = DEFAULT_CACHE_SIZE
@@ -160,6 +166,11 @@ class BayesCrowdConfig:
         if self.backend not in BACKENDS:
             raise ValueError(
                 "unknown backend %r; expected one of %r" % (self.backend, BACKENDS)
+            )
+        if self.ctable_prune not in PRUNE_MODES:
+            raise ValueError(
+                "unknown ctable_prune mode %r; expected one of %r"
+                % (self.ctable_prune, PRUNE_MODES)
             )
         if self.n_jobs < 0:
             raise ValueError("n_jobs must be non-negative (0 = all cores)")

@@ -427,8 +427,21 @@ class BayesCrowd:
                 dominator_method=config.dominator_method,
                 inference_mode=config.inference_mode,
                 backend=config.backend,
+                prune=config.ctable_prune,
+                n_jobs=config.n_jobs,
                 cancel_check=lambda: cancel.check("ctable"),
             )
+            # Per-worker spans of the pruning scan (back-dated: the work
+            # was timed inside the scan itself, possibly in a pool).
+            for worker, seconds in enumerate(
+                ctable.build_stats.get("scan_worker_seconds", ())
+            ):
+                tracer.record(
+                    "ctable_scan_worker_%d" % worker,
+                    seconds,
+                    phase="ctable",
+                    worker=worker,
+                )
         modeling_seconds = time.perf_counter() - start
         store = DistributionStore(self.distributions, ctable.constraints)
         engine = ProbabilityEngine(
@@ -469,6 +482,13 @@ class BayesCrowd:
             engine.probability_many(
                 [ctable.condition(o) for o in ctable.undecided()]
             )
+            for worker, seconds in enumerate(engine.parallel_worker_seconds):
+                tracer.record(
+                    "probability_pool_worker_%d" % worker,
+                    seconds,
+                    phase="probability",
+                    worker=worker,
+                )
             initial_answers = ctable.result_set(
                 engine.probability, config.answer_threshold
             )

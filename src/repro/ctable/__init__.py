@@ -11,6 +11,7 @@ from .dominators import (
     dominator_sets_fast,
     dominator_sets_numpy,
 )
+from .pruning import PRUNE_MODES, PruneScan, pruned_dominator_scan
 from .expression import (
     Const,
     Expression,
@@ -36,6 +37,9 @@ __all__ = [
     "dominator_sets_baseline",
     "dominator_sets_fast",
     "dominator_sets_numpy",
+    "PRUNE_MODES",
+    "PruneScan",
+    "pruned_dominator_scan",
     "Const",
     "Expression",
     "Operand",

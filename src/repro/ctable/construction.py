@@ -33,6 +33,7 @@ from .condition import Condition
 from .ctable import CTable
 from .dominators import dominator_sets, possible_dominator_blocks
 from .expression import Const, Expression, Var
+from .pruning import PRUNE_MODES, pruned_dominator_scan
 
 #: Construction backends: ``numpy`` runs dominance tests, alpha-pruning
 #: and clause layout as bulk array operations; ``python`` is the scalar
@@ -85,6 +86,8 @@ def build_ctable(
     dominator_method: str = "fast",
     inference_mode: str = "full",
     backend: str = "auto",
+    prune: str = "auto",
+    n_jobs: int = 1,
     cancel_check=None,
 ) -> CTable:
     """Run Algorithm 2 and return the populated :class:`CTable`.
@@ -110,6 +113,17 @@ def build_ctable(
         for the Figure-2 scalar comparison).  Both backends produce
         identical c-tables; construction statistics land in
         :attr:`CTable.build_stats`.
+    prune:
+        ``"on"`` runs the sub-quadratic dominance pruning pre-pass of
+        :mod:`repro.ctable.pruning` before clause emission, ``"off"``
+        keeps the exhaustive pair scan, ``"auto"`` enables it for the
+        numpy backend.  The pre-pass is exact: the resulting c-table is
+        identical clause for clause, only ``pairs_tested`` shrinks.
+    n_jobs:
+        process-pool width for the pruning scan (engine convention:
+        1 = sequential, 0 = one worker per usable core).  Sharding the
+        scan never changes its decisions; single-core hosts and small
+        inputs automatically fall back to the sequential scan.
     cancel_check:
         optional zero-argument callable invoked at per-object boundaries;
         raising from it (e.g. a session ``CancellationToken.check``)
@@ -119,10 +133,19 @@ def build_ctable(
         raise ValueError("alpha must be positive")
     if backend not in BACKENDS:
         raise ValueError("unknown backend %r; expected one of %r" % (backend, BACKENDS))
+    if prune not in PRUNE_MODES:
+        raise ValueError(
+            "unknown prune mode %r; expected one of %r" % (prune, PRUNE_MODES)
+        )
     if backend == "auto":
         backend = "python" if dominator_method == "baseline" else "numpy"
+    use_prune = prune == "on" or (prune == "auto" and backend == "numpy")
     start = time.perf_counter()
-    if backend == "numpy":
+    if use_prune:
+        ctable = _build_ctable_pruned(
+            dataset, alpha, inference_mode, backend, n_jobs, cancel_check
+        )
+    elif backend == "numpy":
         ctable = _build_ctable_numpy(
             dataset, alpha, inference_mode, dominator_method, cancel_check
         )
@@ -134,9 +157,15 @@ def build_ctable(
     stats["backend"] = backend
     stats["seconds"] = time.perf_counter() - start
     stats["n_objects"] = dataset.n_objects
+    stats["builds"] = 1
     pairs = dataset.n_objects * (dataset.n_objects - 1)
-    stats["pairs_tested"] = pairs
-    stats["pairs_per_sec"] = pairs / stats["seconds"] if stats["seconds"] > 0 else 0.0
+    stats.setdefault("prune_enabled", False)
+    stats.setdefault("pairs_tested", pairs)
+    stats.setdefault("pairs_pruned", 0)
+    stats.setdefault("pair_universe", pairs)
+    stats["pairs_per_sec"] = (
+        stats["pairs_tested"] / stats["seconds"] if stats["seconds"] > 0 else 0.0
+    )
     return ctable
 
 
@@ -179,6 +208,73 @@ def _build_ctable_python(
         pruned=frozenset(pruned),
         inference_mode=inference_mode,
         build_stats=_count_stats(conditions, pruned),
+    )
+
+
+def _build_ctable_pruned(
+    dataset: IncompleteDataset,
+    alpha: float,
+    inference_mode: str,
+    backend: str,
+    n_jobs: int,
+    cancel_check=None,
+) -> CTable:
+    """Sub-quadratic path: dominance pruning pre-pass, then clause emission.
+
+    :func:`repro.ctable.pruning.pruned_dominator_scan` decides every
+    object (certain answer / alpha-pruned / open with its exact
+    dominator set) while testing only the pairs that survive the
+    sort-filter bounds.  Emission then reuses the per-object machinery
+    of the requested backend verbatim, so the resulting conditions are
+    identical to the unpruned build -- including the Algorithm 2 line-8
+    certain-false check for fully-observed objects.
+    """
+    n = dataset.n_objects
+    limit = alpha * n
+    scan = pruned_dominator_scan(
+        dataset, limit, n_jobs=n_jobs, cancel_check=cancel_check
+    )
+    counts = scan.dominator_counts.tolist()
+    values = dataset.values
+    mask = dataset.mask
+    complete_object = ~mask.any(axis=1)
+    conditions: Dict[int, Condition] = {}
+    pruned = set()
+    interned: Dict[tuple, Expression] = {}
+
+    for o in range(n):
+        if cancel_check is not None:
+            cancel_check()
+        count = counts[o]
+        if count == 0:
+            conditions[o] = Condition.true()
+            continue
+        if count > limit:
+            conditions[o] = Condition.false()
+            pruned.add(o)
+            continue
+        dominators = scan.open_sets[o]
+        if backend == "numpy":
+            if complete_object[o]:
+                complete_doms = dominators[complete_object[dominators]]
+                if complete_doms.size and bool(
+                    (values[complete_doms] != values[o]).any()
+                ):
+                    conditions[o] = Condition.false()
+                    continue
+            conditions[o] = _build_condition_bulk(o, dominators, values, mask, interned)
+        else:
+            conditions[o] = _build_condition(
+                dataset, o, dominators, values, mask, complete_object
+            )
+    stats = _count_stats(conditions, pruned)
+    stats.update(scan.stats)
+    return CTable(
+        dataset=dataset,
+        conditions=conditions,
+        pruned=frozenset(pruned),
+        inference_mode=inference_mode,
+        build_stats=stats,
     )
 
 

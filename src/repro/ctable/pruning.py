@@ -1,0 +1,393 @@
+"""Sub-quadratic dominance pruning for c-table construction.
+
+The possible-dominator relation (Eq. 1) is exactly a component-wise
+order between two *filled* matrices: ``p`` possibly dominates ``o`` iff
+
+    hi(p) >= lo(o)  on every attribute,
+
+where ``hi`` fills missing cells with the attribute's domain maximum
+(a missing ``p``-cell never constrains) and ``lo`` keeps the raw values
+matrix (missing cells hold the ``-1`` sentinel, below every observed
+value, so a missing ``o``-cell never constrains).  That equivalence
+unlocks the classical sort-filter-skyline toolbox:
+
+* **row dedup** -- objects sharing a ``hi`` row are interchangeable as
+  dominators, objects sharing a ``lo`` (= values) row have identical
+  dominator sets; one comparison of distinct rows decides whole groups
+  of object pairs at once;
+* **presorting** -- distinct ``hi`` rows are lexicographically sorted
+  (most-selective attribute first, descending), so fixed-size blocks are
+  homogeneous in their leading attributes and likely dominators come
+  first;
+* **block bounds** -- each block keeps per-attribute min/max and a
+  max attribute-sum; a block whose max falls below ``lo(o)`` anywhere is
+  *bulk-rejected* (no member, nothing tested), a block whose min clears
+  ``lo(o)`` everywhere is *bulk-accepted* (all members, counted without
+  testing);
+* **alpha early exit** -- counting runs in stages over the sorted
+  blocks; a group whose running dominator count crosses the
+  ``alpha * n`` threshold is alpha-pruned and scans no further block.
+
+Skipped pairs provably produce no clauses: bulk-rejected blocks contain
+no dominator of ``o`` (so no clause source), and pairs behind an alpha
+early exit belong to objects whose condition is the constant *false*
+(``phi(o)`` never materializes their clauses).  The scan is therefore a
+pure pre-pass: surviving objects get exactly the dominator sets of
+:func:`repro.ctable.dominators.dominator_sets`, and clause emission is
+byte-identical to the unpruned backends.
+
+The per-group scan is embarrassingly parallel; with ``n_jobs > 1`` group
+ranges are sharded over :mod:`repro.parallel` workers that attach the
+index arrays from shared memory.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..datasets.dataset import IncompleteDataset
+from ..parallel import (
+    SharedArrayBundle,
+    attach_arrays,
+    decide_workers,
+    detach_all,
+    run_sharded,
+)
+
+__all__ = ["PruneScan", "pruned_dominator_scan", "PRUNE_MODES"]
+
+#: ``build_ctable(prune=...)`` modes: ``auto`` turns the pre-pass on for
+#: the vectorized backend, ``on``/``off`` force it.
+PRUNE_MODES = ("auto", "on", "off")
+
+#: Distinct ``hi`` rows per bound block.  Small blocks mean tight
+#: min/max bounds (more bulk accept/reject); 32 rows keeps the
+#: membership kernels wide enough to stay vectorization-bound.
+DEFAULT_BLOCK_SIZE = 32
+
+#: Early-exit stages per scan: alpha-decided groups stop scanning at the
+#: next stage boundary.
+DEFAULT_STAGES = 8
+
+#: Below this many distinct value-row groups a pool cannot amortize its
+#: startup; the scan runs in-process.
+MIN_GROUPS_PER_WORKER = 512
+
+
+class PruneScan:
+    """Outcome of the pruning pre-pass, in object (not group) terms."""
+
+    def __init__(
+        self,
+        dominator_counts: np.ndarray,
+        open_sets: Dict[int, np.ndarray],
+        stats: Dict[str, object],
+    ) -> None:
+        #: ``|D(o)|`` per object (exact for open objects; a lower bound
+        #: above the alpha limit for early-exited ones)
+        self.dominator_counts = dominator_counts
+        #: object -> sorted dominator indices, for objects with
+        #: ``0 < |D(o)| <= limit`` only
+        self.open_sets = open_sets
+        self.stats = stats
+
+
+# ----------------------------------------------------------------------
+# index construction
+# ----------------------------------------------------------------------
+def _build_index(dataset: IncompleteDataset, block_size: int):
+    """Dedup, presort and bound the filled matrices; all plain arrays."""
+    values = dataset.values
+    mask = dataset.mask
+    dmax = np.asarray(dataset.domain_sizes, dtype=np.int64) - 1
+    hi = np.where(mask, dmax[None, :], values)
+
+    rhi, hi_inv, hi_cnt = np.unique(hi, axis=0, return_inverse=True, return_counts=True)
+    rlo, lo_inv, lo_cnt = np.unique(
+        values, axis=0, return_inverse=True, return_counts=True
+    )
+    hi_inv = hi_inv.ravel()
+    lo_inv = lo_inv.ravel()
+
+    # Lexicographic descending sort, most-selective (largest-domain)
+    # attribute as the primary key: blocks become homogeneous in their
+    # leading attributes, which is what makes the bounds bite.
+    col_order = np.argsort(-dmax, kind="stable")
+    order = np.lexsort(tuple(rhi[:, c] for c in reversed(col_order)))[::-1]
+    rank = np.empty(len(order), dtype=np.int64)
+    rank[order] = np.arange(len(order))
+
+    rhi_s = np.ascontiguousarray(rhi[order])
+    rcnt_s = hi_cnt[order].astype(np.int64)
+    s_hi_s = rhi_s.sum(axis=1)
+
+    h = len(rhi_s)
+    nb = -(-h // block_size)
+    starts = np.arange(nb, dtype=np.int64) * block_size
+    ends = np.minimum(starts + block_size, h)
+    bmax = np.stack([rhi_s[s:e].max(axis=0) for s, e in zip(starts, ends)])
+    bmin = np.stack([rhi_s[s:e].min(axis=0) for s, e in zip(starts, ends)])
+    bsmax = np.array([s_hi_s[s:e].max() for s, e in zip(starts, ends)])
+    cum = np.concatenate(([0], np.cumsum(rcnt_s)))
+    bcnt = cum[ends] - cum[starts]
+
+    # objects of each sorted distinct-hi row, as one packed array
+    sorted_row_of_obj = rank[hi_inv]
+    obj_by_row = np.argsort(sorted_row_of_obj, kind="stable").astype(np.int64)
+    row_obj_offsets = np.concatenate(([0], np.cumsum(rcnt_s)))
+
+    arrays = {
+        "rhi_s": rhi_s,
+        "rcnt_s": rcnt_s,
+        "bmax": bmax,
+        "bmin": bmin,
+        "bsmax": bsmax,
+        "bcnt": bcnt.astype(np.int64),
+        "rlo": np.ascontiguousarray(rlo),
+        "slo": rlo.sum(axis=1).astype(np.int64),
+    }
+    meta = {
+        "lo_inv": lo_inv,
+        "lo_cnt": lo_cnt.astype(np.int64),
+        "obj_by_row": obj_by_row,
+        "row_obj_offsets": row_obj_offsets,
+        "block_of_obj": sorted_row_of_obj // block_size,
+        "n_blocks": nb,
+        "block_size": block_size,
+    }
+    return arrays, meta
+
+
+# ----------------------------------------------------------------------
+# the scan kernel (runs in-process or inside pool workers)
+# ----------------------------------------------------------------------
+#: admissibility is computed in group chunks to bound the broadcast
+#: intermediates to ``chunk * n_blocks * d`` bools
+_ADMISSIBILITY_CHUNK = 2048
+
+
+def _scan_groups(
+    arrays, g0: int, g1: int, limit: float, n_stages: int, block_size: int
+):
+    """Counts, coverage and open-group members for lo-groups ``[g0, g1)``.
+
+    Pure function of the index arrays: deterministic and side-effect
+    free, so sharding it over processes cannot change any decision.
+    """
+    rhi_s = arrays["rhi_s"]
+    rcnt_s = arrays["rcnt_s"]
+    bmax, bmin, bsmax, bcnt = (
+        arrays["bmax"], arrays["bmin"], arrays["bsmax"], arrays["bcnt"],
+    )
+    rlo = arrays["rlo"][g0:g1]
+    slo = arrays["slo"][g0:g1]
+    m = g1 - g0
+    nb = len(bcnt)
+
+    accept = np.zeros((m, nb), dtype=bool)
+    test = np.zeros((m, nb), dtype=bool)
+    for c0 in range(0, m, _ADMISSIBILITY_CHUNK):
+        c1 = min(c0 + _ADMISSIBILITY_CHUNK, m)
+        chunk = rlo[c0:c1]
+        reject = (chunk[:, None, :] > bmax[None, :, :]).any(axis=2)
+        reject |= slo[c0:c1, None] > bsmax[None, :]
+        acc = ~reject & (chunk[:, None, :] <= bmin[None, :, :]).all(axis=2)
+        accept[c0:c1] = acc
+        test[c0:c1] = ~reject & ~acc
+
+    counts = accept @ bcnt
+    covered = np.zeros(m, dtype=np.int64)
+    tested = np.zeros((m, nb), dtype=bool)
+    alive = np.ones(m, dtype=bool)
+    stage_bounds = np.linspace(0, nb, min(n_stages, nb) + 1).astype(np.int64)
+    for si in range(len(stage_bounds) - 1):
+        for b in range(stage_bounds[si], stage_bounds[si + 1]):
+            gsel = np.nonzero(test[:, b] & alive)[0]
+            if gsel.size == 0:
+                continue
+            s, e = b * block_size, min((b + 1) * block_size, len(rhi_s))
+            block = rhi_s[s:e]
+            memb = (block[None, :, :] >= rlo[gsel, None, :]).all(axis=2)
+            counts[gsel] += memb @ rcnt_s[s:e]
+            covered[gsel] += bcnt[b]
+            tested[gsel, b] = True
+        alive &= (counts - 1) <= limit
+
+    # Second pass: distinct-row member lists, only for groups whose
+    # objects keep a symbolic condition (0 < |D| <= limit).  Re-tests
+    # already-counted pairs, so it adds nothing to the coverage stats.
+    open_groups = np.nonzero((counts - 1 > 0) & (counts - 1 <= limit))[0]
+    member_rows: List[np.ndarray] = []
+    member_offsets = np.zeros(len(open_groups) + 1, dtype=np.int64)
+    for i, g in enumerate(open_groups.tolist()):
+        L = rlo[g]
+        rows: List[np.ndarray] = []
+        for b in np.nonzero(accept[g] | test[g])[0].tolist():
+            s, e = b * block_size, min((b + 1) * block_size, len(rhi_s))
+            if accept[g, b]:
+                rows.append(np.arange(s, e, dtype=np.int64))
+            else:
+                hit = np.nonzero((rhi_s[s:e] >= L).all(axis=1))[0]
+                if hit.size:
+                    rows.append(hit.astype(np.int64) + s)
+        group_rows = (
+            np.concatenate(rows) if rows else np.empty(0, dtype=np.int64)
+        )
+        member_rows.append(group_rows)
+        member_offsets[i + 1] = member_offsets[i] + group_rows.size
+    members = (
+        np.concatenate(member_rows) if member_rows else np.empty(0, dtype=np.int64)
+    )
+    return counts, covered, tested, open_groups + g0, members, member_offsets
+
+
+def _scan_shard(payload):
+    """Pool worker: attach the shared index and scan one group range."""
+    handle, g0, g1, limit, n_stages, block_size = payload
+    arrays = attach_arrays(handle)
+    return _scan_groups(arrays, g0, g1, limit, n_stages, block_size)
+
+
+# ----------------------------------------------------------------------
+# driver
+# ----------------------------------------------------------------------
+def pruned_dominator_scan(
+    dataset: IncompleteDataset,
+    limit: float,
+    block_size: Optional[int] = None,
+    n_stages: Optional[int] = None,
+    n_jobs: int = 1,
+    cancel_check=None,
+) -> PruneScan:
+    """Run the pruning pre-pass and return per-object decisions.
+
+    ``limit`` is the alpha threshold ``alpha * n``: objects whose
+    dominator count exceeds it are alpha-pruned without an exact count.
+    ``block_size``/``n_stages`` default by cardinality: larger datasets
+    take bigger blocks (amortize per-block dispatch) and more early-exit
+    stages (alpha decisions come faster relative to the block count).
+    """
+    start = time.perf_counter()
+    n = dataset.n_objects
+    if block_size is None:
+        block_size = DEFAULT_BLOCK_SIZE if n < 50_000 else 2 * DEFAULT_BLOCK_SIZE
+    if n_stages is None:
+        n_stages = DEFAULT_STAGES if n < 50_000 else DEFAULT_STAGES + 4
+    if n == 0:
+        return PruneScan(
+            np.zeros(0, dtype=np.int64),
+            {},
+            {
+                "prune_enabled": True,
+                "pairs_tested": 0,
+                "pairs_pruned": 0,
+                "pair_universe": 0,
+                "blocks_sharded": 0,
+                "scan_workers": 1,
+                "scan_decision": "sequential: empty dataset",
+                "scan_seconds": 0.0,
+                "scan_worker_seconds": [],
+                "scan_worker_seconds_max": 0.0,
+            },
+        )
+    arrays, meta = _build_index(dataset, max(1, int(block_size)))
+    lo_inv = meta["lo_inv"]
+    lo_cnt = meta["lo_cnt"]
+    n_groups = len(lo_cnt)
+    if cancel_check is not None:
+        cancel_check()
+
+    decision = decide_workers(n_jobs, n_groups, MIN_GROUPS_PER_WORKER)
+    if decision.parallel:
+        bundle = SharedArrayBundle.publish(arrays)
+        try:
+            bounds = np.linspace(
+                0, n_groups, decision.n_workers * 4 + 1
+            ).astype(np.int64)
+            shards = [
+                (
+                    bundle.handle,
+                    int(g0),
+                    int(g1),
+                    float(limit),
+                    int(n_stages),
+                    int(meta["block_size"]),
+                )
+                for g0, g1 in zip(bounds[:-1], bounds[1:])
+                if g1 > g0
+            ]
+            run = run_sharded(_scan_shard, shards, decision.n_workers)
+        finally:
+            bundle.unlink()
+            # the in-process fallback path attaches in *this* process;
+            # results are copies, so dropping the mappings is safe
+            detach_all()
+        blocks_sharded = len(shards)
+        worker_seconds = run.worker_seconds
+        parts = run.results
+    else:
+        if cancel_check is not None:
+            cancel_check()
+        t0 = time.perf_counter()
+        parts = [
+            _scan_groups(
+                arrays, 0, n_groups, float(limit), int(n_stages),
+                int(meta["block_size"]),
+            )
+        ]
+        blocks_sharded = 1
+        worker_seconds = [time.perf_counter() - t0]
+
+    counts = np.concatenate([part[0] for part in parts])
+    covered = np.concatenate([part[1] for part in parts])
+    tested = np.vstack([part[2] for part in parts])
+
+    # Exact pair accounting: coverage counts objects per tested block,
+    # so subtract each object whose own hi-row block was tested by its
+    # own group (the (o, o) cell of the relation is not a pair).
+    self_hits = int(tested[lo_inv, meta["block_of_obj"]].sum())
+    pairs_tested = int((covered * lo_cnt).sum()) - self_hits
+    pair_universe = n * (n - 1)
+
+    # Distinct-row member lists -> per-object dominator sets.  All
+    # objects of one lo-group share the member objects; each drops only
+    # itself (every object is a member of its own group's relation).
+    obj_by_row = meta["obj_by_row"]
+    row_off = meta["row_obj_offsets"]
+    open_sets: Dict[int, np.ndarray] = {}
+    group_objects = np.argsort(lo_inv, kind="stable")
+    group_off = np.concatenate(([0], np.cumsum(lo_cnt)))
+    for part in parts:
+        __, __, __, open_groups, members, offsets = part
+        for i, g in enumerate(open_groups.tolist()):
+            rows = members[offsets[i]:offsets[i + 1]]
+            objs = np.sort(
+                np.concatenate(
+                    [obj_by_row[row_off[r]:row_off[r + 1]] for r in rows.tolist()]
+                )
+            )
+            for o in group_objects[group_off[g]:group_off[g + 1]].tolist():
+                pos = np.searchsorted(objs, o)
+                open_sets[o] = np.delete(objs, pos)
+
+    per_object_counts = (counts - 1)[lo_inv]
+    stats = {
+        "prune_enabled": True,
+        "pairs_tested": pairs_tested,
+        "pairs_pruned": pair_universe - pairs_tested,
+        "pair_universe": pair_universe,
+        "prune_blocks": int(meta["n_blocks"]),
+        "prune_block_size": int(meta["block_size"]),
+        "distinct_hi_rows": int(len(arrays["rhi_s"])),
+        "distinct_lo_rows": int(n_groups),
+        "blocks_sharded": int(blocks_sharded),
+        "scan_workers": int(decision.n_workers),
+        "scan_decision": decision.reason,
+        "scan_seconds": time.perf_counter() - start,
+        "scan_worker_seconds": [float(s) for s in worker_seconds],
+        "scan_worker_seconds_max": float(max(worker_seconds, default=0.0)),
+    }
+    return PruneScan(per_object_counts, open_sets, stats)

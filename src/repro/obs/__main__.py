@@ -36,6 +36,55 @@ INTEGRITY_COUNTERS = (
     "answers_quarantined",
 )
 
+#: Pair-accounting counters of c-table construction.
+CTABLE_COUNTERS = (
+    "ctable_pairs_tested",
+    "ctable_pairs_pruned",
+    "ctable_pair_universe",
+)
+
+
+def verify_ctable(snapshot: dict, require: bool = False) -> List[str]:
+    """Problems with the c-table pair accounting (empty = consistent).
+
+    Checks the pruning pre-pass invariant: every ordered object pair is
+    either dominance-tested or pruned in bulk, i.e. ``pairs_tested +
+    pairs_pruned == pair_universe == n * (n - 1)``.  With
+    ``require=False`` snapshots that predate the counters pass vacuously;
+    ``require=True`` makes their absence an error.
+    """
+    counters = snapshot.get("counters", {})
+    missing = [name for name in CTABLE_COUNTERS if name not in counters]
+    if missing:
+        if require:
+            return ["ctable counter(s) missing: %s" % ", ".join(missing)]
+        return []
+    problems: List[str] = []
+    tested = counters["ctable_pairs_tested"]
+    pruned = counters["ctable_pairs_pruned"]
+    universe = counters["ctable_pair_universe"]
+    if tested + pruned != universe:
+        problems.append(
+            "ctable_pairs_tested %r + ctable_pairs_pruned %r != "
+            "ctable_pair_universe %r" % (tested, pruned, universe)
+        )
+    if tested < 0 or pruned < 0 or universe < 0:
+        problems.append("ctable pair counters must be non-negative")
+    # The n*(n-1) cross-check is only well-defined for a registry holding
+    # exactly one build; multi-build registries (benches) sum counters,
+    # for which only the additive invariant above holds.
+    n_objects = counters.get("ctable_n_objects")
+    if (
+        counters.get("ctable_builds") == 1
+        and n_objects is not None
+        and universe != n_objects * (n_objects - 1)
+    ):
+        problems.append(
+            "ctable_pair_universe %r != n * (n - 1) for n_objects %r"
+            % (universe, n_objects)
+        )
+    return problems
+
 
 def verify_integrity(snapshot: dict, require: bool = False) -> List[str]:
     """Problems with the answer-integrity counters (empty = consistent).
@@ -188,6 +237,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "whenever the counters are present",
     )
     parser.add_argument(
+        "--ctable", action="store_true",
+        help="require the c-table pair-accounting counters and check "
+        "their invariant (pairs_tested + pairs_pruned == pair_universe "
+        "== n*(n-1)); without this flag the invariant is still checked "
+        "whenever the counters are present",
+    )
+    parser.add_argument(
         "--journal", default=None, metavar="PATH",
         help="verify a write-ahead answer journal: per-record checksums "
         "and sequence, plus replay invariants (open header first, "
@@ -220,6 +276,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         for problem in integrity_problems:
             print("integrity problem: %s" % problem, file=sys.stderr)
         return 2
+    ctable_problems = verify_ctable(snapshot, require=args.ctable)
+    if ctable_problems:
+        for problem in ctable_problems:
+            print("ctable problem: %s" % problem, file=sys.stderr)
+        return 2
     print(
         "metrics ok: %d counters, %d gauges, %d histograms (phases: %s)"
         % (
@@ -233,6 +294,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("selection ok: utility counter accounting adds up")
     if args.integrity:
         print("integrity ok: quarantined + applied == aggregated")
+    if args.ctable:
+        print("ctable ok: pairs_tested + pairs_pruned == pair_universe")
     if args.trace is not None:
         problems = verify_trace(args.trace)
         if problems:

@@ -1,0 +1,32 @@
+"""Shared-memory multi-core execution substrate.
+
+One home for the process-level parallelism used by the hot paths: the
+c-table pruning scan shards its pair blocks and
+:meth:`ProbabilityEngine.probability_many` shards its condition chunks
+over the same primitives.  See :mod:`repro.parallel.substrate` for the
+fork/spawn caveats and ownership rules.
+"""
+
+from .substrate import (
+    PoolDecision,
+    SharedArrayBundle,
+    SharedArrayHandle,
+    ShardedRun,
+    attach_arrays,
+    decide_workers,
+    detach_all,
+    run_sharded,
+    usable_cpu_count,
+)
+
+__all__ = [
+    "PoolDecision",
+    "SharedArrayBundle",
+    "SharedArrayHandle",
+    "ShardedRun",
+    "attach_arrays",
+    "decide_workers",
+    "detach_all",
+    "run_sharded",
+    "usable_cpu_count",
+]

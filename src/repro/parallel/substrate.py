@@ -1,0 +1,295 @@
+"""Shared-memory, fork-friendly multiprocessing substrate.
+
+The PR-2 process pool shipped a pickled :meth:`DistributionStore.snapshot`
+inside *every* chunk payload -- on a box where the pool cannot win
+(``cpu_count == 1``) the fan-out still paid the full serialization bill
+and lost 2.3x to the sequential path (``BENCH_fig03_probability.json``).
+This module replaces that pattern with three pieces:
+
+* :class:`SharedArrayBundle` -- publish named numpy arrays into POSIX
+  shared memory *once*; workers attach lazily by segment name and cache
+  the mapping per process, so payloads carry only a tiny picklable
+  :class:`SharedArrayHandle` regardless of array sizes (and under the
+  preferred ``fork`` start method the attach is effectively free).
+* :func:`decide_workers` -- the pool auto-selection policy: sequential
+  when the host has one usable core, when ``n_jobs`` does not ask for
+  parallelism, or when the work cannot amortize pool startup; worker
+  counts above the usable cores are clamped.  Every decision carries a
+  human-readable reason so engines can record it in their stats.
+* :func:`run_sharded` -- order-preserving fan-out of payloads over a
+  ``fork``-preferred process pool, with per-shard worker timings.
+
+Start-method caveats: ``fork`` (POSIX default here) inherits module
+globals, so worker functions must treat globals as *per-process caches*,
+never as channels back to the parent; ``spawn`` re-imports the module,
+which is why attachment is lazy -- the first payload touching a handle
+maps the segments by name.  Either way the parent owns the segments and
+must :meth:`SharedArrayBundle.unlink` them exactly once, in a
+``finally`` block.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "PoolDecision",
+    "SharedArrayBundle",
+    "SharedArrayHandle",
+    "attach_arrays",
+    "decide_workers",
+    "run_sharded",
+    "usable_cpu_count",
+]
+
+
+def usable_cpu_count() -> int:
+    """Cores this process may actually schedule on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+# ----------------------------------------------------------------------
+# pool auto-selection
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PoolDecision:
+    """Outcome of :func:`decide_workers` -- workers plus the why."""
+
+    n_workers: int
+    reason: str
+
+    @property
+    def parallel(self) -> bool:
+        return self.n_workers > 1
+
+
+def decide_workers(
+    n_jobs: int,
+    n_items: int,
+    min_items_per_worker: int = 1,
+    cpu_count: Optional[int] = None,
+) -> PoolDecision:
+    """How many pool workers (if any) a batch of ``n_items`` deserves.
+
+    ``n_jobs`` follows the engine convention (1 = sequential, 0 = one
+    per core).  The policy fixes the fig03 auto-selection bug: a pool is
+    never spawned on a single-core host, never larger than the usable
+    cores, and never for batches too small to amortize fork + dispatch.
+    """
+    cores = usable_cpu_count() if cpu_count is None else max(1, int(cpu_count))
+    if n_jobs == 0:
+        n_jobs = cores
+    elif n_jobs <= 1:
+        return PoolDecision(1, "sequential: n_jobs=%d requests no pool" % n_jobs)
+    if cores == 1:
+        # reached with n_jobs=0 on a single-core host too: the honest
+        # reason is the core count, not the (resolved) worker request
+        return PoolDecision(
+            1, "sequential: single usable core, pool overhead cannot win"
+        )
+    clamped = min(n_jobs, cores)
+    by_work = max(1, n_items // max(1, min_items_per_worker))
+    workers = min(clamped, by_work)
+    if workers <= 1:
+        return PoolDecision(
+            1,
+            "sequential: %d item(s) below the %d-per-worker floor"
+            % (n_items, min_items_per_worker),
+        )
+    if clamped < n_jobs:
+        return PoolDecision(
+            workers, "parallel: n_jobs=%d clamped to %d usable cores" % (n_jobs, cores)
+        )
+    return PoolDecision(workers, "parallel: %d workers" % workers)
+
+
+# ----------------------------------------------------------------------
+# shared arrays
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SharedArrayHandle:
+    """Picklable description of a published bundle (names, dtypes, shapes)."""
+
+    segments: Tuple[Tuple[str, str, str, Tuple[int, ...]], ...]
+
+    @property
+    def key(self) -> Tuple[str, ...]:
+        return tuple(seg[1] for seg in self.segments)
+
+
+#: Per-process cache of attached bundles: handle key -> (shms, arrays).
+_ATTACHED: Dict[Tuple[str, ...], Tuple[list, Dict[str, np.ndarray]]] = {}
+
+
+def _attach_untracked(segment_name: str):
+    """Attach a segment without registering it with the resource tracker.
+
+    Python < 3.13 registers every *attached* segment with the (shared,
+    under ``fork``) resource tracker, which then unlinks it when any
+    process exits -- yanking the memory out from under the owner and
+    unbalancing the tracker's books.  3.13+ exposes ``track=False``; on
+    older interpreters the standard workaround is suppressing
+    ``resource_tracker.register`` for the duration of the attach.  The
+    owning process keeps its registration and remains responsible for
+    the unlink.
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=segment_name, track=False)
+    except TypeError:  # pragma: no cover - Python < 3.13
+        pass
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=segment_name)
+    finally:
+        resource_tracker.register = original
+
+
+class SharedArrayBundle:
+    """Named numpy arrays in shared memory, attachable from any process."""
+
+    def __init__(self, shms: list, arrays: Dict[str, np.ndarray], handle: SharedArrayHandle):
+        self._shms = shms
+        self.arrays = arrays
+        self.handle = handle
+        self._owner = True
+
+    @classmethod
+    def publish(cls, arrays: Mapping[str, np.ndarray]) -> "SharedArrayBundle":
+        """Copy each array into its own shared-memory segment."""
+        from multiprocessing import shared_memory
+
+        shms = []
+        views: Dict[str, np.ndarray] = {}
+        segments = []
+        try:
+            for name, array in arrays.items():
+                array = np.ascontiguousarray(array)
+                shm = shared_memory.SharedMemory(
+                    create=True, size=max(1, array.nbytes)
+                )
+                shms.append(shm)
+                view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
+                view[...] = array
+                views[name] = view
+                segments.append((name, shm.name, array.dtype.str, tuple(array.shape)))
+        except Exception:
+            for shm in shms:
+                shm.close()
+                shm.unlink()
+            raise
+        return cls(shms, views, SharedArrayHandle(tuple(segments)))
+
+    def unlink(self) -> None:
+        """Release the segments (owner-side, exactly once, in a finally)."""
+        for shm in self._shms:
+            try:
+                shm.close()
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already reaped
+                pass
+        self._shms = []
+        self.arrays = {}
+
+
+def attach_arrays(handle: SharedArrayHandle) -> Dict[str, np.ndarray]:
+    """Worker-side view of a published bundle (cached per process)."""
+    cached = _ATTACHED.get(handle.key)
+    if cached is not None:
+        return cached[1]
+    shms = []
+    arrays: Dict[str, np.ndarray] = {}
+    for name, segment, dtype, shape in handle.segments:
+        shm = _attach_untracked(segment)
+        shms.append(shm)
+        arrays[name] = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
+    _ATTACHED[handle.key] = (shms, arrays)
+    return arrays
+
+
+def detach_all() -> None:
+    """Drop every cached attachment (test hygiene; workers never need it)."""
+    for shms, __ in _ATTACHED.values():
+        for shm in shms:
+            try:
+                shm.close()
+            except Exception:  # pragma: no cover
+                pass
+    _ATTACHED.clear()
+
+
+# ----------------------------------------------------------------------
+# sharded execution
+# ----------------------------------------------------------------------
+@dataclass
+class ShardedRun:
+    """Results of :func:`run_sharded` plus per-shard wall times."""
+
+    results: List[object]
+    worker_seconds: List[float] = field(default_factory=list)
+    pool_seconds: float = 0.0
+
+
+def _timed_call(payload):
+    fn, shard = payload
+    start = time.perf_counter()
+    result = fn(shard)
+    return result, time.perf_counter() - start
+
+
+def run_sharded(
+    fn: Callable,
+    shards: Sequence[object],
+    n_workers: int,
+) -> ShardedRun:
+    """Run ``fn(shard)`` for every shard on a fork-preferred process pool.
+
+    Results come back in shard order.  Raises whatever the workers raise;
+    pool *infrastructure* failures (``OSError``/``RuntimeError`` while
+    forking) fall back to in-process execution, matching the engine's
+    historical contract.
+    """
+    import multiprocessing
+    from concurrent.futures import ProcessPoolExecutor
+
+    start = time.perf_counter()
+    if n_workers <= 1 or len(shards) <= 1:
+        results, seconds = [], []
+        for shard in shards:
+            result, elapsed = _timed_call((fn, shard))
+            results.append(result)
+            seconds.append(elapsed)
+        return ShardedRun(results, seconds, time.perf_counter() - start)
+    try:
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            context = multiprocessing.get_context()
+        with ProcessPoolExecutor(
+            max_workers=min(n_workers, len(shards)), mp_context=context
+        ) as pool:
+            timed = list(pool.map(_timed_call, [(fn, shard) for shard in shards]))
+    except (OSError, RuntimeError):  # pragma: no cover - pool unavailable
+        results, seconds = [], []
+        for shard in shards:
+            result, elapsed = _timed_call((fn, shard))
+            results.append(result)
+            seconds.append(elapsed)
+        return ShardedRun(results, seconds, time.perf_counter() - start)
+    return ShardedRun(
+        [result for result, __ in timed],
+        [seconds for __, seconds in timed],
+        time.perf_counter() - start,
+    )

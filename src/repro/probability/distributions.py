@@ -116,6 +116,56 @@ class DistributionStore:
             constraints=None,
         )
 
+    def pack_snapshot(self) -> Dict[str, np.ndarray]:
+        """The constraint-baked pmfs as three flat arrays.
+
+        The shared-memory layout for pool workers: variables as an
+        ``(n_vars, 2)`` int64 matrix, all pmfs concatenated into one
+        float64 vector with an offsets index.  Publishing these once per
+        batch replaces pickling a full :meth:`snapshot` into every chunk
+        payload.  Rebuild with :meth:`from_packed`.
+        """
+        variables = sorted(self._base)
+        pmfs = [self.pmf(variable) for variable in variables]
+        offsets = np.zeros(len(pmfs) + 1, dtype=np.int64)
+        if pmfs:
+            np.cumsum([len(pmf) for pmf in pmfs], out=offsets[1:])
+        return {
+            "pmf_variables": np.array(
+                variables if variables else [], dtype=np.int64
+            ).reshape(len(variables), 2),
+            "pmf_offsets": offsets,
+            "pmf_flat": (
+                np.concatenate(pmfs) if pmfs else np.empty(0, dtype=np.float64)
+            ),
+        }
+
+    @classmethod
+    def from_packed(cls, arrays: Mapping[str, np.ndarray]) -> "DistributionStore":
+        """Rebuild a frozen snapshot from :meth:`pack_snapshot` arrays.
+
+        Trusted path: the pmfs were validated and normalized when the
+        source store was built, so the validating ``__init__`` is
+        bypassed.  The pmfs are copied out of the (possibly shared,
+        soon-to-be-unmapped) buffer; the result is constraint-free like
+        :meth:`snapshot`.
+        """
+        variables = arrays["pmf_variables"]
+        offsets = arrays["pmf_offsets"]
+        flat = arrays["pmf_flat"]
+        store = cls.__new__(cls)
+        store._base = {
+            (int(variables[i, 0]), int(variables[i, 1])): np.array(
+                flat[offsets[i]:offsets[i + 1]], dtype=np.float64
+            )
+            for i in range(len(variables))
+        }
+        store._constraints = None
+        store._pmf_cache = {}
+        store._expr_cache = {}
+        store._tail_cache = {}
+        return store
+
     # ------------------------------------------------------------------
     # expression probabilities (exact, under variable independence)
     # ------------------------------------------------------------------

@@ -9,15 +9,16 @@ it monotonically with stale-version entries that are never evicted.
 
 :meth:`ProbabilityEngine.probability_many` is the batch entry point.  It
 deduplicates conditions, bulk-computes every leaf expression probability
-against the store's cumulative arrays, and -- with ``n_jobs > 1`` --
-partitions the independent conditions across a ``concurrent.futures``
-process pool, each worker solving its chunk against a frozen, picklable
-store snapshot.
+against the store's cumulative arrays, and -- when
+:func:`repro.parallel.decide_workers` approves -- partitions the
+independent conditions across the shared-memory process pool of
+:mod:`repro.parallel`: the frozen store snapshot is published to shared
+memory once per batch (workers attach lazily and cache per process)
+instead of being pickled into every chunk payload.
 """
 
 from __future__ import annotations
 
-import os
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -26,6 +27,15 @@ import numpy as np
 from ..ctable.condition import Condition
 from ..errors import ResourceBudgetError
 from ..lru import LRUCache
+from ..parallel import (
+    PoolDecision,
+    SharedArrayBundle,
+    attach_arrays,
+    decide_workers,
+    detach_all,
+    run_sharded,
+    usable_cpu_count,
+)
 from .adpll import ADPLL
 from .approxcount import adaptive_approx_probability, approx_probability
 from .distributions import DistributionStore
@@ -49,17 +59,34 @@ def resolve_n_jobs(n_jobs: Optional[int]) -> int:
         return 1
     n_jobs = int(n_jobs)
     if n_jobs == 0:
-        return os.cpu_count() or 1
+        return usable_cpu_count()
     return max(1, n_jobs)
 
 
-def _compute_chunk(payload) -> List[float]:
-    """Pool worker: solve one chunk of conditions against a store snapshot.
+#: Per-process cache of stores rebuilt from shared memory, keyed by the
+#: bundle handle: chunks of one batch landing on the same worker reuse
+#: the rebuilt store (and its warm tail caches) instead of re-attaching.
+_WORKER_STORES: Dict[tuple, DistributionStore] = {}
 
-    Module-level so it pickles by reference; the snapshot rides along in
-    the payload (fork start methods share it copy-on-write anyway).
+
+def _worker_store(handle) -> DistributionStore:
+    store = _WORKER_STORES.get(handle.key)
+    if store is None:
+        store = DistributionStore.from_packed(attach_arrays(handle))
+        _WORKER_STORES.clear()  # one live snapshot per worker is enough
+        _WORKER_STORES[handle.key] = store
+    return store
+
+
+def _compute_chunk(payload) -> List[float]:
+    """Pool worker: solve one chunk of conditions against the shared store.
+
+    Module-level so it pickles by reference; the payload carries only a
+    :class:`SharedArrayHandle` to the published snapshot plus the
+    conditions themselves -- the pmf data never rides in the pickle.
     """
-    store, method, conditions, approx_samples, seed = payload
+    handle, method, conditions, approx_samples, seed = payload
+    store = _worker_store(handle)
     if method == "adpll":
         solver = ADPLL(store)
         return [solver.probability(condition) for condition in conditions]
@@ -133,6 +160,10 @@ class ProbabilityEngine:
         self.n_parallel_chunks = 0
         self.parallel_seconds = 0.0
         self.batch_seconds = 0.0
+        #: last pool auto-selection decision (see repro.parallel)
+        self._pool_decision = PoolDecision(1, "sequential: no batch computed yet")
+        #: per-chunk wall times of the last parallel batch
+        self.parallel_worker_seconds: List[float] = []
 
     # ------------------------------------------------------------------
     def attach_cancellation(self, token) -> None:
@@ -219,13 +250,23 @@ class ProbabilityEngine:
         if pending:
             self._warm_leaves(pending)
             # The guard's circuit-breaker state cannot be shared across a
-            # process pool, so guarded batches always run in-process.
-            if (
-                n_jobs > 1
-                and not self.guard_active
-                and len(pending) >= 2 * MIN_CONDITIONS_PER_WORKER
-            ):
-                computed = self._compute_parallel(pending, n_jobs, chunk_size)
+            # process pool, so guarded batches always run in-process;
+            # everything else goes through the substrate's auto-selection
+            # (single-core hosts, oversubscribed n_jobs and small batches
+            # all fall back to sequential instead of paying pool overhead).
+            if self.guard_active and n_jobs > 1:
+                decision = PoolDecision(
+                    1, "sequential: resource guard active, breaker state is process-local"
+                )
+            else:
+                decision = decide_workers(
+                    n_jobs, len(pending), MIN_CONDITIONS_PER_WORKER
+                )
+            self._pool_decision = decision
+            if decision.parallel:
+                computed = self._compute_parallel(
+                    pending, decision.n_workers, chunk_size
+                )
             else:
                 computed = []
                 for condition in pending:
@@ -254,18 +295,16 @@ class ProbabilityEngine:
     def _compute_parallel(
         self,
         pending: List[Condition],
-        n_jobs: int,
+        n_workers: int,
         chunk_size: Optional[int],
     ) -> List[float]:
-        """Partition ``pending`` across a process pool; order-preserving."""
-        from concurrent.futures import ProcessPoolExecutor
+        """Shard ``pending`` over the shared-memory pool; order-preserving.
 
-        import multiprocessing
-
-        n_workers = min(n_jobs, max(1, len(pending) // MIN_CONDITIONS_PER_WORKER))
-        if n_workers <= 1:
-            return [self._compute(condition) for condition in pending]
-
+        The frozen snapshot is published to shared memory once; chunk
+        payloads carry only the handle and the conditions.  Pool
+        *infrastructure* failures fall back to in-process execution
+        inside :func:`repro.parallel.run_sharded`.
+        """
         # Balance chunks by condition size: sort heavy-first, deal
         # round-robin, then restore the original order on merge.
         order = sorted(
@@ -281,35 +320,31 @@ class ProbabilityEngine:
             chunks[position % n_chunks].append(index)
         chunks = [chunk for chunk in chunks if chunk]
 
-        snapshot = self.store.snapshot()
         seeds = self._rng.integers(0, 2**31 - 1, size=len(chunks))
-        payloads = [
-            (
-                snapshot,
-                self.method,
-                [pending[i] for i in chunk],
-                self._approx_samples,
-                int(seed),
-            )
-            for chunk, seed in zip(chunks, seeds)
-        ]
+        bundle = SharedArrayBundle.publish(self.store.pack_snapshot())
         start = time.perf_counter()
         try:
-            try:
-                context = multiprocessing.get_context("fork")
-            except ValueError:  # pragma: no cover - non-POSIX platforms
-                context = multiprocessing.get_context()
-            with ProcessPoolExecutor(
-                max_workers=len(chunks), mp_context=context
-            ) as pool:
-                chunk_results = list(pool.map(_compute_chunk, payloads))
-        except (OSError, RuntimeError):  # pragma: no cover - pool unavailable
-            return [self._compute(condition) for condition in pending]
+            payloads = [
+                (
+                    bundle.handle,
+                    self.method,
+                    [pending[i] for i in chunk],
+                    self._approx_samples,
+                    int(seed),
+                )
+                for chunk, seed in zip(chunks, seeds)
+            ]
+            run = run_sharded(_compute_chunk, payloads, n_workers)
         finally:
+            bundle.unlink()
+            # run_sharded's in-process fallback attaches in this process;
+            # rebuilt stores copy the pmfs, so unmapping is safe
+            detach_all()
             self.parallel_seconds += time.perf_counter() - start
         self.n_parallel_chunks += len(chunks)
+        self.parallel_worker_seconds = list(run.worker_seconds)
         out: List[float] = [0.0] * len(pending)
-        for chunk, values in zip(chunks, chunk_results):
+        for chunk, values in zip(chunks, run.results):
             for index, value in zip(chunk, values):
                 out[index] = value
         return out
@@ -397,6 +432,8 @@ class ProbabilityEngine:
             "batch_seconds": self.batch_seconds,
             "parallel_chunks": self.n_parallel_chunks,
             "parallel_seconds": self.parallel_seconds,
+            "pool_workers": self._pool_decision.n_workers,
+            "pool_decision": self._pool_decision.reason,
             "probabilities_per_sec": (
                 self.n_batch_conditions / self.batch_seconds
                 if self.batch_seconds > 0

@@ -1,0 +1,139 @@
+"""Tests for the shared-memory multiprocessing substrate (repro.parallel).
+
+Covers the pool auto-selection policy (the fig03 fallback bug: pools must
+never spawn on single-core hosts, above the usable cores, or for batches
+too small to amortize startup), the shared-array publish/attach
+round-trip, and order preservation of the sharded runner.
+"""
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    PoolDecision,
+    SharedArrayBundle,
+    attach_arrays,
+    decide_workers,
+    detach_all,
+    run_sharded,
+    usable_cpu_count,
+)
+
+
+def _square(shard):
+    # module-level so the process pool can pickle it
+    return [x * x for x in shard]
+
+
+def _fail(shard):
+    raise ValueError("worker exploded on %r" % (shard,))
+
+
+class TestDecideWorkers:
+    def test_n_jobs_one_is_sequential(self):
+        decision = decide_workers(1, 1000, 1, cpu_count=8)
+        assert decision.n_workers == 1
+        assert not decision.parallel
+        assert "requests no pool" in decision.reason
+
+    def test_single_core_host_never_pools(self):
+        decision = decide_workers(4, 1000, 1, cpu_count=1)
+        assert decision.n_workers == 1
+        assert "single usable core" in decision.reason
+
+    def test_small_batch_stays_sequential(self):
+        # 5 items cannot feed two workers at 8 items per worker
+        decision = decide_workers(4, 5, 8, cpu_count=8)
+        assert decision.n_workers == 1
+        assert "below the 8-per-worker floor" in decision.reason
+
+    def test_oversubscription_is_clamped(self):
+        decision = decide_workers(8, 1000, 1, cpu_count=4)
+        assert decision.n_workers == 4
+        assert decision.parallel
+        assert "clamped to 4 usable cores" in decision.reason
+
+    def test_zero_means_one_per_core(self):
+        decision = decide_workers(0, 1000, 1, cpu_count=4)
+        assert decision.n_workers == 4
+        assert decision.parallel
+
+    def test_plain_parallel(self):
+        decision = decide_workers(2, 1000, 1, cpu_count=4)
+        assert decision == PoolDecision(2, "parallel: 2 workers")
+
+    def test_work_limits_workers(self):
+        # 20 items at 8 per worker feed at most 2 workers, not 4
+        decision = decide_workers(4, 20, 8, cpu_count=8)
+        assert decision.n_workers == 2
+
+    def test_usable_cpu_count_positive(self):
+        assert usable_cpu_count() >= 1
+
+
+class TestSharedArrays:
+    def test_publish_attach_roundtrip(self):
+        arrays = {
+            "a": np.arange(12, dtype=np.int64).reshape(3, 4),
+            "b": np.linspace(0.0, 1.0, 7),
+            "empty": np.zeros((0, 3), dtype=np.float64),
+        }
+        bundle = SharedArrayBundle.publish(arrays)
+        try:
+            attached = attach_arrays(bundle.handle)
+            assert set(attached) == set(arrays)
+            for name, original in arrays.items():
+                np.testing.assert_array_equal(attached[name], original)
+                assert attached[name].dtype == original.dtype
+        finally:
+            detach_all()
+            bundle.unlink()
+
+    def test_attach_is_cached_per_process(self):
+        bundle = SharedArrayBundle.publish({"x": np.ones(4)})
+        try:
+            first = attach_arrays(bundle.handle)
+            second = attach_arrays(bundle.handle)
+            assert first is second
+        finally:
+            detach_all()
+            bundle.unlink()
+
+    def test_handle_is_picklable(self):
+        import pickle
+
+        bundle = SharedArrayBundle.publish({"x": np.arange(3)})
+        try:
+            clone = pickle.loads(pickle.dumps(bundle.handle))
+            assert clone == bundle.handle
+        finally:
+            bundle.unlink()
+
+    def test_unlink_is_idempotent(self):
+        bundle = SharedArrayBundle.publish({"x": np.arange(3)})
+        bundle.unlink()
+        bundle.unlink()
+        assert bundle.arrays == {}
+
+
+class TestRunSharded:
+    def test_in_process_when_single_worker(self):
+        shards = [[1, 2], [3], [4, 5, 6]]
+        run = run_sharded(_square, shards, 1)
+        assert run.results == [[1, 4], [9], [16, 25, 36]]
+        assert len(run.worker_seconds) == len(shards)
+        assert run.pool_seconds >= 0.0
+
+    def test_pool_preserves_shard_order(self):
+        shards = [[i, i + 1] for i in range(8)]
+        run = run_sharded(_square, shards, 2)
+        assert run.results == [_square(shard) for shard in shards]
+        assert len(run.worker_seconds) == len(shards)
+
+    def test_single_shard_skips_pool(self):
+        run = run_sharded(_square, [[7]], 4)
+        assert run.results == [[49]]
+
+    def test_worker_exceptions_propagate(self):
+        with pytest.raises(ValueError, match="worker exploded"):
+            run_sharded(_fail, [[1], [2]], 2)

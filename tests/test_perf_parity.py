@@ -16,9 +16,11 @@ from repro.ctable import (
     build_ctable,
     dominator_sets_baseline,
     dominator_sets_numpy,
+    pruned_dominator_scan,
 )
 from repro.datasets import MISSING, IncompleteDataset
 from repro.lru import LRUCache
+from repro.parallel import PoolDecision
 from repro.probability import DistributionStore, ProbabilityEngine
 
 
@@ -102,6 +104,93 @@ class TestBackendParity:
         )
 
 
+class TestPruningParity:
+    """The dominance-pruning pre-pass is a pure optimization.
+
+    On any dataset, any alpha and either emission backend the pruned
+    build must produce the identical c-table -- same conditions, same
+    alpha-pruned set -- while its pair accounting covers the full
+    ordered-pair universe.
+    """
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        incomplete_datasets(),
+        st.sampled_from([0.02, 0.05, 0.3, 1.0]),
+        st.sampled_from(["python", "numpy"]),
+    )
+    def test_pruned_build_matches_unpruned(self, dataset, alpha, backend):
+        plain = build_ctable(dataset, alpha=alpha, backend=backend, prune="off")
+        pruned = build_ctable(dataset, alpha=alpha, backend=backend, prune="on")
+        assert pruned.conditions == plain.conditions
+        assert pruned.pruned == plain.pruned
+        stats = pruned.build_stats
+        n = dataset.n_objects
+        assert stats["prune_enabled"]
+        assert stats["pairs_tested"] + stats["pairs_pruned"] == n * (n - 1)
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("missing_rate", [0.0, 0.2, 0.6])
+    def test_parity_on_larger_random_datasets(self, seed, missing_rate):
+        dataset = random_dataset(seed, n=70, d=4, missing_rate=missing_rate)
+        for alpha in (0.05, 0.3):
+            plain = build_ctable(dataset, alpha=alpha, prune="off")
+            pruned = build_ctable(dataset, alpha=alpha, prune="on")
+            assert pruned.conditions == plain.conditions
+            assert pruned.pruned == plain.pruned
+
+    def test_unpruned_stats_cover_the_universe_too(self):
+        dataset = random_dataset(5, n=30)
+        stats = build_ctable(dataset, alpha=0.2, prune="off").build_stats
+        n = dataset.n_objects
+        assert not stats["prune_enabled"]
+        assert stats["pairs_pruned"] == 0
+        assert stats["pairs_tested"] == stats["pair_universe"] == n * (n - 1)
+        assert stats["builds"] == 1
+
+    def test_auto_prunes_only_the_numpy_backend(self):
+        dataset = random_dataset(6, n=25)
+        auto = build_ctable(dataset, alpha=0.2, prune="auto")
+        assert auto.build_stats["prune_enabled"]
+        scalar = build_ctable(dataset, alpha=0.2, backend="python", prune="auto")
+        assert not scalar.build_stats["prune_enabled"]
+
+    def test_invalid_prune_mode_rejected(self):
+        with pytest.raises(ValueError, match="prune"):
+            build_ctable(random_dataset(0, n=5), prune="maybe")
+
+    def test_sharded_scan_matches_sequential(self, monkeypatch):
+        # Force the pool past decide_workers so the sharded path runs
+        # even on single-core CI hosts.
+        dataset = random_dataset(7, n=300, d=3, missing_rate=0.3)
+        limit = 0.05 * dataset.n_objects
+        sequential = pruned_dominator_scan(dataset, limit, n_jobs=1)
+        monkeypatch.setattr(
+            "repro.ctable.pruning.decide_workers",
+            lambda *a, **k: PoolDecision(3, "parallel: forced by test"),
+        )
+        sharded = pruned_dominator_scan(dataset, limit, n_jobs=3)
+        np.testing.assert_array_equal(
+            sharded.dominator_counts, sequential.dominator_counts
+        )
+        assert set(sharded.open_sets) == set(sequential.open_sets)
+        for o, objs in sequential.open_sets.items():
+            np.testing.assert_array_equal(sharded.open_sets[o], objs)
+        assert (
+            sharded.stats["pairs_tested"] == sequential.stats["pairs_tested"]
+        )
+        assert sharded.stats["scan_workers"] == 3
+        assert sharded.stats["blocks_sharded"] > 1
+
+    def test_empty_dataset_scan(self):
+        dataset = IncompleteDataset(
+            values=np.zeros((0, 2), dtype=np.int64), domain_sizes=[3, 3]
+        )
+        scan = pruned_dominator_scan(dataset, 0.0)
+        assert len(scan.dominator_counts) == 0
+        assert scan.stats["pair_universe"] == 0
+
+
 class TestProbabilityParity:
     def _engine_pair(self, seed, source=uniform_distributions, **kwargs):
         dataset = random_dataset(seed, n=50, d=3, missing_rate=0.35)
@@ -129,6 +218,48 @@ class TestProbabilityParity:
         expected = [scalar.probability(c) for c in workload]
         actual = pooled.probability_many(workload)
         assert actual == pytest.approx(expected, abs=1e-12)
+
+    def test_forced_shared_memory_pool_matches_scalar(self, monkeypatch):
+        # decide_workers refuses a pool on single-core CI hosts; force it
+        # so the publish/attach/compute path actually runs in workers.
+        conditions, store, __ = self._engine_pair(2, source=empirical_distributions)
+        workload = [c for c in conditions if not c.is_constant] or conditions
+        scalar = ProbabilityEngine(store)
+        expected = [scalar.probability(c) for c in workload]
+        monkeypatch.setattr(
+            "repro.probability.engine.decide_workers",
+            lambda *a, **k: PoolDecision(2, "parallel: forced by test"),
+        )
+        pooled = ProbabilityEngine(store.snapshot(), n_jobs=2)
+        actual = pooled.probability_many(workload)
+        assert actual == pytest.approx(expected, abs=1e-12)
+        stats = pooled.stats()
+        assert stats["pool_workers"] == 2
+        assert stats["pool_decision"] == "parallel: forced by test"
+        assert stats["parallel_chunks"] >= 2
+        assert len(pooled.parallel_worker_seconds) == stats["parallel_chunks"]
+
+    def test_pool_fallback_decision_is_recorded(self):
+        conditions, store, __ = self._engine_pair(0)
+        engine = ProbabilityEngine(store, n_jobs=64)
+        engine.probability_many(conditions)
+        stats = engine.stats()
+        # Whatever this host decides, the decision must be recorded and
+        # oversubscription must never exceed the usable cores.
+        assert stats["pool_decision"].startswith(("sequential:", "parallel:"))
+        from repro.parallel import usable_cpu_count
+
+        assert stats["pool_workers"] <= usable_cpu_count()
+
+    def test_packed_snapshot_roundtrip(self):
+        __, store, ___ = self._engine_pair(1, source=empirical_distributions)
+        clone = DistributionStore.from_packed(
+            {k: np.asarray(v) for k, v in store.pack_snapshot().items()}
+        )
+        for variable in store.variables():
+            np.testing.assert_allclose(
+                clone.pmf(variable), store.pmf(variable), atol=1e-15
+            )
 
     def test_bulk_expressions_match_scalar(self):
         conditions, store, __ = self._engine_pair(2)

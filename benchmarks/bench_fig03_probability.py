@@ -23,7 +23,7 @@ from pathlib import Path
 import pytest
 
 from repro.bayesnet.posteriors import empirical_distributions
-from repro.ctable import build_ctable
+from repro.ctable import Relation, build_ctable, var_greater_const
 from repro.experiments.data import nba_dataset, synthetic_dataset
 from repro.obs import MetricsRegistry, Tracer
 from repro.probability import (
@@ -110,6 +110,7 @@ def run_standalone(kind, n, missing_rate, alpha, n_jobs, out_path):
         ("sequential", dict(n_jobs=1), False),
         ("batch", dict(n_jobs=1), True),
         ("batch_pool", dict(n_jobs=n_jobs), True),
+        ("compiled", dict(n_jobs=1, backend="compiled"), True),
     ]
     baseline_values = None
     for name, engine_kwargs, batched in variants:
@@ -124,6 +125,7 @@ def run_standalone(kind, n, missing_rate, alpha, n_jobs, out_path):
             else:
                 values = [engine.probability(c) for c in conditions]
         seconds = span.seconds
+        drift = 0.0
         if baseline_values is None:
             baseline_values = values
         else:
@@ -149,6 +151,12 @@ def run_standalone(kind, n, missing_rate, alpha, n_jobs, out_path):
             "pool_decision": stats["pool_decision"],
             "speedup_vs_sequential": round(reference / seconds, 2) if seconds else 0.0,
         }
+        if name != "sequential":
+            extra["parity_max_drift"] = drift
+        if engine_kwargs.get("backend") == "compiled":
+            extra["circuits_compiled"] = stats["circuits_compiled"]
+            extra["circuit_nodes"] = stats["circuit_nodes"]
+            extra["compile_fallbacks"] = stats["compile_fallbacks"]
         rows.append(
             {
                 "name": "probability[%s,n=%d,%s]" % (kind, n, name),
@@ -167,12 +175,149 @@ def run_standalone(kind, n, missing_rate, alpha, n_jobs, out_path):
                 extra["parallel_chunks"],
             )
         )
+    rows.append(_fallback_row(kind, n, conditions, store, baseline_values, tracer))
+    rows.extend(run_rounds(kind, n, missing_rate, alpha, tracer, registry))
     Path(out_path).write_text(
         json.dumps(
             {"benchmarks": rows, "metrics": registry.snapshot()}, indent=2
         )
     )
     print("wrote %s" % out_path)
+
+
+def _fallback_row(kind, n, conditions, store, baseline_values, tracer):
+    """Compiled backend under a starved node budget: the fallback ladder.
+
+    Every non-trivial condition trips the compile budget, the compile
+    breaker opens, and ADPLL answers instead -- values must stay exact.
+    """
+    engine = ProbabilityEngine(
+        store.snapshot(), backend="compiled", compile_node_budget=8
+    )
+    with tracer.span("probability[compiled_fallback]", phase="probability") as span:
+        values = engine.probability_many(conditions)
+    drift = max(
+        (abs(a - b) for a, b in zip(baseline_values, values)), default=0.0
+    )
+    assert drift < 1e-9, "fallback path drifted by %g" % drift
+    stats = engine.stats()
+    assert stats["compile_fallbacks"] > 0, "budget of 8 nodes never tripped"
+    extra = {
+        "variant": "compiled_fallback",
+        "conditions": len(conditions),
+        "forced_budget_trip": True,
+        "compile_node_budget": 8,
+        "compile_fallbacks": stats["compile_fallbacks"],
+        "circuits_compiled": stats["circuits_compiled"],
+        "compile_breaker_state": stats["compile_breaker_state"],
+        "parity_max_drift": drift,
+    }
+    print(
+        "%-11s %8.3fs  (%d fallbacks, breaker %s)"
+        % (
+            "fallback",
+            span.seconds,
+            stats["compile_fallbacks"],
+            stats["compile_breaker_state"],
+        )
+    )
+    return {
+        "name": "probability[%s,n=%d,compiled_fallback]" % (kind, n),
+        "fullname": "bench_fig03_probability.py::standalone",
+        "stats": {"mean": span.seconds},
+        "extra_info": extra,
+    }
+
+
+def run_rounds(kind, n, missing_rate, alpha, tracer, registry, rounds=5):
+    """Per-round re-weighting: ADPLL recompute vs compiled re-propagation.
+
+    Two independent constraint sets receive the same deterministic answer
+    sequence (``Var > 0`` facts applied straight to the constraints, so
+    conditions never simplify -- a pure weight-change workload).  Each
+    round, both engines recompute every condition; the compiled engine
+    must re-propagate leaf weights without a single recompilation.
+    """
+    conditions_a, store_a, __ = _feasible_conditions(
+        kind, missing_rate, n=n, alpha=alpha, cap=None
+    )
+    conditions_b, store_b, __ = _feasible_conditions(
+        kind, missing_rate, n=n, alpha=alpha, cap=None
+    )
+    assert conditions_a == conditions_b, "dataset generation is not deterministic"
+    engine_adpll = ProbabilityEngine(store_a)
+    engine_compiled = ProbabilityEngine(store_b, backend="compiled")
+    # warm-up: compile every circuit / fill every cache before timing
+    engine_adpll.probability_many(conditions_a)
+    engine_compiled.probability_many(conditions_b)
+    answered = sorted({v for c in conditions_a for v in c.variables()})
+    per_round = max(1, min(32, len(answered) // rounds))
+    adpll_seconds = 0.0
+    compiled_seconds = 0.0
+    played = 0
+    for r in range(rounds):
+        batch = answered[r * per_round : (r + 1) * per_round]
+        if not batch:
+            break
+        for variable in batch:
+            answer = var_greater_const(variable[0], variable[1], 0)
+            store_a.constraints.apply_answer(answer, Relation.GREATER)
+            store_b.constraints.apply_answer(answer, Relation.GREATER)
+        played += len(batch)
+        with tracer.span("round[adpll,%d]" % r, phase="probability") as span:
+            values_a = engine_adpll.probability_many(conditions_a)
+        adpll_seconds += span.seconds
+        with tracer.span("round[compiled,%d]" % r, phase="probability") as span:
+            values_b = engine_compiled.probability_many(conditions_b)
+        compiled_seconds += span.seconds
+        drift = max(
+            (abs(a - b) for a, b in zip(values_a, values_b)), default=0.0
+        )
+        assert drift < 1e-9, "round %d drifted by %g" % (r, drift)
+    stats = engine_compiled.stats()
+    assert stats["recompiles"] == 0, (
+        "weight-only answers recompiled %d circuits" % stats["recompiles"]
+    )
+    registry.absorb(stats, prefix="engine_rounds_")
+    speedup = adpll_seconds / compiled_seconds if compiled_seconds else 0.0
+    common = {
+        "conditions": len(conditions_a),
+        "rounds": rounds,
+        "answers_played": played,
+        "weight_only": True,
+    }
+    print(
+        "rounds       adpll %.3fs  compiled %.3fs  (%.2fx, %d propagations, "
+        "%d recompiles)"
+        % (
+            adpll_seconds,
+            compiled_seconds,
+            speedup,
+            stats["propagations"],
+            stats["recompiles"],
+        )
+    )
+    return [
+        {
+            "name": "probability[%s,n=%d,adpll_rounds]" % (kind, n),
+            "fullname": "bench_fig03_probability.py::standalone",
+            "stats": {"mean": adpll_seconds},
+            "extra_info": dict(common, variant="adpll_rounds", recompiles=0),
+        },
+        {
+            "name": "probability[%s,n=%d,compiled_rounds]" % (kind, n),
+            "fullname": "bench_fig03_probability.py::standalone",
+            "stats": {"mean": compiled_seconds},
+            "extra_info": dict(
+                common,
+                variant="compiled_rounds",
+                recompiles=stats["recompiles"],
+                propagations=stats["propagations"],
+                circuits_compiled=stats["circuits_compiled"],
+                speedup_vs_adpll=round(speedup, 2),
+            ),
+        },
+    ]
 
 
 def main(argv=None):

@@ -15,7 +15,10 @@ Beyond timings, every fresh row carrying the c-table pair-accounting
 fields is checked for the pruning invariant ``pairs_tested +
 pairs_pruned == pair_universe`` (and a pruned variant must actually
 prune: ``pairs_tested < pair_universe``), so a broken pruning pre-pass
-fails the guard even when its timing looks fine.
+fails the guard even when its timing looks fine.  Probability rows are
+held to the compiled-backend contracts the same way: parity drift within
+1e-9, zero recompiles on weight-only answer rounds, and a non-zero
+fallback count whenever a row claims a forced compile-budget trip.
 
 Exit status: 0 when nothing regressed (or nothing was comparable),
 1 on regression, 2 on unreadable input.
@@ -59,6 +62,37 @@ def pair_accounting_problems(path):
             problems.append(
                 "%s: pruned variant tested the full pair universe (%r)"
                 % (name, universe)
+            )
+    return problems
+
+
+def probability_problems(path):
+    """Violations of the compiled-backend invariants in one fresh JSON.
+
+    Three contracts, each carried by ``extra_info`` fields the probability
+    benchmark emits: exact-parity rows must agree with the sequential
+    baseline to 1e-9, weight-only answer rounds must never recompile a
+    circuit, and a forced-budget row must actually exercise the fallback
+    ladder.
+    """
+    data = json.loads(Path(path).read_text())
+    problems = []
+    for row in data.get("benchmarks", []):
+        extra = row.get("extra_info", {})
+        name = row.get("name", "?")
+        drift = extra.get("parity_max_drift")
+        if drift is not None and not drift <= 1e-9:
+            problems.append(
+                "%s: parity_max_drift %g exceeds 1e-9" % (name, drift)
+            )
+        if extra.get("weight_only") and extra.get("recompiles", 0) != 0:
+            problems.append(
+                "%s: weight-only rounds recompiled %r circuits"
+                % (name, extra["recompiles"])
+            )
+        if extra.get("forced_budget_trip") and not extra.get("compile_fallbacks"):
+            problems.append(
+                "%s: forced budget trip produced no compile fallbacks" % name
             )
     return problems
 
@@ -139,6 +173,9 @@ def main(argv=None):
         for problem in pair_accounting_problems(fresh_path):
             failed = True
             print("  ACCOUNTING %s" % problem, file=sys.stderr)
+        for problem in probability_problems(fresh_path):
+            failed = True
+            print("  PROBABILITY %s" % problem, file=sys.stderr)
     if failed:
         return 1
     print("bench guard ok: no row regressed beyond %.2fx" % args.threshold)

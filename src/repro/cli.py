@@ -82,6 +82,19 @@ def build_parser() -> argparse.ArgumentParser:
         "(0 = unbounded; default %d)" % BayesCrowdConfig.utility_cache_size,
     )
     perf.add_argument(
+        "--probability-backend", choices=["adpll", "compiled"], default="adpll",
+        help="exact-probability backend: 'adpll' re-solves each condition "
+        "per round; 'compiled' compiles each condition once into a "
+        "d-DNNF circuit and re-propagates weights as answers arrive "
+        "(compilation blowups degrade to ADPLL, then sampling)",
+    )
+    perf.add_argument(
+        "--compile-node-budget", type=int, default=None, metavar="N",
+        help="node cap for compiling one condition's circuit before "
+        "degrading to ADPLL (0 = unlimited; default %d)"
+        % BayesCrowdConfig.compile_node_budget,
+    )
+    perf.add_argument(
         "--perf", action="store_true",
         help="print engine/c-table perf counters after the run",
     )
@@ -221,6 +234,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             backend=args.backend,
             ctable_prune=args.ctable_prune,
             n_jobs=args.n_jobs,
+            probability_backend=args.probability_backend,
+            **(
+                {"compile_node_budget": args.compile_node_budget}
+                if args.compile_node_budget is not None
+                else {}
+            ),
             selection_batch=(args.selection == "batched"),
             **(
                 {"utility_cache_size": args.utility_cache_size}
@@ -360,6 +379,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                 stats.get("rankings", 0),
             )
         )
+        if stats.get("probability_backend") == "compiled":
+            print(
+                "compiled: %d circuits (%d nodes), %d propagations, "
+                "%d recompiles, %d reuses, %d fallbacks"
+                % (
+                    stats.get("circuits_compiled", 0),
+                    stats.get("circuit_nodes", 0),
+                    stats.get("propagations", 0),
+                    stats.get("recompiles", 0),
+                    stats.get("circuit_reuses", 0),
+                    stats.get("compile_fallbacks", 0),
+                )
+            )
         candidates = stats.get("utility_candidates_total", 0)
         evals = stats.get("utility_evals_total", 0)
         print(

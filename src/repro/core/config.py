@@ -12,7 +12,8 @@ from ..ctable.constraints import INFERENCE_MODES
 from ..ctable.construction import BACKENDS
 from ..ctable.pruning import PRUNE_MODES
 from ..ctable.dominators import DOMINATOR_METHODS
-from ..probability.engine import DEFAULT_CACHE_SIZE, METHODS
+from ..probability.compile import DEFAULT_COMPILE_NODE_BUDGET
+from ..probability.engine import DEFAULT_CACHE_SIZE, METHODS, PROBABILITY_BACKENDS
 from .utility import UTILITY_MODES
 from .utility_engine import DEFAULT_UTILITY_CACHE_SIZE
 
@@ -46,6 +47,13 @@ class BayesCrowdConfig:
     m: int = 15
     #: probability computation method: "adpll", "naive" or "approx"
     probability_method: str = "adpll"
+    #: exact-probability backend (method "adpll" only): "adpll" re-solves
+    #: each condition every round, "compiled" compiles each condition once
+    #: into a d-DNNF circuit and re-propagates weights as answers arrive
+    probability_backend: str = "adpll"
+    #: node cap for compiling one condition's circuit before the engine
+    #: degrades to ADPLL-then-sampling (0 = unlimited)
+    compile_node_budget: int = DEFAULT_COMPILE_NODE_BUDGET
     #: objects with Pr(phi) above this are reported as answers
     answer_threshold: float = 0.5
     #: stop crowdsourcing early once every undecided object's entropy falls
@@ -153,6 +161,17 @@ class BayesCrowdConfig:
             raise ValueError("unknown strategy %r" % self.strategy)
         if self.probability_method not in METHODS:
             raise ValueError("unknown probability method %r" % self.probability_method)
+        if self.probability_backend not in PROBABILITY_BACKENDS:
+            raise ValueError(
+                "unknown probability backend %r; expected one of %r"
+                % (self.probability_backend, PROBABILITY_BACKENDS)
+            )
+        if self.probability_backend == "compiled" and self.probability_method != "adpll":
+            raise ValueError(
+                "probability_backend='compiled' replaces the exact ADPLL "
+                "path and requires probability_method='adpll', got %r"
+                % (self.probability_method,)
+            )
         if not 0.0 <= self.answer_threshold <= 1.0:
             raise ValueError("answer_threshold must lie in [0, 1]")
         if not 0.0 <= self.entropy_epsilon <= 1.0:
@@ -224,6 +243,12 @@ class BayesCrowdConfig:
             raise ConfigError("adpll_node_budget must be non-negative")
         if self.adpll_deadline_s < 0:
             raise ConfigError("adpll_deadline_s must be non-negative (0 = none)")
+        if not isinstance(self.compile_node_budget, int) or isinstance(
+            self.compile_node_budget, bool
+        ):
+            raise ConfigError("compile_node_budget must be an int (0 = unlimited)")
+        if self.compile_node_budget < 0:
+            raise ConfigError("compile_node_budget must be non-negative")
         try:
             prior = tuple(float(x) for x in self.reliability_prior)
         except (TypeError, ValueError):

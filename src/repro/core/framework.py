@@ -452,6 +452,8 @@ class BayesCrowd:
             n_jobs=config.n_jobs,
             node_budget=config.adpll_node_budget,
             deadline_s=config.adpll_deadline_s,
+            backend=config.probability_backend,
+            compile_node_budget=config.compile_node_budget,
         )
         engine.attach_cancellation(cancel)
         self.ctable = ctable
@@ -479,8 +481,9 @@ class BayesCrowd:
         # Warm the engine's cache in one batch so the initial result set
         # and the first round's ranking reuse every probability.
         with tracer.span("probability", stage="initial"):
+            undecided = ctable.undecided()
             engine.probability_many(
-                [ctable.condition(o) for o in ctable.undecided()]
+                [ctable.condition(o) for o in undecided], objects=undecided
             )
             for worker, seconds in enumerate(engine.parallel_worker_seconds):
                 tracer.record(
@@ -602,8 +605,9 @@ class BayesCrowd:
 
         # One last batch pass so the final result set reads from cache.
         with tracer.span("probability", stage="final"):
+            undecided = ctable.undecided()
             engine.probability_many(
-                [ctable.condition(o) for o in ctable.undecided()]
+                [ctable.condition(o) for o in undecided], objects=undecided
             )
             answers = ctable.result_set(engine.probability, config.answer_threshold)
             probabilities: Dict[int, float] = {}

@@ -17,9 +17,11 @@ from __future__ import annotations
 from collections import Counter
 from typing import (
     Callable,
+    Dict,
     FrozenSet,
     Iterable,
     Iterator,
+    List,
     Mapping,
     Optional,
     Tuple,
@@ -176,6 +178,53 @@ class Condition:
 
     def n_expression_occurrences(self) -> int:
         return sum(len(clause) for clause in self.clauses)
+
+    def is_variable_disjoint(self) -> bool:
+        """True when no variable occurs in more than one expression.
+
+        This is the "independent" normal form shared by ADPLL and the
+        circuit compiler: with every expression over distinct variables,
+        the probability follows from product/complement rules alone, so
+        neither solver needs to branch.  Constants are trivially disjoint.
+        """
+        return all(count == 1 for count in self.variable_counts().values())
+
+    def connected_components(self) -> List["Condition"]:
+        """Partition the clauses into variable-connected sub-conditions.
+
+        Two clauses are connected when they share a variable; maximal
+        groups are probabilistically independent, so both ADPLL and the
+        circuit compiler solve them separately and multiply.  Returns
+        ``[self]`` for constants and single-component conditions (callers
+        check ``len() > 1`` before recursing, which also guards against
+        infinite recursion).  Union-find over clause indices.
+        """
+        if self.is_constant or len(self.clauses) < 2:
+            return [self]
+        parent = list(range(len(self.clauses)))
+
+        def find(i: int) -> int:
+            while parent[i] != i:
+                parent[i] = parent[parent[i]]
+                i = parent[i]
+            return i
+
+        owner: Dict[Variable, int] = {}
+        for index, clause in enumerate(self.clauses):
+            for expression in clause:
+                for variable in expression.variables():
+                    if variable in owner:
+                        root_a, root_b = find(owner[variable]), find(index)
+                        if root_a != root_b:
+                            parent[root_b] = root_a
+                    else:
+                        owner[variable] = index
+        groups: Dict[int, List[Clause]] = {}
+        for index, clause in enumerate(self.clauses):
+            groups.setdefault(find(index), []).append(clause)
+        if len(groups) == 1:
+            return [self]
+        return [Condition.of(clauses) for clauses in groups.values()]
 
     # ------------------------------------------------------------------
     # semantics

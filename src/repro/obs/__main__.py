@@ -43,6 +43,51 @@ CTABLE_COUNTERS = (
     "ctable_pair_universe",
 )
 
+#: Circuit-accounting counters of the compiled probability backend.
+PROBABILITY_COUNTERS = (
+    "engine_circuits_compiled",
+    "engine_circuit_nodes",
+    "engine_propagations",
+    "engine_recompiles",
+    "engine_compile_fallbacks",
+)
+
+
+def verify_probability(snapshot: dict, require: bool = False) -> List[str]:
+    """Problems with the compiled-backend circuit accounting (empty = ok).
+
+    The engine exports the counters on every run (zeros when the backend
+    is "adpll"); invariants: all non-negative, every recompile is a
+    compile (``recompiles <= circuits_compiled``), and any compiled
+    circuit has at least one node (``circuit_nodes >= circuits_compiled``
+    whenever anything compiled).  With ``require=False`` snapshots that
+    predate the counters pass vacuously; ``require=True`` makes their
+    absence an error.
+    """
+    counters = snapshot.get("counters", {})
+    missing = [name for name in PROBABILITY_COUNTERS if name not in counters]
+    if missing:
+        if require:
+            return ["probability counter(s) missing: %s" % ", ".join(missing)]
+        return []
+    problems: List[str] = []
+    if any(counters[name] < 0 for name in PROBABILITY_COUNTERS):
+        problems.append("probability circuit counters must be non-negative")
+    compiled = counters["engine_circuits_compiled"]
+    nodes = counters["engine_circuit_nodes"]
+    recompiles = counters["engine_recompiles"]
+    if recompiles > compiled:
+        problems.append(
+            "engine_recompiles %r exceeds engine_circuits_compiled %r"
+            % (recompiles, compiled)
+        )
+    if compiled > 0 and nodes < compiled:
+        problems.append(
+            "engine_circuit_nodes %r < engine_circuits_compiled %r "
+            "(every circuit has at least one node)" % (nodes, compiled)
+        )
+    return problems
+
 
 def verify_ctable(snapshot: dict, require: bool = False) -> List[str]:
     """Problems with the c-table pair accounting (empty = consistent).
@@ -244,6 +289,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "whenever the counters are present",
     )
     parser.add_argument(
+        "--probability", action="store_true",
+        help="require the compiled-backend circuit counters and check "
+        "their accounting invariants (recompiles <= circuits_compiled, "
+        "circuit_nodes >= circuits_compiled); without this flag the "
+        "invariants are still checked whenever the counters are present",
+    )
+    parser.add_argument(
         "--journal", default=None, metavar="PATH",
         help="verify a write-ahead answer journal: per-record checksums "
         "and sequence, plus replay invariants (open header first, "
@@ -281,6 +333,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         for problem in ctable_problems:
             print("ctable problem: %s" % problem, file=sys.stderr)
         return 2
+    probability_problems = verify_probability(snapshot, require=args.probability)
+    if probability_problems:
+        for problem in probability_problems:
+            print("probability problem: %s" % problem, file=sys.stderr)
+        return 2
     print(
         "metrics ok: %d counters, %d gauges, %d histograms (phases: %s)"
         % (
@@ -296,6 +353,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("integrity ok: quarantined + applied == aggregated")
     if args.ctable:
         print("ctable ok: pairs_tested + pairs_pruned == pair_universe")
+    if args.probability:
+        print("probability ok: circuit compile/propagate accounting adds up")
     if args.trace is not None:
         problems = verify_trace(args.trace)
         if problems:

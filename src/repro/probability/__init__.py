@@ -1,15 +1,22 @@
 """Probability computation for c-table conditions (Section 5)."""
 
-from .adpll import ADPLL, adpll_probability
+from .adpll import ADPLL, BRANCH_HEURISTICS, adpll_probability, pick_branch_variable
 from .approxcount import (
     ApproxEstimate,
     adaptive_approx_probability,
     approx_probability,
 )
+from .compile import (
+    DEFAULT_COMPILE_NODE_BUDGET,
+    CircuitStore,
+    CompiledCircuit,
+    compile_condition,
+)
 from .distributions import DistributionStore
 from .engine import (
     DEFAULT_CACHE_SIZE,
     METHODS,
+    PROBABILITY_BACKENDS,
     ProbabilityEngine,
     resolve_n_jobs,
 )
@@ -18,13 +25,20 @@ from .naive import EnumerationLimitExceeded, naive_probability
 
 __all__ = [
     "ADPLL",
+    "BRANCH_HEURISTICS",
     "adpll_probability",
+    "pick_branch_variable",
     "ApproxEstimate",
     "approx_probability",
     "adaptive_approx_probability",
+    "DEFAULT_COMPILE_NODE_BUDGET",
+    "CircuitStore",
+    "CompiledCircuit",
+    "compile_condition",
     "DistributionStore",
     "DEFAULT_CACHE_SIZE",
     "METHODS",
+    "PROBABILITY_BACKENDS",
     "ProbabilityEngine",
     "resolve_n_jobs",
     "CircuitBreaker",

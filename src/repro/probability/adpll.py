@@ -33,10 +33,12 @@ the same value as an unguarded one.
 
 from __future__ import annotations
 
+import math
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 from ..ctable.condition import Condition
+from ..datasets.dataset import Variable
 from ..errors import ResourceBudgetError
 from ..lru import LRUCache
 from .distributions import DistributionStore
@@ -47,55 +49,65 @@ from .distributions import DistributionStore
 #: table while keeping the recently hot residuals.
 DEFAULT_MEMO_SIZE = 262_144
 
+#: available branching-variable heuristics (shared with the circuit
+#: compiler, which splits on the same variable order):
+#: ``frequency``  -- most occurrences in the condition (the paper's);
+#: ``min_domain`` -- smallest domain under ``domain_size`` (fail-first);
+#: ``first``      -- smallest variable id (arbitrary-but-fixed control).
+BRANCH_HEURISTICS = ("frequency", "min_domain", "first")
 
-def _is_independent(condition: Condition) -> bool:
-    """True when no variable occurs in more than one expression occurrence."""
+
+def pick_branch_variable(
+    condition: Condition,
+    heuristic: str = "frequency",
+    domain_size: Optional[Callable[[Variable], int]] = None,
+) -> Variable:
+    """The next variable to split on, shared by ADPLL and the compiler.
+
+    ``domain_size`` supplies the per-variable size for ``min_domain``
+    (ADPLL passes remaining support, the compiler the base domain).  Ties
+    break on the smallest variable id so runs are reproducible (the paper
+    breaks ties randomly).
+    """
     counts = condition.variable_counts()
-    return all(count == 1 for count in counts.values())
+    if heuristic == "frequency":
+        return min(counts, key=lambda v: (-counts[v], v))
+    if heuristic == "min_domain":
+        if domain_size is None:
+            raise ValueError("min_domain needs a domain_size callback")
+        return min(counts, key=lambda v: (domain_size(v), v))
+    return min(counts)
 
 
 def _independent_probability(condition: Condition, store: DistributionStore) -> float:
-    """Direct evaluation via the conjunctive + disjunctive rules."""
-    result = 1.0
+    """Direct evaluation via the conjunctive + disjunctive rules.
+
+    Accumulated in log space: a wide clause's complement product
+    ``prod(1 - p_i)`` multiplies many factors near 1 (tiny ``p_i``), where
+    the naive running-product loop loses one ulp per step and can drift
+    past the engine's 1e-9 parity budget -- and a long conjunction of
+    near-zero clause probabilities underflows to 0 earlier than the log
+    sum does.  ``fsum(log1p(-p))`` keeps both exact to the last rounding.
+    """
+    log_result = 0.0
     for clause in condition.clauses:
-        none_true = 1.0
+        log_none_true = []
+        certain = False
         for expression in clause:
-            none_true *= 1.0 - store.prob_expression(expression)
-        result *= 1.0 - none_true
-    return result
-
-
-def _components(condition: Condition) -> List[Condition]:
-    """Split clauses into groups connected by shared variables (union-find)."""
-    clauses = condition.clauses
-    parent = list(range(len(clauses)))
-
-    def find(i: int) -> int:
-        while parent[i] != i:
-            parent[i] = parent[parent[i]]
-            i = parent[i]
-        return i
-
-    def union(i: int, j: int) -> None:
-        ri, rj = find(i), find(j)
-        if ri != rj:
-            parent[rj] = ri
-
-    owner: Dict[Tuple[int, int], int] = {}
-    for index, clause in enumerate(clauses):
-        for expression in clause:
-            for variable in expression.variables():
-                if variable in owner:
-                    union(owner[variable], index)
-                else:
-                    owner[variable] = index
-
-    groups: Dict[int, List] = {}
-    for index, clause in enumerate(clauses):
-        groups.setdefault(find(index), []).append(clause)
-    if len(groups) == 1:
-        return [condition]
-    return [Condition.of(group) for group in groups.values()]
+            p = store.prob_expression(expression)
+            if p >= 1.0:
+                # A certainly-true expression satisfies the clause: the
+                # factor is exactly 1 (log1p(-1) would raise instead).
+                certain = True
+                break
+            log_none_true.append(math.log1p(-p))
+        if certain:
+            continue
+        clause_p = -math.expm1(math.fsum(log_none_true))
+        if clause_p <= 0.0:
+            return 0.0
+        log_result += math.log(clause_p)
+    return math.exp(log_result)
 
 
 class ADPLL:
@@ -107,11 +119,9 @@ class ADPLL:
     instead of a random one, for reproducibility).
     """
 
-    #: available branching-variable heuristics:
-    #: ``frequency``  -- most occurrences in the condition (the paper's);
-    #: ``min_domain`` -- smallest remaining support (fail-first);
-    #: ``first``      -- smallest variable id (arbitrary-but-fixed control).
-    BRANCH_HEURISTICS = ("frequency", "min_domain", "first")
+    #: see the module-level :data:`BRANCH_HEURISTICS` (shared with the
+    #: circuit compiler); kept as a class attribute for callers
+    BRANCH_HEURISTICS = BRANCH_HEURISTICS
 
     def __init__(
         self,
@@ -193,9 +203,14 @@ class ADPLL:
         if cached is None:
             return None
         value, cached_version = cached
-        if cached_version == self._store.version:
+        version = self._store.version
+        if cached_version == version:
             return value
         if self._store.variables_unchanged_since(condition.variables(), cached_version):
+            # The scan proved the entry still valid at the current version:
+            # store that, so the next hit matches on version equality
+            # instead of re-paying the per-variable scan every time.
+            self._memo[condition] = (value, version)
             return value
         return None
 
@@ -208,11 +223,11 @@ class ADPLL:
             cached = self._memo_get(condition)
             if cached is not None:
                 return cached
-        if _is_independent(condition):
+        if condition.is_variable_disjoint():
             result = _independent_probability(condition, self._store)
         elif self._use_components:
             result = 1.0
-            for component in _components(condition):
+            for component in condition.connected_components():
                 result *= self._solve_component(component)
         else:
             result = self._branch(condition)
@@ -225,7 +240,7 @@ class ADPLL:
             cached = self._memo_get(component)
             if cached is not None:
                 return cached
-        if _is_independent(component):
+        if component.is_variable_disjoint():
             result = _independent_probability(component, self._store)
         else:
             result = self._branch(component)
@@ -233,15 +248,12 @@ class ADPLL:
             self._memo[component] = (result, self._store.version)
         return result
 
-    def _pick_branch_variable(self, condition: Condition):
-        counts = condition.variable_counts()
-        if self._branch_heuristic == "frequency":
-            # Most occurrences first; ties break on the smallest variable id
-            # so runs are reproducible (the paper breaks ties randomly).
-            return min(counts, key=lambda v: (-counts[v], v))
-        if self._branch_heuristic == "min_domain":
-            return min(counts, key=lambda v: (len(self._store.support(v)), v))
-        return min(counts)
+    def _pick_branch_variable(self, condition: Condition) -> Variable:
+        return pick_branch_variable(
+            condition,
+            self._branch_heuristic,
+            domain_size=lambda v: len(self._store.support(v)),
+        )
 
     def _branch(self, condition: Condition) -> float:
         """Sum over the support of the chosen branching variable."""

@@ -1,0 +1,586 @@
+"""Knowledge compilation: conditions to smoothed deterministic d-DNNF circuits.
+
+Exact model counting is the pipeline's one remaining asymptotic cost:
+ADPLL re-solves every ``phi(o)`` from scratch each round even though crowd
+answers only reassign variable weights (pmf renormalization onto narrowed
+allowed sets) or determine expressions.  Knowledge compilation splits the
+work: compile each condition ONCE into a circuit whose *structure* is
+store-independent, then answer every later probability query by weight
+propagation -- linear in circuit size (classic d-DNNF evaluation; the
+counting itself stays #P-hard, per Arenas et al., "Counting Problems over
+Incomplete Databases", which is why compilation runs under a node budget).
+
+The compiler mirrors ADPLL's search (same branching heuristics via
+:func:`repro.probability.adpll.pick_branch_variable`, same
+connected-component decomposition via ``Condition.connected_components``)
+but records the trace as a DAG instead of folding it into one number:
+
+* **decision nodes** -- branching on variable ``v`` becomes a SUM over
+  the *full base domain* of ``v``: each child is the product of the
+  value literal ``v = a`` and ``compile(phi[v := a])``.  Children are
+  mutually exclusive on ``v``'s value (deterministic) and ``v`` never
+  reappears below (decomposable).  Branching over the full domain --
+  not the currently supported values -- is what makes re-weighting
+  sound: a value whose probability drops to zero, or comes back after a
+  contradiction overwrite re-expands the allowed set, is just a leaf
+  whose weight moves;
+* **independent conditions** -- when no variable repeats
+  (``Condition.is_variable_disjoint``), a clause ``e1 v e2 v ...``
+  compiles without branching into the deterministic sum
+  ``e1 + !e1*e2 + !e1*!e2*e3 + ...``;
+* **component decomposition** -- variable-disjoint clause groups become
+  a decomposable AND of independently compiled circuits;
+* **leaves** -- *set literals* ``v in S`` (a var-vs-const expression and
+  its negation are both value sets, via ``Expression.true_values``)
+  weighted by ``sum(pmf(v)[S])``, plus *theory leaves* for var-vs-var
+  atoms ``x > y`` weighted by ``Pr(x > y)`` under the store.  Theory
+  leaves keep two-variable atoms atomic instead of splitting one side
+  into a full decision -- they only ever appear where the enclosing
+  structure guarantees independence, so determinism is preserved;
+* **smoothing** -- every SUM's children are padded with full-domain
+  literals of their missing variables so all children range over the
+  same scope.  With normalized pmfs the pad weight is exactly 1.0, so
+  smoothing never changes a probability; it is kept for the standard
+  d-DNNF invariants and costs one *shared* node per variable thanks to
+  dedup;
+* **node dedup** -- structurally identical nodes unify through a unique
+  table and identical residual conditions compile once, so the result
+  is a DAG, not a tree.
+
+:class:`CircuitStore` is the round-to-round cache: keyed by condition
+(and optionally by object), it re-propagates weights when the
+distribution store's version moves instead of recompiling, and compiles
+anew only when the condition itself changed -- i.e. an answer determined
+one of its expressions.  Compilation runs under a node budget;
+exhaustion raises :class:`repro.errors.ResourceBudgetError`, which the
+engine's compile-path circuit breaker turns into a degrade to ADPLL and,
+from there, the existing sampler ladder.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..ctable.condition import Clause, Condition
+from ..ctable.expression import Expression
+from ..datasets.dataset import Variable
+from ..errors import ResourceBudgetError
+from ..lru import LRUCache
+from .adpll import BRANCH_HEURISTICS, pick_branch_variable
+from .distributions import DistributionStore
+
+#: Default cap on nodes materialized while compiling ONE condition.
+#: Generous -- typical skyline conditions compile to a few hundred nodes
+#: -- but finite, because pathological clause entanglement is worst-case
+#: exponential; exhaustion degrades to ADPLL via the engine's breaker.
+DEFAULT_COMPILE_NODE_BUDGET = 200_000
+
+#: Default bound on circuits kept by :class:`CircuitStore` (LRU).
+DEFAULT_CIRCUIT_CACHE_SIZE = 16_384
+
+# Node kinds.  TRUE/FALSE are constants, LEAF_SET is "variable in value
+# set" (values None = the full-domain smoothing literal), LEAF_PAIR is a
+# var-vs-var theory atom (possibly negated), SUM/PROD are the internal
+# deterministic-or / decomposable-and gates.
+_TRUE = 0
+_FALSE = 1
+_LEAF_SET = 2
+_LEAF_PAIR = 3
+_SUM = 4
+_PROD = 5
+
+
+class CompiledCircuit:
+    """One condition's smoothed deterministic d-DNNF, ready to re-weight.
+
+    Nodes are stored column-wise (``kinds``/``payloads``/``children``)
+    with ids in topological order -- children are always created before
+    their parents -- so one forward pass over ``range(len(self))``
+    evaluates or incrementally re-propagates the whole DAG without
+    parent pointers or an explicit sort.
+
+    The circuit carries its last evaluation (``value``) and the store
+    version it was computed at (``version``); :meth:`propagate` brings
+    both forward by recomputing only the leaves of changed variables and
+    the internal nodes downstream of them.
+    """
+
+    __slots__ = (
+        "kinds",
+        "payloads",
+        "children",
+        "root",
+        "scope",
+        "leaf_vars",
+        "_set_index",
+        "_values",
+        "value",
+        "version",
+    )
+
+    def __init__(
+        self,
+        kinds: List[int],
+        payloads: List[object],
+        children: List[Tuple[int, ...]],
+        root: int,
+        scope: FrozenSet[Variable],
+    ) -> None:
+        self.kinds = kinds
+        self.payloads = payloads
+        self.children = children
+        self.root = root
+        self.scope = scope
+        # variable -> ids of weight-bearing leaves mentioning it (used to
+        # find dirty leaves on propagate; full-domain smoothing literals
+        # always weigh 1.0 and are skipped)
+        self.leaf_vars: Dict[Variable, List[int]] = {}
+        # node id -> ndarray of domain values, precomputed for fast gathers
+        self._set_index: Dict[int, np.ndarray] = {}
+        for node, kind in enumerate(kinds):
+            if kind == _LEAF_SET:
+                variable, values = payloads[node]
+                if values is None:
+                    continue
+                self._set_index[node] = np.asarray(values, dtype=np.intp)
+                self.leaf_vars.setdefault(variable, []).append(node)
+            elif kind == _LEAF_PAIR:
+                expression, __ = payloads[node]
+                for variable in expression.variables():
+                    self.leaf_vars.setdefault(variable, []).append(node)
+        self._values: Optional[List[float]] = None
+        self.value = 0.0
+        self.version = -1
+
+    def __len__(self) -> int:
+        return len(self.kinds)
+
+    def n_edges(self) -> int:
+        return sum(len(kids) for kids in self.children)
+
+    # ------------------------------------------------------------------
+    def _leaf_weight(self, node: int, store: DistributionStore) -> float:
+        kind = self.kinds[node]
+        if kind == _TRUE:
+            return 1.0
+        if kind == _FALSE:
+            return 0.0
+        if kind == _LEAF_SET:
+            variable, values = self.payloads[node]
+            if values is None:
+                # full-domain smoothing literal: pmfs are normalized
+                return 1.0
+            return float(store.pmf(variable)[self._set_index[node]].sum())
+        expression, negated = self.payloads[node]
+        p = store.prob_expression(expression)
+        return 1.0 - p if negated else p
+
+    def evaluate(self, store: DistributionStore) -> float:
+        """Full bottom-up pass; caches per-node values for :meth:`propagate`."""
+        values = [0.0] * len(self.kinds)
+        for node, kind in enumerate(self.kinds):
+            if kind == _PROD:
+                v = 1.0
+                for child in self.children[node]:
+                    v *= values[child]
+                    if v == 0.0:
+                        break
+                values[node] = v
+            elif kind == _SUM:
+                v = 0.0
+                for child in self.children[node]:
+                    v += values[child]
+                values[node] = v
+            else:
+                values[node] = self._leaf_weight(node, store)
+        self._values = values
+        self.value = values[self.root]
+        self.version = store.version
+        return self.value
+
+    def propagate(self, store: DistributionStore) -> float:
+        """Incremental re-weighting: recompute only what an answer moved.
+
+        Finds the variables constrained since the last evaluation,
+        refreshes their leaves, then sweeps forward once recomputing
+        internal nodes with a dirty child.  Linear in circuit size in the
+        worst case, and typically far less -- untouched subcircuits are
+        skipped entirely.
+        """
+        if self._values is None:
+            return self.evaluate(store)
+        since = self.version
+        changed = [
+            variable
+            for variable in self.leaf_vars
+            if not store.variables_unchanged_since((variable,), since)
+        ]
+        if not changed:
+            self.version = store.version
+            return self.value
+        values = self._values
+        dirty = bytearray(len(self.kinds))
+        for variable in changed:
+            for node in self.leaf_vars[variable]:
+                new = self._leaf_weight(node, store)
+                if new != values[node]:
+                    values[node] = new
+                    dirty[node] = 1
+        for node, kind in enumerate(self.kinds):
+            if kind != _SUM and kind != _PROD:
+                continue
+            kids = self.children[node]
+            if not any(dirty[child] for child in kids):
+                continue
+            if kind == _PROD:
+                v = 1.0
+                for child in kids:
+                    v *= values[child]
+                    if v == 0.0:
+                        break
+            else:
+                v = 0.0
+                for child in kids:
+                    v += values[child]
+            if v != values[node]:
+                values[node] = v
+                dirty[node] = 1
+        self.value = values[self.root]
+        self.version = store.version
+        return self.value
+
+
+class _Builder:
+    """Node factory with a unique table (dedup into a DAG) and a budget."""
+
+    def __init__(self, node_budget: int) -> None:
+        self.kinds: List[int] = []
+        self.payloads: List[object] = []
+        self.children: List[Tuple[int, ...]] = []
+        self.scopes: List[FrozenSet[Variable]] = []
+        self.node_budget = node_budget
+        self._unique: Dict[Tuple, int] = {}
+        self.TRUE = self._new(_TRUE, None, (), frozenset())
+        self.FALSE = self._new(_FALSE, None, (), frozenset())
+
+    def _new(
+        self,
+        kind: int,
+        payload: object,
+        kids: Tuple[int, ...],
+        scope: FrozenSet[Variable],
+    ) -> int:
+        key = (kind, payload, kids)
+        found = self._unique.get(key)
+        if found is not None:
+            return found
+        node = len(self.kinds)
+        if self.node_budget and node >= self.node_budget:
+            raise ResourceBudgetError(
+                "circuit node budget", float(node + 1), float(self.node_budget)
+            )
+        self.kinds.append(kind)
+        self.payloads.append(payload)
+        self.children.append(kids)
+        self.scopes.append(scope)
+        self._unique[key] = node
+        return node
+
+    # -- leaves --------------------------------------------------------
+    def set_leaf(self, variable: Variable, values: Sequence[int], size: int) -> int:
+        values = tuple(sorted(values))
+        if not values:
+            return self.FALSE
+        if len(values) == size:
+            # the full set weighs exactly 1 under any pmf
+            return self.TRUE
+        return self._new(_LEAF_SET, (variable, values), (), frozenset((variable,)))
+
+    def full_leaf(self, variable: Variable) -> int:
+        """The full-domain smoothing literal (constant weight 1.0)."""
+        return self._new(_LEAF_SET, (variable, None), (), frozenset((variable,)))
+
+    def pair_leaf(self, expression: Expression, negated: bool) -> int:
+        return self._new(
+            _LEAF_PAIR,
+            (expression, negated),
+            (),
+            frozenset(expression.variables()),
+        )
+
+    # -- gates ---------------------------------------------------------
+    def prod(self, kids: Sequence[int]) -> int:
+        flat: List[int] = []
+        for child in kids:
+            if child == self.FALSE:
+                return self.FALSE
+            if child == self.TRUE:
+                continue
+            if self.kinds[child] == _PROD:
+                # flatten nested products: improves dedup, keeps the DAG flat
+                flat.extend(self.children[child])
+            else:
+                flat.append(child)
+        if not flat:
+            return self.TRUE
+        flat = sorted(set(flat))
+        if len(flat) == 1:
+            return flat[0]
+        scope = frozenset().union(*(self.scopes[child] for child in flat))
+        return self._new(_PROD, None, tuple(flat), scope)
+
+    def sum_(self, kids: Sequence[int], smooth: bool) -> int:
+        live = [child for child in kids if child != self.FALSE]
+        if not live:
+            return self.FALSE
+        if len(live) == 1:
+            return live[0]
+        scope = frozenset().union(*(self.scopes[child] for child in live))
+        if smooth:
+            padded = []
+            for child in live:
+                missing = scope - self.scopes[child]
+                if missing:
+                    pads = [self.full_leaf(v) for v in sorted(missing)]
+                    child = self.prod([child] + pads)
+                padded.append(child)
+            live = padded
+        return self._new(_SUM, None, tuple(sorted(live)), scope)
+
+
+class _Compiler:
+    """Bottom-up compiler from :class:`Condition` to :class:`CompiledCircuit`."""
+
+    def __init__(
+        self,
+        store: DistributionStore,
+        heuristic: str,
+        node_budget: int,
+        smooth: bool,
+    ) -> None:
+        self.store = store
+        self.heuristic = heuristic
+        self.smooth = smooth
+        self.builder = _Builder(node_budget)
+        self._memo: Dict[Condition, int] = {}
+
+    def compile(self, condition: Condition) -> CompiledCircuit:
+        root = self._node(condition)
+        b = self.builder
+        return CompiledCircuit(
+            b.kinds, b.payloads, b.children, root, condition.variables()
+        )
+
+    def _node(self, condition: Condition) -> int:
+        if condition.is_true:
+            return self.builder.TRUE
+        if condition.is_false:
+            return self.builder.FALSE
+        node = self._memo.get(condition)
+        if node is not None:
+            return node
+        if condition.is_variable_disjoint():
+            node = self.builder.prod(
+                [self._clause(clause) for clause in condition.clauses]
+            )
+        else:
+            components = condition.connected_components()
+            if len(components) > 1:
+                node = self.builder.prod(
+                    [self._node(component) for component in components]
+                )
+            else:
+                node = self._decision(condition)
+        self._memo[condition] = node
+        return node
+
+    def _literal(self, expression: Expression, negated: bool) -> int:
+        variables = expression.variables()
+        if len(variables) == 2:
+            return self.builder.pair_leaf(expression, negated)
+        variable = variables[0]
+        size = self.store.domain_size(variable)
+        values = expression.true_values(size)
+        if negated:
+            positive = set(values)
+            values = tuple(v for v in range(size) if v not in positive)
+        return self.builder.set_leaf(variable, values, size)
+
+    def _clause(self, clause: Clause) -> int:
+        """A variable-disjoint clause as the deterministic sum
+        ``e1 + !e1*e2 + !e1*!e2*e3 + ...`` (mutually exclusive terms)."""
+        terms: List[int] = []
+        negatives: List[int] = []
+        for expression in clause:
+            positive = self._literal(expression, False)
+            if positive == self.builder.FALSE:
+                # this expression can never hold; it contributes nothing
+                continue
+            if positive == self.builder.TRUE:
+                # certainly true once reached: "all earlier failed" absorbs
+                # the remaining expressions
+                terms.append(self.builder.prod(list(negatives)))
+                return self.builder.sum_(terms, self.smooth)
+            terms.append(self.builder.prod(negatives + [positive]))
+            negatives = negatives + [self._literal(expression, True)]
+        return self.builder.sum_(terms, self.smooth)
+
+    def _decision(self, condition: Condition) -> int:
+        """Branch like ADPLL, over the FULL base domain (see module doc)."""
+        variable = pick_branch_variable(
+            condition, self.heuristic, domain_size=self.store.domain_size
+        )
+        size = self.store.domain_size(variable)
+        kids: List[int] = []
+        for value in range(size):
+            residual = self._node(condition.substitute(variable, value))
+            if residual == self.builder.FALSE:
+                continue
+            leaf = self.builder.set_leaf(variable, (value,), size)
+            kids.append(self.builder.prod([leaf, residual]))
+        return self.builder.sum_(kids, self.smooth)
+
+
+def compile_condition(
+    condition: Condition,
+    store: DistributionStore,
+    heuristic: str = "frequency",
+    node_budget: int = DEFAULT_COMPILE_NODE_BUDGET,
+    smooth: bool = True,
+) -> CompiledCircuit:
+    """Compile one condition against the store's base domains.
+
+    Raises :class:`ResourceBudgetError` when the circuit would exceed
+    ``node_budget`` nodes (0 = unlimited).  The result is structurally
+    valid for the condition under ANY weights over the same base domains;
+    evaluate it with :meth:`CompiledCircuit.evaluate` / ``propagate``.
+    """
+    if heuristic not in BRANCH_HEURISTICS:
+        raise ValueError(
+            "unknown branch heuristic %r; expected one of %r"
+            % (heuristic, BRANCH_HEURISTICS)
+        )
+    if node_budget < 0:
+        raise ValueError("node_budget must be non-negative (0 = unlimited)")
+    return _Compiler(store, heuristic, node_budget, smooth).compile(condition)
+
+
+class CircuitStore:
+    """Round-to-round circuit cache: compile once, re-weight thereafter.
+
+    ``probability(condition, obj=...)`` is the engine-facing entry point:
+
+    * cache hit, variables untouched since the last evaluation -- return
+      the cached value (and refresh the circuit's stored version, so the
+      next hit compares versions instead of re-scanning);
+    * cache hit, weights moved -- :meth:`CompiledCircuit.propagate`
+      (counted in ``propagations``), no recompilation;
+    * cache miss -- compile and evaluate (``circuits_compiled``,
+      ``circuit_nodes``); when the miss is a condition seen before that
+      was evicted, or the tracked object's condition changed because an
+      answer determined one of its expressions, it additionally counts as
+      a ``recompile``.
+
+    The counters back the ``python -m repro.obs --probability`` verifier
+    and the fig03 bench's re-weighting assertions.
+    """
+
+    def __init__(
+        self,
+        store: DistributionStore,
+        heuristic: str = "frequency",
+        node_budget: int = DEFAULT_COMPILE_NODE_BUDGET,
+        cache_size: int = DEFAULT_CIRCUIT_CACHE_SIZE,
+        smooth: bool = True,
+    ) -> None:
+        if heuristic not in BRANCH_HEURISTICS:
+            raise ValueError(
+                "unknown branch heuristic %r; expected one of %r"
+                % (heuristic, BRANCH_HEURISTICS)
+            )
+        self.store = store
+        self.heuristic = heuristic
+        self.node_budget = int(node_budget)
+        self.smooth = smooth
+        self._circuits: "LRUCache[Condition, CompiledCircuit]" = LRUCache(cache_size)
+        #: hashes of every condition ever compiled (recompile detection
+        #: after LRU eviction; ints only, so memory stays bounded-ish)
+        self._seen: Set[int] = set()
+        #: object -> last condition evaluated for it
+        self._object_conditions: Dict[int, Condition] = {}
+        self.circuits_compiled = 0
+        self.circuit_nodes = 0
+        self.propagations = 0
+        self.recompiles = 0
+        self.circuit_reuses = 0
+
+    def probability(self, condition: Condition, obj: Optional[int] = None) -> float:
+        """``Pr(condition)``, compiling at most once per distinct condition.
+
+        Raises :class:`ResourceBudgetError` if a needed compilation
+        exceeds the node budget (the engine degrades to ADPLL).
+        """
+        if condition.is_true:
+            return 1.0
+        if condition.is_false:
+            return 0.0
+        store = self.store
+        circuit = self._circuits.get(condition)
+        if circuit is None:
+            condition_changed = (
+                obj is not None
+                and self._object_conditions.get(obj) not in (None, condition)
+            )
+            # may raise ResourceBudgetError -- counters untouched, so a
+            # budget trip never inflates the compile accounting
+            circuit = compile_condition(
+                condition, store, self.heuristic, self.node_budget, self.smooth
+            )
+            self.circuits_compiled += 1
+            self.circuit_nodes += len(circuit)
+            key = hash(condition)
+            if key in self._seen or condition_changed:
+                self.recompiles += 1
+            self._seen.add(key)
+            self._circuits[condition] = circuit
+            value = circuit.evaluate(store)
+        elif circuit.version == store.version or store.variables_unchanged_since(
+            circuit.scope, circuit.version
+        ):
+            circuit.version = store.version
+            self.circuit_reuses += 1
+            value = circuit.value
+        else:
+            value = circuit.propagate(store)
+            self.propagations += 1
+        if obj is not None:
+            self._object_conditions[obj] = condition
+        return value
+
+    def __len__(self) -> int:
+        return len(self._circuits)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "circuits_compiled": self.circuits_compiled,
+            "circuit_nodes": self.circuit_nodes,
+            "propagations": self.propagations,
+            "recompiles": self.recompiles,
+            "circuit_reuses": self.circuit_reuses,
+            "circuit_cache_size": len(self._circuits),
+        }
+
+    @staticmethod
+    def empty_stats() -> Dict[str, int]:
+        """Zeroed counters, so engine stats keep a stable schema when the
+        compiled backend is off (the obs verifier keys on their presence)."""
+        return {
+            "circuits_compiled": 0,
+            "circuit_nodes": 0,
+            "propagations": 0,
+            "recompiles": 0,
+            "circuit_reuses": 0,
+            "circuit_cache_size": 0,
+        }

@@ -60,6 +60,11 @@ class DistributionStore:
 
     # ------------------------------------------------------------------
     @property
+    def constraints(self) -> Optional[VariableConstraints]:
+        """The bound knowledge base, if any (``None`` for frozen snapshots)."""
+        return self._constraints
+
+    @property
     def version(self) -> int:
         """Changes whenever constraint updates may alter any pmf."""
         return self._constraints.version if self._constraints is not None else 0
@@ -80,6 +85,19 @@ class DistributionStore:
     def variables(self):
         return self._base.keys()
 
+    def domain_size(self, variable: Variable) -> int:
+        """Size of the variable's *base* domain (constraint-independent).
+
+        The circuit compiler branches over the full base domain -- not the
+        current support -- so a compiled circuit stays valid when answers
+        narrow (or, after a contradiction overwrite, re-expand) the
+        allowed value set: only leaf weights move.
+        """
+        base = self._base.get(variable)
+        if base is None:
+            raise KeyError("no distribution for variable %s" % (variable,))
+        return len(base)
+
     def pmf(self, variable: Variable) -> np.ndarray:
         """Current pmf: base distribution restricted by constraints."""
         base = self._base.get(variable)
@@ -88,13 +106,20 @@ class DistributionStore:
         constraints = self._constraints
         if constraints is None:
             return base
+        current = constraints.version
         cached = self._pmf_cache.get(variable)
         if cached is not None:
             pmf, version = cached
+            if version == current:
+                return pmf
             if constraints.variables_unchanged_since((variable,), version):
+                # Refresh the stored version after a successful
+                # revalidation so later hits at this version short-circuit
+                # on equality instead of re-scanning.
+                self._pmf_cache[variable] = (pmf, current)
                 return pmf
         pmf = constraints.constrain_pmf(variable, base)
-        self._pmf_cache[variable] = (pmf, constraints.version)
+        self._pmf_cache[variable] = (pmf, current)
         return pmf
 
     def support(self, variable: Variable) -> np.ndarray:
@@ -175,9 +200,10 @@ class DistributionStore:
         cached = self._tail_cache.get(variable)
         if cached is not None:
             gt, lt, version = cached
-            if constraints is None or constraints.variables_unchanged_since(
-                (variable,), version
-            ):
+            if constraints is None or version == constraints.version:
+                return gt, lt
+            if constraints.variables_unchanged_since((variable,), version):
+                self._tail_cache[variable] = (gt, lt, constraints.version)
                 return gt, lt
         pmf = self.pmf(variable)
         # Suffix/prefix sums (not 1 - cdf) keep the entries exact sums of
@@ -190,13 +216,17 @@ class DistributionStore:
 
     def prob_expression(self, expression: Expression) -> float:
         """``Pr(expression)`` under the current distributions (cached)."""
+        current = self.version
         cached = self._expr_cache.get(expression)
         if cached is not None:
             value, version = cached
+            if version == current:
+                return value
             if self.variables_unchanged_since(expression.variables(), version):
+                self._expr_cache[expression] = (value, current)
                 return value
         value = self._prob_expression_uncached(expression)
-        self._expr_cache[expression] = (value, self.version)
+        self._expr_cache[expression] = (value, current)
         return value
 
     def _prob_expression_uncached(self, expression: Expression) -> float:
@@ -248,11 +278,14 @@ class DistributionStore:
             if expression in out:
                 continue
             cached = self._expr_cache.get(expression)
-            if cached is not None and self.variables_unchanged_since(
-                expression.variables(), cached[1]
-            ):
-                out[expression] = cached[0]
-                continue
+            if cached is not None:
+                if cached[1] == version:
+                    out[expression] = cached[0]
+                    continue
+                if self.variables_unchanged_since(expression.variables(), cached[1]):
+                    self._expr_cache[expression] = (cached[0], version)
+                    out[expression] = cached[0]
+                    continue
             left, right = expression.left, expression.right
             if isinstance(left, Var) and isinstance(right, Const):
                 var_const[left.variable].append((expression, right.value))

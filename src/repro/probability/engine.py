@@ -38,12 +38,19 @@ from ..parallel import (
 )
 from .adpll import ADPLL
 from .approxcount import adaptive_approx_probability, approx_probability
+from .compile import DEFAULT_COMPILE_NODE_BUDGET, CircuitStore
 from .distributions import DistributionStore
 from .guard import CircuitBreaker, GuardedProbability
 from .naive import naive_probability
 
 #: Supported computation methods.
 METHODS = ("adpll", "naive", "approx")
+
+#: Exact-probability backends for ``method="adpll"``: ``adpll`` re-solves
+#: each condition per call, ``compiled`` compiles each condition once
+#: into a d-DNNF circuit and re-propagates weights as answers land
+#: (see :mod:`repro.probability.compile`).
+PROBABILITY_BACKENDS = ("adpll", "compiled")
 
 #: Default bound on the condition-probability cache.
 DEFAULT_CACHE_SIZE = 65_536
@@ -85,10 +92,22 @@ def _compute_chunk(payload) -> List[float]:
     :class:`SharedArrayHandle` to the published snapshot plus the
     conditions themselves -- the pmf data never rides in the pickle.
     """
-    handle, method, conditions, approx_samples, seed = payload
+    handle, method, backend, compile_budget, conditions, approx_samples, seed = payload
     store = _worker_store(handle)
     if method == "adpll":
         solver = ADPLL(store)
+        if backend == "compiled":
+            # Per-chunk circuit store against the frozen snapshot; budget
+            # trips degrade to ADPLL in-worker (counters stay process-local
+            # -- the parent's compile accounting covers sequential batches).
+            circuits = CircuitStore(store, node_budget=compile_budget)
+            out = []
+            for condition in conditions:
+                try:
+                    out.append(circuits.probability(condition))
+                except ResourceBudgetError:
+                    out.append(solver.probability(condition))
+            return out
         return [solver.probability(condition) for condition in conditions]
     if method == "naive":
         return [naive_probability(condition, store) for condition in conditions]
@@ -117,9 +136,21 @@ class ProbabilityEngine:
         node_budget: int = 0,
         deadline_s: float = 0.0,
         breaker_threshold: int = 3,
+        backend: str = "adpll",
+        compile_node_budget: int = DEFAULT_COMPILE_NODE_BUDGET,
     ) -> None:
         if method not in METHODS:
             raise ValueError("unknown method %r; expected one of %r" % (method, METHODS))
+        if backend not in PROBABILITY_BACKENDS:
+            raise ValueError(
+                "unknown backend %r; expected one of %r"
+                % (backend, PROBABILITY_BACKENDS)
+            )
+        if backend == "compiled" and method != "adpll":
+            raise ValueError(
+                "the compiled backend replaces the exact ADPLL path; "
+                "it requires method='adpll' (got %r)" % (method,)
+            )
         self.store = store
         self.method = method
         self._use_cache = use_cache
@@ -143,6 +174,20 @@ class ProbabilityEngine:
         #: condition -> (exact?, error bound) for guarded computations
         self._guard_info: Dict[Condition, Tuple[bool, float]] = {}
         self.n_guard_fallbacks = 0
+        #: compiled backend: circuit cache + its own breaker over the
+        #: compile path (compilation blowups degrade to ADPLL, which may
+        #: itself be guarded -- the full ladder is compiled -> ADPLL ->
+        #: sampler)
+        self.backend = backend
+        self._compile_node_budget = int(compile_node_budget)
+        self._circuits: Optional[CircuitStore] = None
+        self.compile_breaker: Optional[CircuitBreaker] = None
+        self.n_compile_fallbacks = 0
+        if backend == "compiled":
+            self._circuits = CircuitStore(
+                store, node_budget=compile_node_budget, cache_size=cache_size
+            )
+            self.compile_breaker = CircuitBreaker(failure_threshold=breaker_threshold)
         #: default worker count for :meth:`probability_many`
         self.n_jobs = resolve_n_jobs(n_jobs)
         #: cooperative cancellation token (None = not attached); checked
@@ -182,14 +227,23 @@ class ProbabilityEngine:
         if cached is None:
             return None
         value, cached_version = cached
-        if cached_version == version or self.store.variables_unchanged_since(
-            condition.variables(), cached_version
-        ):
+        if cached_version == version:
+            return value
+        if self.store.variables_unchanged_since(condition.variables(), cached_version):
+            # Refresh the stored version: the per-variable scan proved the
+            # entry current, so subsequent hits at this version must match
+            # on version equality instead of re-paying the scan each time.
+            self._cache[condition] = (value, version)
             return value
         return None
 
-    def probability(self, condition: Condition) -> float:
-        """``Pr(condition)`` under the current distributions."""
+    def probability(self, condition: Condition, obj: Optional[int] = None) -> float:
+        """``Pr(condition)`` under the current distributions.
+
+        ``obj`` optionally names the object the condition belongs to; the
+        compiled backend uses it to distinguish "same object, condition
+        simplified by an answer" recompiles from first-time compiles.
+        """
         if condition.is_true:
             return 1.0
         if condition.is_false:
@@ -201,7 +255,7 @@ class ProbabilityEngine:
             if value is not None:
                 self.n_cache_hits += 1
                 return value
-        value = self._compute(condition)
+        value = self._compute(condition, obj)
         self.n_computations += 1
         if self._use_cache:
             self._cache[condition] = (value, self.store.version)
@@ -212,6 +266,7 @@ class ProbabilityEngine:
         conditions: Sequence[Condition],
         n_jobs: Optional[int] = None,
         chunk_size: Optional[int] = None,
+        objects: Optional[Sequence[int]] = None,
     ) -> List[float]:
         """``Pr(condition)`` for every condition, batched.
 
@@ -228,6 +283,14 @@ class ProbabilityEngine:
         version = self.store.version
         results: Dict[Condition, float] = {}
         pending: List[Condition] = []
+        #: owning object per distinct condition (compiled-backend recompile
+        #: attribution; first owner wins on shared conditions)
+        condition_objects: Dict[Condition, int] = {}
+        if objects is not None:
+            if len(objects) != len(conditions):
+                raise ValueError("objects must align one-to-one with conditions")
+            for condition, obj in zip(conditions, objects):
+                condition_objects.setdefault(condition, obj)
         seen = set()
         for condition in conditions:
             # Dedup up front (Condition hashes canonically): duplicates in
@@ -272,7 +335,9 @@ class ProbabilityEngine:
                 for condition in pending:
                     if self._cancellation is not None:
                         self._cancellation.check("probability")
-                    computed.append(self._compute(condition))
+                    computed.append(
+                        self._compute(condition, condition_objects.get(condition))
+                    )
             self.n_computations += len(pending)
             for condition, value in zip(pending, computed):
                 results[condition] = value
@@ -328,6 +393,8 @@ class ProbabilityEngine:
                 (
                     bundle.handle,
                     self.method,
+                    self.backend,
+                    self._compile_node_budget,
                     [pending[i] for i in chunk],
                     self._approx_samples,
                     int(seed),
@@ -349,8 +416,10 @@ class ProbabilityEngine:
                 out[index] = value
         return out
 
-    def _compute(self, condition: Condition) -> float:
+    def _compute(self, condition: Condition, obj: Optional[int] = None) -> float:
         if self.method == "adpll":
+            if self._circuits is not None:
+                return self._compute_compiled(condition, obj)
             if self.breaker is None:
                 return self._adpll.probability(condition)
             return self._compute_guarded(condition)
@@ -359,6 +428,35 @@ class ProbabilityEngine:
         return approx_probability(
             condition, self.store, n_samples=self._approx_samples, rng=self._rng
         ).probability
+
+    def _compute_compiled(self, condition: Condition, obj: Optional[int]) -> float:
+        """Exact probability via the compiled circuit, with a fallback ladder.
+
+        While compilation fits the node budget, the value is the circuit
+        evaluation (exact; bit-compatible with ADPLL up to float
+        associativity).  A budget trip counts a ``compile_fallback`` and
+        degrades this condition to the ADPLL path -- guarded, when the
+        resource guard is configured, so the full ladder is compiled ->
+        ADPLL -> adaptive sampler.  The compile breaker turns repeated
+        trips into skip-straight-to-ADPLL.
+        """
+        breaker = self.compile_breaker
+        if breaker.allow_exact():
+            try:
+                value = self._circuits.probability(condition, obj=obj)
+            except ResourceBudgetError:
+                breaker.record_failure()
+                self.n_compile_fallbacks += 1
+            else:
+                breaker.record_success()
+                if self.guard_active:
+                    self._guard_info[condition] = (True, 0.0)
+                return value
+        else:
+            self.n_compile_fallbacks += 1
+        if self.breaker is None:
+            return self._adpll.probability(condition)
+        return self._compute_guarded(condition)
 
     def _compute_guarded(self, condition: Condition) -> float:
         """Exact ADPLL under the resource guard, sampling on exhaustion.
@@ -447,6 +545,19 @@ class ProbabilityEngine:
         if self.breaker is not None:
             for key, value in self.breaker.stats().items():
                 stats[key] = value
+        # Compiled-backend circuit accounting; zeros with a stable schema
+        # when the backend is off, so the obs verifier always finds them.
+        stats["probability_backend"] = self.backend
+        circuit_stats = (
+            self._circuits.stats()
+            if self._circuits is not None
+            else CircuitStore.empty_stats()
+        )
+        stats.update(circuit_stats)
+        stats["compile_fallbacks"] = self.n_compile_fallbacks
+        if self.compile_breaker is not None:
+            for key, value in self.compile_breaker.stats().items():
+                stats["compile_%s" % key] = value
         return stats
 
     def __call__(self, condition: Condition) -> float:

@@ -1,0 +1,478 @@
+"""Tests for the compiled d-DNNF probability backend.
+
+Covers the compiler itself (parity with ADPLL and naive enumeration,
+circuit structure invariants, node-budget enforcement), incremental
+re-weighting through ``CircuitStore`` (propagate-not-recompile under
+answer sequences, recompile attribution), and the engine integration
+(``backend="compiled"`` ladder through the compile breaker down to
+ADPLL/sampling, counters, config/CLI knobs, obs verification).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BayesCrowd, BayesCrowdConfig
+from repro.ctable import (
+    Condition,
+    Expression,
+    Relation,
+    Var,
+    VariableConstraints,
+    const_greater_var,
+    var_greater_const,
+    var_greater_var,
+)
+from repro.datasets import generate_nba
+from repro.errors import ResourceBudgetError
+from repro.obs.__main__ import verify_probability
+from repro.probability import (
+    ADPLL,
+    DEFAULT_COMPILE_NODE_BUDGET,
+    CircuitStore,
+    DistributionStore,
+    ProbabilityEngine,
+    compile_condition,
+    naive_probability,
+)
+
+V, W, U = (0, 0), (1, 0), (2, 0)
+
+
+def uniform_store(domain=4, variables=(V, W, U), constraints=None):
+    pmf = np.full(domain, 1.0 / domain)
+    return DistributionStore({v: pmf.copy() for v in variables}, constraints)
+
+
+def branching_condition():
+    """Clauses sharing variables, so compilation needs decision nodes."""
+    return Condition.of(
+        [
+            [var_greater_var(0, 1, 0), var_greater_const(2, 0, 1)],
+            [var_greater_var(1, 2, 0), const_greater_var(2, 0, 0)],
+            [var_greater_var(0, 2, 0)],
+        ]
+    )
+
+
+# ----------------------------------------------------------------------
+# hypothesis strategy: condition + constrained store + answer sequence
+# ----------------------------------------------------------------------
+@st.composite
+def condition_store_answers(draw):
+    """A condition, a constraint-backed store, and weight-moving answers.
+
+    Answers are drawn as ``Var > c`` facts over the condition's own
+    variables (true or false), so applying them narrows pmfs -- the
+    re-weighting workload the compiled backend exists for.
+    """
+    domain = draw(st.integers(2, 4))
+    variables = [(o, 0) for o in range(4)]
+    pmfs = {}
+    for v in variables:
+        weights = np.array(
+            [draw(st.integers(1, 5)) for __ in range(domain)], dtype=float
+        )
+        pmfs[v] = weights / weights.sum()
+    clauses = []
+    for __ in range(draw(st.integers(1, 3))):
+        clause = []
+        for __ in range(draw(st.integers(1, 3))):
+            kind = draw(st.sampled_from(["vc", "cv", "vv"]))
+            v1 = draw(st.sampled_from(variables))
+            if kind == "vc":
+                clause.append(
+                    var_greater_const(v1[0], v1[1], draw(st.integers(0, domain - 1)))
+                )
+            elif kind == "cv":
+                clause.append(
+                    const_greater_var(draw(st.integers(0, domain - 1)), v1[0], v1[1])
+                )
+            else:
+                v2 = draw(st.sampled_from([v for v in variables if v != v1]))
+                clause.append(Expression(Var(*v1), Var(*v2)))
+        clauses.append(clause)
+    condition = Condition.of(clauses)
+    answers = []
+    for __ in range(draw(st.integers(0, 3))):
+        obj = draw(st.sampled_from(range(4)))
+        cut = draw(st.integers(0, domain - 2))
+        relation = draw(st.sampled_from([Relation.GREATER, Relation.LESS]))
+        answers.append((var_greater_const(obj, 0, cut), relation))
+    constraints = VariableConstraints([domain])
+    store = DistributionStore(pmfs, constraints)
+    return condition, store, constraints, answers
+
+
+class TestCompileParity:
+    @given(condition_store_answers())
+    @settings(max_examples=150, deadline=None)
+    def test_compiled_matches_adpll_and_naive(self, drawn):
+        condition, store, constraints, answers = drawn
+        if condition.is_constant:
+            return
+        exact = naive_probability(condition, store)
+        assert ADPLL(store).probability(condition) == pytest.approx(exact, abs=1e-9)
+        circuit = compile_condition(condition, store)
+        assert circuit.evaluate(store) == pytest.approx(exact, abs=1e-9)
+
+    @given(condition_store_answers())
+    @settings(max_examples=100, deadline=None)
+    def test_propagate_tracks_answer_sequences(self, drawn):
+        """One compile, then re-weight per answer: always matches naive."""
+        condition, store, constraints, answers = drawn
+        if condition.is_constant:
+            return
+        circuit = compile_condition(condition, store)
+        circuit.evaluate(store)
+        for expression, relation in answers:
+            try:
+                constraints.apply_answer(expression, relation)
+            except ValueError:
+                continue  # contradicting answer sequence; constraints refuse
+            exact = naive_probability(condition, store)
+            assert circuit.propagate(store) == pytest.approx(exact, abs=1e-9)
+            # a fresh ADPLL sees the same weights
+            assert ADPLL(store).probability(condition) == pytest.approx(
+                exact, abs=1e-9
+            )
+
+    @pytest.mark.parametrize("heuristic", ["frequency", "min_domain", "first"])
+    def test_all_branch_heuristics_exact(self, heuristic):
+        store = uniform_store()
+        condition = branching_condition()
+        exact = naive_probability(condition, store)
+        circuit = compile_condition(condition, store, heuristic=heuristic)
+        assert circuit.evaluate(store) == pytest.approx(exact, abs=1e-9)
+
+    def test_unsmoothed_circuit_same_probability(self):
+        store = uniform_store()
+        condition = branching_condition()
+        smoothed = compile_condition(condition, store, smooth=True)
+        plain = compile_condition(condition, store, smooth=False)
+        assert smoothed.evaluate(store) == pytest.approx(
+            plain.evaluate(store), abs=1e-12
+        )
+        assert len(plain) <= len(smoothed)
+
+
+class TestCircuitStructure:
+    def test_constants_compile_to_trivial_circuits(self):
+        store = uniform_store()
+        assert compile_condition(Condition.true(), store).evaluate(store) == 1.0
+        assert compile_condition(Condition.false(), store).evaluate(store) == 0.0
+
+    def test_independent_condition_compiles_without_decisions(self):
+        # disjoint variables: determinstic clause sums only, so the node
+        # count stays tiny and no variable is branched on
+        store = uniform_store()
+        condition = Condition.of(
+            [[var_greater_const(0, 0, 1)], [var_greater_const(1, 0, 2)]]
+        )
+        circuit = compile_condition(condition, store)
+        assert len(circuit) < 10
+
+    def test_dedup_shares_identical_residuals(self):
+        # the same residual reached along different branches must compile
+        # to the same node: circuit size grows far slower than the trace
+        store = uniform_store(domain=4)
+        condition = branching_condition()
+        circuit = compile_condition(condition, store)
+        trace_nodes = ADPLL(store, use_memo=False)
+        trace_nodes.probability(condition)
+        assert len(circuit) < trace_nodes.branch_count * 4
+
+    def test_decision_covers_full_base_domain(self):
+        """Branching spans the base domain even when constraints narrow it.
+
+        This is what keeps the circuit valid when an answer's exclusion is
+        later overwritten (contradiction handling can re-expand a pmf).
+        """
+        constraints = VariableConstraints([4])
+        store = uniform_store(constraints=constraints)
+        condition = branching_condition()
+        constraints.apply_answer(var_greater_const(0, 0, 2), Relation.GREATER)
+        circuit = compile_condition(condition, store)
+        before = circuit.evaluate(store)
+        constraints.apply_answer(var_greater_const(1, 0, 1), Relation.GREATER)
+        exact = naive_probability(condition, store)
+        assert circuit.propagate(store) == pytest.approx(exact, abs=1e-9)
+        assert before != pytest.approx(circuit.value, abs=0)
+
+    def test_children_precede_parents(self):
+        store = uniform_store()
+        circuit = compile_condition(branching_condition(), store)
+        for node, kids in enumerate(circuit.children):
+            assert all(child < node for child in kids)
+
+    def test_node_budget_trips(self):
+        store = uniform_store()
+        with pytest.raises(ResourceBudgetError) as err:
+            compile_condition(branching_condition(), store, node_budget=4)
+        assert "circuit node budget" in str(err.value)
+
+    def test_rejects_bad_parameters(self):
+        store = uniform_store()
+        with pytest.raises(ValueError):
+            compile_condition(branching_condition(), store, heuristic="magic")
+        with pytest.raises(ValueError):
+            compile_condition(branching_condition(), store, node_budget=-1)
+
+
+class TestCircuitStore:
+    def make(self, domain=4):
+        constraints = VariableConstraints([domain])
+        store = uniform_store(domain=domain, constraints=constraints)
+        return CircuitStore(store), store, constraints
+
+    def test_compile_once_then_reuse(self):
+        circuits, store, constraints = self.make()
+        condition = branching_condition()
+        first = circuits.probability(condition)
+        second = circuits.probability(condition)
+        assert first == second
+        stats = circuits.stats()
+        assert stats["circuits_compiled"] == 1
+        assert stats["circuit_reuses"] == 1
+        assert stats["propagations"] == 0
+
+    def test_answers_propagate_without_recompiling(self):
+        circuits, store, constraints = self.make()
+        condition = branching_condition()
+        circuits.probability(condition, obj=7)
+        for cut, obj in ((1, 0), (0, 1), (2, 2)):
+            constraints.apply_answer(
+                var_greater_const(obj, 0, cut), Relation.GREATER
+            )
+            value = circuits.probability(condition, obj=7)
+            assert value == pytest.approx(
+                naive_probability(condition, store), abs=1e-9
+            )
+        stats = circuits.stats()
+        assert stats["circuits_compiled"] == 1
+        assert stats["recompiles"] == 0
+        assert stats["propagations"] == 3
+
+    def test_changed_condition_counts_recompile(self):
+        circuits, store, constraints = self.make()
+        condition = branching_condition()
+        circuits.probability(condition, obj=7)
+        simplified = condition.assign_expression(var_greater_var(0, 1, 0), True)
+        assert simplified != condition
+        circuits.probability(simplified, obj=7)
+        stats = circuits.stats()
+        assert stats["circuits_compiled"] == 2
+        assert stats["recompiles"] == 1
+
+    def test_eviction_recompile_is_counted(self):
+        constraints = VariableConstraints([4])
+        store = uniform_store(constraints=constraints)
+        circuits = CircuitStore(store, cache_size=1)
+        a = Condition.of([[var_greater_const(0, 0, 1)]])
+        b = Condition.of([[var_greater_const(1, 0, 2)]])
+        circuits.probability(a)
+        circuits.probability(b)  # evicts a
+        circuits.probability(a)  # recompile of a previously compiled condition
+        assert circuits.stats()["recompiles"] == 1
+        assert circuits.stats()["circuits_compiled"] == 3
+
+    def test_constants_short_circuit(self):
+        circuits, __, ___ = self.make()
+        assert circuits.probability(Condition.true()) == 1.0
+        assert circuits.probability(Condition.false()) == 0.0
+        assert circuits.stats()["circuits_compiled"] == 0
+
+    def test_budget_trip_leaves_counters_clean(self):
+        constraints = VariableConstraints([4])
+        store = uniform_store(constraints=constraints)
+        circuits = CircuitStore(store, node_budget=4)
+        with pytest.raises(ResourceBudgetError):
+            circuits.probability(branching_condition())
+        assert circuits.stats()["circuits_compiled"] == 0
+        assert circuits.stats()["circuit_nodes"] == 0
+
+
+class TestEngineCompiledBackend:
+    def test_rejects_bad_backend_combinations(self):
+        with pytest.raises(ValueError):
+            ProbabilityEngine(uniform_store(), backend="magic")
+        with pytest.raises(ValueError):
+            ProbabilityEngine(uniform_store(), method="naive", backend="compiled")
+
+    def test_compiled_matches_adpll_engine(self):
+        constraints = VariableConstraints([4])
+        compiled = ProbabilityEngine(
+            uniform_store(constraints=constraints), backend="compiled"
+        )
+        plain = ProbabilityEngine(uniform_store(constraints=constraints))
+        condition = branching_condition()
+        assert compiled.probability(condition) == pytest.approx(
+            plain.probability(condition), abs=1e-9
+        )
+        stats = compiled.stats()
+        assert stats["probability_backend"] == "compiled"
+        assert stats["circuits_compiled"] == 1
+        assert stats["compile_fallbacks"] == 0
+
+    def test_probability_many_objects_threading(self):
+        constraints = VariableConstraints([4])
+        store = uniform_store(constraints=constraints)
+        engine = ProbabilityEngine(store, backend="compiled")
+        conditions = [
+            branching_condition(),
+            Condition.of([[var_greater_const(0, 0, 1)]]),
+        ]
+        values = engine.probability_many(conditions, objects=[11, 12])
+        expected = [naive_probability(c, store) for c in conditions]
+        assert values == pytest.approx(expected, abs=1e-9)
+        with pytest.raises(ValueError):
+            engine.probability_many(conditions, objects=[11])
+
+    def test_budget_trip_degrades_to_adpll_exactly(self):
+        constraints = VariableConstraints([4])
+        store = uniform_store(constraints=constraints)
+        engine = ProbabilityEngine(store, backend="compiled", compile_node_budget=4)
+        condition = branching_condition()
+        value = engine.probability(condition)
+        assert value == pytest.approx(naive_probability(condition, store), abs=1e-9)
+        stats = engine.stats()
+        assert stats["compile_fallbacks"] == 1
+        assert stats["circuits_compiled"] == 0
+
+    def test_repeated_trips_open_compile_breaker(self):
+        constraints = VariableConstraints([4])
+        store = uniform_store(constraints=constraints)
+        engine = ProbabilityEngine(
+            store,
+            backend="compiled",
+            compile_node_budget=4,
+            breaker_threshold=2,
+            use_cache=False,
+        )
+        condition = branching_condition()
+        for __ in range(4):
+            engine.probability(condition)
+        stats = engine.stats()
+        assert stats["compile_breaker_state"] == "open"
+        assert stats["compile_breaker_trips"] >= 1
+        assert stats["compile_fallbacks"] >= 2
+        # every value still exact through the ADPLL fallback
+        assert engine.probability(condition) == pytest.approx(
+            naive_probability(condition, store), abs=1e-9
+        )
+
+    def test_full_ladder_compiled_to_guarded_sampler(self):
+        """Compile budget trips AND ADPLL budget trips: the sampler catches."""
+        constraints = VariableConstraints([4])
+        store = uniform_store(constraints=constraints)
+        engine = ProbabilityEngine(
+            store,
+            backend="compiled",
+            compile_node_budget=4,
+            node_budget=1,
+        )
+        condition = branching_condition()
+        value = engine.probability(condition)
+        assert 0.0 <= value <= 1.0
+        detail = engine.probability_detailed(condition)
+        assert not detail.exact
+        assert detail.error_bound > 0.0
+        stats = engine.stats()
+        assert stats["compile_fallbacks"] == 1
+        assert stats["guard_fallbacks"] == 1
+
+    def test_pool_path_matches_sequential(self):
+        constraints = VariableConstraints([4])
+        store = uniform_store(constraints=constraints)
+        conditions = [branching_condition()] + [
+            Condition.of([[var_greater_const(o % 3, 0, c)]])
+            for o in range(3)
+            for c in range(3)
+        ]
+        sequential = ProbabilityEngine(store, backend="compiled").probability_many(
+            conditions
+        )
+        pooled = ProbabilityEngine(
+            store, backend="compiled", n_jobs=2
+        ).probability_many(conditions, chunk_size=2)
+        assert pooled == pytest.approx(sequential, abs=1e-12)
+
+
+class TestConfigAndQuery:
+    def test_config_knobs_validate(self):
+        config = BayesCrowdConfig(probability_backend="compiled")
+        assert config.compile_node_budget == DEFAULT_COMPILE_NODE_BUDGET
+        with pytest.raises(ValueError):
+            BayesCrowdConfig(probability_backend="magic")
+        with pytest.raises(ValueError):
+            BayesCrowdConfig(
+                probability_backend="compiled", probability_method="naive"
+            )
+        with pytest.raises(ValueError):
+            BayesCrowdConfig(compile_node_budget=-1)
+        with pytest.raises(ValueError):
+            BayesCrowdConfig(compile_node_budget=True)
+
+    def test_end_to_end_compiled_query_matches_adpll(self):
+        dataset = generate_nba(n_objects=25, missing_rate=0.4, seed=5)
+        results = {}
+        for backend in ("adpll", "compiled"):
+            config = BayesCrowdConfig(
+                alpha=0.1,
+                budget=12,
+                latency=3,
+                probability_backend=backend,
+                worker_accuracy=1.0,
+                seed=5,
+            )
+            result = BayesCrowd(dataset, config).run()
+            results[backend] = result
+        assert results["compiled"].answers == results["adpll"].answers
+        for obj, p in results["compiled"].answer_probabilities.items():
+            assert p == pytest.approx(
+                results["adpll"].answer_probabilities[obj], abs=1e-9
+            )
+        stats = results["compiled"].engine_stats
+        assert stats["probability_backend"] == "compiled"
+        assert stats["circuits_compiled"] > 0
+        assert stats["circuit_nodes"] >= stats["circuits_compiled"]
+
+
+class TestObsVerifier:
+    def snapshot(self, **overrides):
+        counters = {
+            "engine_circuits_compiled": 10,
+            "engine_circuit_nodes": 120,
+            "engine_propagations": 4,
+            "engine_recompiles": 2,
+            "engine_compile_fallbacks": 1,
+        }
+        counters.update(overrides)
+        return {"counters": counters}
+
+    def test_consistent_snapshot_passes(self):
+        assert verify_probability(self.snapshot(), require=True) == []
+
+    def test_missing_counters_only_fail_when_required(self):
+        assert verify_probability({"counters": {}}, require=False) == []
+        problems = verify_probability({"counters": {}}, require=True)
+        assert problems and "missing" in problems[0]
+
+    def test_recompiles_cannot_exceed_compiles(self):
+        problems = verify_probability(
+            self.snapshot(engine_recompiles=11), require=True
+        )
+        assert any("exceeds" in p for p in problems)
+
+    def test_nodes_lower_bound(self):
+        problems = verify_probability(
+            self.snapshot(engine_circuit_nodes=3), require=True
+        )
+        assert any("at least one node" in p for p in problems)
+
+    def test_negative_counters_rejected(self):
+        problems = verify_probability(
+            self.snapshot(engine_propagations=-1), require=True
+        )
+        assert any("non-negative" in p for p in problems)

@@ -179,6 +179,48 @@ class TestCircuitBreaker:
         with pytest.raises(ValueError):
             CircuitBreaker(probe_interval=0)
 
+    def test_full_lifecycle_closed_open_halfopen_closed(self):
+        """The whole state machine in one pass, with stats checked per leg."""
+        breaker = CircuitBreaker(failure_threshold=2, probe_interval=3)
+        # leg 1: closed, absorbing sub-threshold failures
+        assert breaker.state == "closed"
+        assert breaker.allow_exact()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        # leg 2: threshold reached -> open
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.stats()["breaker_trips"] == 1
+        # leg 3: open skips probe_interval - 1 calls, then half-open probe
+        assert [breaker.allow_exact() for __ in range(3)] == [False, False, True]
+        assert breaker.state == "half-open"
+        assert breaker.stats()["breaker_skipped"] == 2
+        # leg 4: probe succeeds -> closed again, failure streak forgotten
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow_exact()
+        breaker.record_failure()  # one failure: still under threshold
+        assert breaker.state == "closed"
+        stats = breaker.stats()
+        assert stats["breaker_state"] == "closed"
+        assert stats["breaker_trips"] == 1
+        assert stats["breaker_successes"] == 1
+        assert stats["breaker_failures"] == 3
+
+    def test_lifecycle_with_failed_probe_detour(self):
+        """open -> half-open -> (probe fails) -> open -> half-open -> closed."""
+        breaker = CircuitBreaker(failure_threshold=1, probe_interval=2)
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert [breaker.allow_exact() for __ in range(2)] == [False, True]
+        breaker.record_failure()  # failed probe: straight back to open
+        assert breaker.state == "open"
+        # a failed probe re-opens but is not a fresh trip
+        assert breaker.stats()["breaker_trips"] == 1
+        assert [breaker.allow_exact() for __ in range(2)] == [False, True]
+        breaker.record_success()  # second probe lands
+        assert breaker.state == "closed"
+
 
 class TestEngineGuardedFallback:
     def test_fallback_produces_flagged_approximation(self):

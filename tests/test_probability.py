@@ -377,3 +377,186 @@ class TestBranchHeuristics:
                 store, branch_heuristic=heuristic, use_absorption=True
             ).probability(condition)
             assert value == pytest.approx(exact, abs=1e-9)
+
+
+class TestCacheVersionRefresh:
+    """Regression: revalidated cache entries must refresh their stored version.
+
+    A cache entry surviving a ``variables_unchanged_since`` scan used to keep
+    its original version, so every later hit at the new store version re-paid
+    the per-variable scan.  After the fix the first revalidation writes the
+    current version back and subsequent hits take the version-equality fast
+    path -- observable as the scan count staying flat.
+    """
+
+    def counting_store(self, domain=4):
+        constraints = VariableConstraints([domain])
+        store = uniform_store(domain=domain, constraints=constraints)
+        calls = []
+        original = store.variables_unchanged_since
+
+        def counted(variables, version):
+            calls.append(tuple(variables))
+            return original(variables, version)
+
+        store.variables_unchanged_since = counted
+        return store, constraints, calls
+
+    def test_engine_cache_refreshes_version_after_scan(self):
+        store, constraints, calls = self.counting_store()
+        engine = ProbabilityEngine(store)
+        condition = Condition.of([[var_greater_const(0, 0, 1)]])
+        engine.probability(condition)
+        # constrain an UNRELATED variable: version moves, pmfs of V don't
+        constraints.apply_answer(var_greater_const(2, 0, 1), Relation.GREATER)
+        calls.clear()
+        engine.probability(condition)  # stale version -> one revalidation scan
+        scans_first_hit = len(calls)
+        assert scans_first_hit >= 1
+        engine.probability(condition)  # refreshed version -> no further scan
+        assert len(calls) == scans_first_hit
+        assert engine.n_cache_hits == 2
+
+    def test_adpll_memo_refreshes_version_after_scan(self):
+        store, constraints, calls = self.counting_store()
+        solver = ADPLL(store)
+        condition = Condition.of(
+            [
+                [var_greater_var(0, 1, 0), var_greater_const(2, 0, 1)],
+                [var_greater_var(1, 0, 0)],
+            ]
+        )
+        solver.probability(condition)
+        constraints.apply_answer(var_greater_const(3, 0, 1), Relation.GREATER)
+        calls.clear()
+        solver.probability(condition)  # revalidates memo entries once
+        scans_first = len(calls)
+        calls.clear()
+        solver.probability(condition)  # versions refreshed -> fewer scans
+        assert len(calls) < max(scans_first, 1)
+
+    def test_distribution_caches_refresh_version(self):
+        constraints = VariableConstraints([4])
+        store = uniform_store(constraints=constraints)
+        expression = var_greater_const(0, 0, 1)
+        store.pmf(V)
+        store.prob_expression(expression)
+        constraints.apply_answer(var_greater_const(2, 0, 1), Relation.GREATER)
+        # revalidate once at the new version...
+        store.pmf(V)
+        store.prob_expression(expression)
+        # ...then the cached entries must carry the current version
+        assert store._pmf_cache[V][1] == store.version
+        assert store._expr_cache[expression][1] == store.version
+
+
+class TestADPLLMemoInvalidation:
+    """Regression: memo entries must not survive store mutation mid-run."""
+
+    def test_answer_between_calls_changes_result(self):
+        constraints = VariableConstraints([4])
+        store = uniform_store(constraints=constraints)
+        solver = ADPLL(store)
+        condition = Condition.of(
+            [
+                [var_greater_var(0, 1, 0), var_greater_const(2, 0, 2)],
+                [var_greater_var(1, 2, 0)],
+            ]
+        )
+        before = solver.probability(condition)
+        assert before == pytest.approx(naive_probability(condition, store), abs=1e-9)
+        constraints.apply_answer(var_greater_const(0, 0, 2), Relation.GREATER)
+        after = solver.probability(condition)
+        assert after == pytest.approx(naive_probability(condition, store), abs=1e-9)
+        assert abs(after - before) > 0.05
+
+    def test_repeated_answers_keep_memo_exact(self):
+        constraints = VariableConstraints([4])
+        store = uniform_store(constraints=constraints)
+        solver = ADPLL(store)
+        condition = Condition.of(
+            [
+                [var_greater_var(0, 1, 0), var_greater_var(1, 2, 0)],
+                [var_greater_const(0, 0, 1), var_greater_const(2, 0, 1)],
+            ]
+        )
+        answers = [
+            (var_greater_const(0, 0, 0), Relation.GREATER),
+            (var_greater_const(2, 0, 2), Relation.LESS),
+            (var_greater_const(1, 0, 1), Relation.GREATER),
+        ]
+        for expression, relation in answers:
+            constraints.apply_answer(expression, relation)
+            assert solver.probability(condition) == pytest.approx(
+                naive_probability(condition, store), abs=1e-9
+            )
+
+
+class TestIndependentProbabilityPrecision:
+    """The independent-clause product must survive tiny probabilities.
+
+    A naive ``1 - prod(1 - p)`` loses all significant digits once ``p``
+    drops near machine epsilon; the solver accumulates in log space
+    (``log1p``/``expm1``/``fsum``), so results stay relatively accurate.
+    The exact reference is computed in ``fractions.Fraction`` arithmetic.
+    """
+
+    def tiny_store(self, eps, n_vars):
+        pmf = np.array([1.0 - eps, eps])
+        pmf /= pmf.sum()
+        return DistributionStore({(o, 0): pmf.copy() for o in range(n_vars)})
+
+    def exact_fraction(self, store, clauses):
+        from fractions import Fraction
+
+        total = Fraction(1)
+        for clause in clauses:
+            none_true = Fraction(1)
+            for expression in clause:
+                p = store.prob_expression(expression)
+                none_true *= Fraction(1) - Fraction(p)
+            total *= Fraction(1) - none_true
+        return total
+
+    @pytest.mark.parametrize("eps", [1e-9, 1e-12, 1e-15])
+    def test_wide_clause_tiny_probabilities(self, eps):
+        n_vars = 8
+        store = self.tiny_store(eps, n_vars)
+        clause = [var_greater_const(o, 0, 0) for o in range(n_vars)]
+        condition = Condition.of([clause])
+        exact = self.exact_fraction(store, [clause])
+        value = adpll_probability(condition, store)
+        assert exact > 0
+        assert value == pytest.approx(float(exact), rel=1e-9)
+
+    def test_many_independent_clauses(self):
+        n_vars = 12
+        store = self.tiny_store(1e-7, n_vars)
+        clauses = [
+            [var_greater_const(o, 0, 0) for o in range(start, start + 4)]
+            for start in (0, 4, 8)
+        ]
+        condition = Condition.of(clauses)
+        exact = self.exact_fraction(store, clauses)
+        value = adpll_probability(condition, store)
+        assert value == pytest.approx(float(exact), rel=1e-9)
+
+    @given(
+        st.floats(min_value=1e-15, max_value=0.5),
+        st.integers(2, 10),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_against_fraction_reference(self, eps, n_vars):
+        store = self.tiny_store(eps, n_vars)
+        clause = [var_greater_const(o, 0, 0) for o in range(n_vars)]
+        condition = Condition.of([clause])
+        exact = self.exact_fraction(store, [clause])
+        value = adpll_probability(condition, store)
+        assert value == pytest.approx(float(exact), rel=1e-9)
+
+    def test_certain_expression_short_circuits(self):
+        # p == 1.0 inside a clause must not reach log1p(-1)
+        pmf = np.array([0.0, 1.0])
+        store = DistributionStore({V: pmf, W: np.array([0.5, 0.5])})
+        condition = Condition.of([[var_greater_const(0, 0, 0)]])
+        assert adpll_probability(condition, store) == 1.0

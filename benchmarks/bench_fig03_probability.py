@@ -7,9 +7,13 @@ in ``extra_info``).  Expected shape: ADPLL faster than Naive everywhere,
 the gap widening with the missing rate; ``batch`` (the engine's
 ``probability_many`` with bulk leaf warming) at or below plain ADPLL.
 
-Standalone mode times the batch engine sequentially and with a worker
-pool and emits ``BENCH_fig03_probability.json`` in pytest-benchmark
-shape (render with ``python -m repro.benchreport``)::
+Standalone mode times the batch engine sequentially, with a worker
+pool, and under the circuit backends (``compiled`` per-condition
+circuits, ``compiled_forest`` store-scoped sharing with the scalar
+sweep, ``compiled_kernel`` sharing plus the numpy array kernel), plus
+per-round re-weighting for all four engines, and emits
+``BENCH_fig03_probability.json`` in pytest-benchmark shape (render with
+``python -m repro.benchreport``)::
 
     python benchmarks/bench_fig03_probability.py --n-jobs 4
 """
@@ -111,6 +115,10 @@ def run_standalone(kind, n, missing_rate, alpha, n_jobs, out_path):
         ("batch", dict(n_jobs=1), True),
         ("batch_pool", dict(n_jobs=n_jobs), True),
         ("compiled", dict(n_jobs=1, backend="compiled"), True),
+        # forest sharing alone (interpreter-exact scalar sweep) ...
+        ("compiled_forest", dict(n_jobs=1, backend="forest", kernel="python"), True),
+        # ... and sharing + the numpy structure-of-arrays kernel
+        ("compiled_kernel", dict(n_jobs=1, backend="forest", kernel="numpy"), True),
     ]
     baseline_values = None
     for name, engine_kwargs, batched in variants:
@@ -153,10 +161,15 @@ def run_standalone(kind, n, missing_rate, alpha, n_jobs, out_path):
         }
         if name != "sequential":
             extra["parity_max_drift"] = drift
-        if engine_kwargs.get("backend") == "compiled":
+        if engine_kwargs.get("backend") in ("compiled", "forest"):
             extra["circuits_compiled"] = stats["circuits_compiled"]
             extra["circuit_nodes"] = stats["circuit_nodes"]
             extra["compile_fallbacks"] = stats["compile_fallbacks"]
+        if engine_kwargs.get("backend") == "forest":
+            extra["forest_nodes"] = stats["forest_nodes"]
+            extra["nodes_shared"] = stats["nodes_shared"]
+            extra["shared_fraction"] = round(stats["shared_fraction"], 4)
+            extra["forest_kernel"] = stats["forest_kernel"]
         rows.append(
             {
                 "name": "probability[%s,n=%d,%s]" % (kind, n, name),
@@ -229,31 +242,45 @@ def _fallback_row(kind, n, conditions, store, baseline_values, tracer):
     }
 
 
-def run_rounds(kind, n, missing_rate, alpha, tracer, registry, rounds=5):
-    """Per-round re-weighting: ADPLL recompute vs compiled re-propagation.
+#: Per-round engines: independent stores, identical answer sequences.
+ROUND_ENGINES = (
+    ("adpll", {}),
+    ("compiled", dict(backend="compiled")),
+    # forest sharing with the interpreter-exact scalar sweep ...
+    ("forest", dict(backend="forest", kernel="python")),
+    # ... and with the numpy array kernel (the PR-9 headline variant)
+    ("kernel", dict(backend="forest", kernel="numpy")),
+)
 
-    Two independent constraint sets receive the same deterministic answer
+
+def run_rounds(kind, n, missing_rate, alpha, tracer, registry, rounds=5):
+    """Per-round re-weighting: ADPLL recompute vs circuit re-propagation.
+
+    Independent constraint sets receive the same deterministic answer
     sequence (``Var > 0`` facts applied straight to the constraints, so
     conditions never simplify -- a pure weight-change workload).  Each
-    round, both engines recompute every condition; the compiled engine
+    round every engine recomputes every condition; the circuit backends
     must re-propagate leaf weights without a single recompilation.
     """
-    conditions_a, store_a, __ = _feasible_conditions(
-        kind, missing_rate, n=n, alpha=alpha, cap=None
-    )
-    conditions_b, store_b, __ = _feasible_conditions(
-        kind, missing_rate, n=n, alpha=alpha, cap=None
-    )
-    assert conditions_a == conditions_b, "dataset generation is not deterministic"
-    engine_adpll = ProbabilityEngine(store_a)
-    engine_compiled = ProbabilityEngine(store_b, backend="compiled")
-    # warm-up: compile every circuit / fill every cache before timing
-    engine_adpll.probability_many(conditions_a)
-    engine_compiled.probability_many(conditions_b)
-    answered = sorted({v for c in conditions_a for v in c.variables()})
+    setups = {}
+    reference_conditions = None
+    for name, kwargs in ROUND_ENGINES:
+        conditions, store, __ = _feasible_conditions(
+            kind, missing_rate, n=n, alpha=alpha, cap=None
+        )
+        if reference_conditions is None:
+            reference_conditions = conditions
+        else:
+            assert conditions == reference_conditions, (
+                "dataset generation is not deterministic"
+            )
+        engine = ProbabilityEngine(store, **kwargs)
+        # warm-up: compile every circuit / fill every cache before timing
+        engine.probability_many(conditions)
+        setups[name] = (engine, store, conditions)
+    answered = sorted({v for c in reference_conditions for v in c.variables()})
     per_round = max(1, min(32, len(answered) // rounds))
-    adpll_seconds = 0.0
-    compiled_seconds = 0.0
+    seconds = {name: 0.0 for name, __ in ROUND_ENGINES}
     played = 0
     for r in range(rounds):
         batch = answered[r * per_round : (r + 1) * per_round]
@@ -261,63 +288,85 @@ def run_rounds(kind, n, missing_rate, alpha, tracer, registry, rounds=5):
             break
         for variable in batch:
             answer = var_greater_const(variable[0], variable[1], 0)
-            store_a.constraints.apply_answer(answer, Relation.GREATER)
-            store_b.constraints.apply_answer(answer, Relation.GREATER)
+            for __, store, ___ in setups.values():
+                store.constraints.apply_answer(answer, Relation.GREATER)
         played += len(batch)
-        with tracer.span("round[adpll,%d]" % r, phase="probability") as span:
-            values_a = engine_adpll.probability_many(conditions_a)
-        adpll_seconds += span.seconds
-        with tracer.span("round[compiled,%d]" % r, phase="probability") as span:
-            values_b = engine_compiled.probability_many(conditions_b)
-        compiled_seconds += span.seconds
-        drift = max(
-            (abs(a - b) for a, b in zip(values_a, values_b)), default=0.0
-        )
-        assert drift < 1e-9, "round %d drifted by %g" % (r, drift)
-    stats = engine_compiled.stats()
-    assert stats["recompiles"] == 0, (
-        "weight-only answers recompiled %d circuits" % stats["recompiles"]
-    )
-    registry.absorb(stats, prefix="engine_rounds_")
-    speedup = adpll_seconds / compiled_seconds if compiled_seconds else 0.0
+        round_values = {}
+        for name, (engine, __, conditions) in setups.items():
+            with tracer.span("round[%s,%d]" % (name, r), phase="probability") as span:
+                round_values[name] = engine.probability_many(conditions)
+            seconds[name] += span.seconds
+        for name in seconds:
+            if name == "adpll":
+                continue
+            drift = max(
+                (
+                    abs(a - b)
+                    for a, b in zip(round_values["adpll"], round_values[name])
+                ),
+                default=0.0,
+            )
+            assert drift < 1e-9, "round %d %s drifted by %g" % (r, name, drift)
+    rows = []
     common = {
-        "conditions": len(conditions_a),
+        "conditions": len(reference_conditions),
         "rounds": rounds,
         "answers_played": played,
         "weight_only": True,
     }
-    print(
-        "rounds       adpll %.3fs  compiled %.3fs  (%.2fx, %d propagations, "
-        "%d recompiles)"
-        % (
-            adpll_seconds,
-            compiled_seconds,
-            speedup,
-            stats["propagations"],
-            stats["recompiles"],
-        )
-    )
-    return [
-        {
-            "name": "probability[%s,n=%d,adpll_rounds]" % (kind, n),
-            "fullname": "bench_fig03_probability.py::standalone",
-            "stats": {"mean": adpll_seconds},
-            "extra_info": dict(common, variant="adpll_rounds", recompiles=0),
-        },
-        {
-            "name": "probability[%s,n=%d,compiled_rounds]" % (kind, n),
-            "fullname": "bench_fig03_probability.py::standalone",
-            "stats": {"mean": compiled_seconds},
-            "extra_info": dict(
-                common,
-                variant="compiled_rounds",
+    for name, (engine, __, ___) in setups.items():
+        stats = engine.stats()
+        elapsed = seconds[name]
+        extra = dict(common, variant="%s_rounds" % name)
+        if name != "adpll":
+            assert stats["recompiles"] == 0, (
+                "weight-only answers recompiled %d circuits in %s"
+                % (stats["recompiles"], name)
+            )
+            registry.absorb(stats, prefix="engine_rounds_%s_" % name)
+            extra.update(
                 recompiles=stats["recompiles"],
                 propagations=stats["propagations"],
+                propagations_per_sec=round(
+                    stats["propagations"] / elapsed if elapsed else 0.0
+                ),
                 circuits_compiled=stats["circuits_compiled"],
-                speedup_vs_adpll=round(speedup, 2),
-            ),
-        },
-    ]
+                speedup_vs_adpll=round(
+                    seconds["adpll"] / elapsed if elapsed else 0.0, 2
+                ),
+            )
+        else:
+            extra["recompiles"] = 0
+        if name in ("forest", "kernel"):
+            extra.update(
+                shared_fraction=round(stats["shared_fraction"], 4),
+                forest_nodes=stats["forest_nodes"],
+                nodes_shared=stats["nodes_shared"],
+                forest_kernel=stats["forest_kernel"],
+                speedup_vs_compiled=round(
+                    seconds["compiled"] / elapsed if elapsed else 0.0, 2
+                ),
+            )
+        rows.append(
+            {
+                "name": "probability[%s,n=%d,%s_rounds]" % (kind, n, name),
+                "fullname": "bench_fig03_probability.py::standalone",
+                "stats": {"mean": elapsed},
+                "extra_info": extra,
+            }
+        )
+        print(
+            "rounds[%-8s] %8.3fs  (%.2fx vs adpll, %d propagations, "
+            "%d recompiles)"
+            % (
+                name,
+                elapsed,
+                seconds["adpll"] / elapsed if elapsed else 0.0,
+                stats.get("propagations", 0),
+                stats.get("recompiles", 0),
+            )
+        )
+    return rows
 
 
 def main(argv=None):

@@ -69,11 +69,16 @@ def pair_accounting_problems(path):
 def probability_problems(path):
     """Violations of the compiled-backend invariants in one fresh JSON.
 
-    Three contracts, each carried by ``extra_info`` fields the probability
+    The contracts, each carried by ``extra_info`` fields the probability
     benchmark emits: exact-parity rows must agree with the sequential
     baseline to 1e-9, weight-only answer rounds must never recompile a
-    circuit, and a forced-budget row must actually exercise the fallback
-    ladder.
+    circuit, a forced-budget row must actually exercise the fallback
+    ladder, forest rows must share subcircuits across objects
+    (``shared_fraction > 0`` whenever two or more conditions were
+    registered), the kernel's per-round sweep must beat the per-circuit
+    interpreter on workloads big enough to measure (``speedup_vs_compiled
+    > 1`` at 300+ conditions), and every row must record a real pool
+    decision (never the stale pre-batch sentinel).
     """
     data = json.loads(Path(path).read_text())
     problems = []
@@ -93,6 +98,32 @@ def probability_problems(path):
         if extra.get("forced_budget_trip") and not extra.get("compile_fallbacks"):
             problems.append(
                 "%s: forced budget trip produced no compile fallbacks" % name
+            )
+        shared = extra.get("shared_fraction")
+        if shared is not None:
+            if not 0.0 <= shared <= 1.0:
+                problems.append(
+                    "%s: shared_fraction %r outside [0, 1]" % (name, shared)
+                )
+            elif extra.get("conditions", 0) >= 2 and not shared > 0.0:
+                problems.append(
+                    "%s: forest registered %r conditions yet shared nothing"
+                    % (name, extra.get("conditions"))
+                )
+        if (
+            extra.get("variant") == "kernel_rounds"
+            and extra.get("conditions", 0) >= 300
+            and not extra.get("speedup_vs_compiled", 0.0) > 1.0
+        ):
+            problems.append(
+                "%s: kernel rounds did not beat the per-circuit "
+                "interpreter (speedup_vs_compiled %r <= 1)"
+                % (name, extra.get("speedup_vs_compiled"))
+            )
+        decision = extra.get("pool_decision")
+        if decision is not None and "no batch computed yet" in decision:
+            problems.append(
+                "%s: stale pool_decision %r recorded" % (name, decision)
             )
     return problems
 

@@ -12,7 +12,10 @@ from ..ctable.constraints import INFERENCE_MODES
 from ..ctable.construction import BACKENDS
 from ..ctable.pruning import PRUNE_MODES
 from ..ctable.dominators import DOMINATOR_METHODS
-from ..probability.compile import DEFAULT_COMPILE_NODE_BUDGET
+from ..probability.compile import (
+    DEFAULT_CIRCUIT_CACHE_SIZE,
+    DEFAULT_COMPILE_NODE_BUDGET,
+)
 from ..probability.engine import DEFAULT_CACHE_SIZE, METHODS, PROBABILITY_BACKENDS
 from .utility import UTILITY_MODES
 from .utility_engine import DEFAULT_UTILITY_CACHE_SIZE
@@ -49,11 +52,17 @@ class BayesCrowdConfig:
     probability_method: str = "adpll"
     #: exact-probability backend (method "adpll" only): "adpll" re-solves
     #: each condition every round, "compiled" compiles each condition once
-    #: into a d-DNNF circuit and re-propagates weights as answers arrive
+    #: into a d-DNNF circuit and re-propagates weights as answers arrive,
+    #: "forest" shares subcircuits across all objects in one store-scoped
+    #: DAG and re-weights every registered circuit in a single array sweep
     probability_backend: str = "adpll"
     #: node cap for compiling one condition's circuit before the engine
     #: degrades to ADPLL-then-sampling (0 = unlimited)
     compile_node_budget: int = DEFAULT_COMPILE_NODE_BUDGET
+    #: bound on compiled circuits kept live per store -- the compiled
+    #: backend's per-store LRU and the forest backend's root-pin LRU
+    #: (0 = unbounded)
+    circuit_cache_size: int = DEFAULT_CIRCUIT_CACHE_SIZE
     #: objects with Pr(phi) above this are reported as answers
     answer_threshold: float = 0.5
     #: stop crowdsourcing early once every undecided object's entropy falls
@@ -166,11 +175,14 @@ class BayesCrowdConfig:
                 "unknown probability backend %r; expected one of %r"
                 % (self.probability_backend, PROBABILITY_BACKENDS)
             )
-        if self.probability_backend == "compiled" and self.probability_method != "adpll":
+        if (
+            self.probability_backend in ("compiled", "forest")
+            and self.probability_method != "adpll"
+        ):
             raise ValueError(
-                "probability_backend='compiled' replaces the exact ADPLL "
+                "probability_backend=%r replaces the exact ADPLL "
                 "path and requires probability_method='adpll', got %r"
-                % (self.probability_method,)
+                % (self.probability_backend, self.probability_method)
             )
         if not 0.0 <= self.answer_threshold <= 1.0:
             raise ValueError("answer_threshold must lie in [0, 1]")
@@ -249,6 +261,12 @@ class BayesCrowdConfig:
             raise ConfigError("compile_node_budget must be an int (0 = unlimited)")
         if self.compile_node_budget < 0:
             raise ConfigError("compile_node_budget must be non-negative")
+        if not isinstance(self.circuit_cache_size, int) or isinstance(
+            self.circuit_cache_size, bool
+        ):
+            raise ConfigError("circuit_cache_size must be an int (0 = unbounded)")
+        if self.circuit_cache_size < 0:
+            raise ConfigError("circuit_cache_size must be non-negative")
         try:
             prior = tuple(float(x) for x in self.reliability_prior)
         except (TypeError, ValueError):

@@ -43,13 +43,15 @@ CTABLE_COUNTERS = (
     "ctable_pair_universe",
 )
 
-#: Circuit-accounting counters of the compiled probability backend.
+#: Circuit-accounting counters of the compiled/forest probability backends.
 PROBABILITY_COUNTERS = (
     "engine_circuits_compiled",
     "engine_circuit_nodes",
     "engine_propagations",
     "engine_recompiles",
     "engine_compile_fallbacks",
+    "engine_forest_nodes",
+    "engine_nodes_shared",
 )
 
 
@@ -85,6 +87,16 @@ def verify_probability(snapshot: dict, require: bool = False) -> List[str]:
         problems.append(
             "engine_circuit_nodes %r < engine_circuits_compiled %r "
             "(every circuit has at least one node)" % (nodes, compiled)
+        )
+    shared = snapshot.get("gauges", {}).get("engine_shared_fraction")
+    if shared is not None and not 0.0 <= shared <= 1.0:
+        problems.append(
+            "gauge engine_shared_fraction %r outside [0, 1]" % (shared,)
+        )
+    if counters["engine_nodes_shared"] > 0 and counters["engine_forest_nodes"] == 0:
+        problems.append(
+            "engine_nodes_shared %r with an empty forest"
+            % (counters["engine_nodes_shared"],)
         )
     return problems
 

@@ -124,6 +124,17 @@ class SharedArrayHandle:
     def key(self) -> Tuple[str, ...]:
         return tuple(seg[1] for seg in self.segments)
 
+    @property
+    def nbytes(self) -> int:
+        """Total payload bytes described by the handle (perf accounting)."""
+        total = 0
+        for __, __name, dtype, shape in self.segments:
+            count = 1
+            for dim in shape:
+                count *= int(dim)
+            total += count * np.dtype(dtype).itemsize
+        return total
+
 
 #: Per-process cache of attached bundles: handle key -> (shms, arrays).
 _ATTACHED: Dict[Tuple[str, ...], Tuple[list, Dict[str, np.ndarray]]] = {}
@@ -165,6 +176,11 @@ class SharedArrayBundle:
         self.arrays = arrays
         self.handle = handle
         self._owner = True
+
+    @property
+    def nbytes(self) -> int:
+        """Total payload bytes published in this bundle."""
+        return self.handle.nbytes
 
     @classmethod
     def publish(cls, arrays: Mapping[str, np.ndarray]) -> "SharedArrayBundle":

@@ -7,6 +7,7 @@ from .approxcount import (
     approx_probability,
 )
 from .compile import (
+    DEFAULT_CIRCUIT_CACHE_SIZE,
     DEFAULT_COMPILE_NODE_BUDGET,
     CircuitStore,
     CompiledCircuit,
@@ -20,6 +21,8 @@ from .engine import (
     ProbabilityEngine,
     resolve_n_jobs,
 )
+from .forest import CircuitForest
+from .kernel import HAS_NUMBA, KERNEL_MODES, ForestProgram, resolve_kernel
 from .guard import CircuitBreaker, GuardedProbability
 from .naive import EnumerationLimitExceeded, naive_probability
 
@@ -31,10 +34,16 @@ __all__ = [
     "ApproxEstimate",
     "approx_probability",
     "adaptive_approx_probability",
+    "DEFAULT_CIRCUIT_CACHE_SIZE",
     "DEFAULT_COMPILE_NODE_BUDGET",
     "CircuitStore",
+    "CircuitForest",
     "CompiledCircuit",
+    "ForestProgram",
+    "HAS_NUMBA",
+    "KERNEL_MODES",
     "compile_condition",
+    "resolve_kernel",
     "DistributionStore",
     "DEFAULT_CACHE_SIZE",
     "METHODS",

@@ -91,6 +91,16 @@ _LEAF_PAIR = 3
 _SUM = 4
 _PROD = 5
 
+#: Public aliases: the circuit forest (:mod:`repro.probability.forest`)
+#: and the array kernel (:mod:`repro.probability.kernel`) build on the
+#: same node kinds and must agree on the encoding.
+NODE_TRUE = _TRUE
+NODE_FALSE = _FALSE
+NODE_LEAF_SET = _LEAF_SET
+NODE_LEAF_PAIR = _LEAF_PAIR
+NODE_SUM = _SUM
+NODE_PROD = _PROD
+
 
 class CompiledCircuit:
     """One condition's smoothed deterministic d-DNNF, ready to re-weight.

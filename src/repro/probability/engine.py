@@ -38,9 +38,15 @@ from ..parallel import (
 )
 from .adpll import ADPLL
 from .approxcount import adaptive_approx_probability, approx_probability
-from .compile import DEFAULT_COMPILE_NODE_BUDGET, CircuitStore
+from .compile import (
+    DEFAULT_CIRCUIT_CACHE_SIZE,
+    DEFAULT_COMPILE_NODE_BUDGET,
+    CircuitStore,
+)
 from .distributions import DistributionStore
+from .forest import CircuitForest
 from .guard import CircuitBreaker, GuardedProbability
+from .kernel import ForestProgram
 from .naive import naive_probability
 
 #: Supported computation methods.
@@ -49,8 +55,11 @@ METHODS = ("adpll", "naive", "approx")
 #: Exact-probability backends for ``method="adpll"``: ``adpll`` re-solves
 #: each condition per call, ``compiled`` compiles each condition once
 #: into a d-DNNF circuit and re-propagates weights as answers land
-#: (see :mod:`repro.probability.compile`).
-PROBABILITY_BACKENDS = ("adpll", "compiled")
+#: (see :mod:`repro.probability.compile`), ``forest`` shares subcircuits
+#: across all conditions in one store-scoped DAG and sweeps every
+#: registered circuit at once with the array kernel
+#: (:mod:`repro.probability.forest` / :mod:`repro.probability.kernel`).
+PROBABILITY_BACKENDS = ("adpll", "compiled", "forest")
 
 #: Default bound on the condition-probability cache.
 DEFAULT_CACHE_SIZE = 65_536
@@ -58,6 +67,12 @@ DEFAULT_CACHE_SIZE = 65_536
 #: Below this many uncached conditions a pool is never worth its fork +
 #: pickling overhead; the batch falls back to the in-process path.
 MIN_CONDITIONS_PER_WORKER = 8
+
+#: Pool decisions for runs that never reach the pool policy, recorded so
+#: ``stats()['pool_decision']`` always describes the *actual* run (the
+#: fig03 sequential row used to report the pre-init placeholder).
+_DECISION_SCALAR = PoolDecision(1, "sequential: scalar per-condition path")
+_DECISION_ALL_CACHED = PoolDecision(1, "sequential: batch fully served from cache")
 
 
 def resolve_n_jobs(n_jobs: Optional[int]) -> int:
@@ -120,6 +135,34 @@ def _compute_chunk(payload) -> List[float]:
     ]
 
 
+#: Per-process cache of forest programs rebuilt from shared memory, keyed
+#: by the bundle handle (one live program per worker is enough).
+_WORKER_PROGRAMS: Dict[tuple, Tuple[ForestProgram, np.ndarray]] = {}
+
+
+def _forest_chunk(payload) -> List[float]:
+    """Pool worker: masked kernel sweep over one chunk of circuit roots.
+
+    The payload carries only a handle to the published program arrays
+    plus the chunk's root slots -- no conditions, no store, no
+    recompilation.  The worker attaches once per bundle, copies the
+    arrays out of shared memory (the parent unlinks after the batch) and
+    sweeps the subgraph reachable from its roots.
+    """
+    handle, roots = payload
+    cached = _WORKER_PROGRAMS.get(handle.key)
+    if cached is None:
+        arrays = attach_arrays(handle)
+        program = ForestProgram.from_arrays(arrays)
+        pmf_flat = np.array(arrays["leaf_pmf_flat"], dtype=np.float64)
+        _WORKER_PROGRAMS.clear()
+        _WORKER_PROGRAMS[handle.key] = (program, pmf_flat)
+    else:
+        program, pmf_flat = cached
+    values = program.evaluate_roots(roots, pmf_flat)
+    return [float(values[root]) for root in roots]
+
+
 class ProbabilityEngine:
     """Computes and caches condition probabilities against one store."""
 
@@ -138,6 +181,8 @@ class ProbabilityEngine:
         breaker_threshold: int = 3,
         backend: str = "adpll",
         compile_node_budget: int = DEFAULT_COMPILE_NODE_BUDGET,
+        circuit_cache_size: int = DEFAULT_CIRCUIT_CACHE_SIZE,
+        kernel: str = "auto",
     ) -> None:
         if method not in METHODS:
             raise ValueError("unknown method %r; expected one of %r" % (method, METHODS))
@@ -146,10 +191,10 @@ class ProbabilityEngine:
                 "unknown backend %r; expected one of %r"
                 % (backend, PROBABILITY_BACKENDS)
             )
-        if backend == "compiled" and method != "adpll":
+        if backend in ("compiled", "forest") and method != "adpll":
             raise ValueError(
-                "the compiled backend replaces the exact ADPLL path; "
-                "it requires method='adpll' (got %r)" % (method,)
+                "the %s backend replaces the exact ADPLL path; "
+                "it requires method='adpll' (got %r)" % (backend, method)
             )
         self.store = store
         self.method = method
@@ -180,12 +225,23 @@ class ProbabilityEngine:
         #: sampler)
         self.backend = backend
         self._compile_node_budget = int(compile_node_budget)
+        self._circuit_cache_size = int(circuit_cache_size)
         self._circuits: Optional[CircuitStore] = None
+        self._forest: Optional[CircuitForest] = None
         self.compile_breaker: Optional[CircuitBreaker] = None
         self.n_compile_fallbacks = 0
+        self.forest_bundle_bytes = 0
         if backend == "compiled":
             self._circuits = CircuitStore(
-                store, node_budget=compile_node_budget, cache_size=cache_size
+                store, node_budget=compile_node_budget, cache_size=circuit_cache_size
+            )
+            self.compile_breaker = CircuitBreaker(failure_threshold=breaker_threshold)
+        elif backend == "forest":
+            self._forest = CircuitForest(
+                store,
+                node_budget=compile_node_budget,
+                capacity=circuit_cache_size,
+                kernel=kernel,
             )
             self.compile_breaker = CircuitBreaker(failure_threshold=breaker_threshold)
         #: default worker count for :meth:`probability_many`
@@ -255,6 +311,7 @@ class ProbabilityEngine:
             if value is not None:
                 self.n_cache_hits += 1
                 return value
+        self._pool_decision = _DECISION_SCALAR
         value = self._compute(condition, obj)
         self.n_computations += 1
         if self._use_cache:
@@ -312,42 +369,209 @@ class ProbabilityEngine:
         self.n_batch_pending += len(pending)
         if pending:
             self._warm_leaves(pending)
-            # The guard's circuit-breaker state cannot be shared across a
-            # process pool, so guarded batches always run in-process;
-            # everything else goes through the substrate's auto-selection
-            # (single-core hosts, oversubscribed n_jobs and small batches
-            # all fall back to sequential instead of paying pool overhead).
-            if self.guard_active and n_jobs > 1:
-                decision = PoolDecision(
-                    1, "sequential: resource guard active, breaker state is process-local"
+            if self._forest is not None:
+                computed = self._compute_forest_batch(
+                    pending, condition_objects, n_jobs, chunk_size
                 )
             else:
-                decision = decide_workers(
-                    n_jobs, len(pending), MIN_CONDITIONS_PER_WORKER
+                computed = self._compute_batch(
+                    pending, condition_objects, n_jobs, chunk_size
                 )
-            self._pool_decision = decision
-            if decision.parallel:
-                computed = self._compute_parallel(
-                    pending, decision.n_workers, chunk_size
-                )
-            else:
-                computed = []
-                for condition in pending:
-                    if self._cancellation is not None:
-                        self._cancellation.check("probability")
-                    computed.append(
-                        self._compute(condition, condition_objects.get(condition))
-                    )
             self.n_computations += len(pending)
             for condition, value in zip(pending, computed):
                 results[condition] = value
                 if self._use_cache:
                     self._cache[condition] = (value, version)
+        else:
+            self._pool_decision = _DECISION_ALL_CACHED
 
         self.n_batches += 1
         self.n_batch_conditions += len(conditions)
         self.batch_seconds += time.perf_counter() - start
         return [results[condition] for condition in conditions]
+
+    def _compute_batch(
+        self,
+        pending: List[Condition],
+        condition_objects: Dict[Condition, int],
+        n_jobs: int,
+        chunk_size: Optional[int],
+    ) -> List[float]:
+        """Non-forest batch path: pool auto-selection, then per-condition."""
+        # The guard's circuit-breaker state cannot be shared across a
+        # process pool, so guarded batches always run in-process;
+        # everything else goes through the substrate's auto-selection
+        # (single-core hosts, oversubscribed n_jobs and small batches
+        # all fall back to sequential instead of paying pool overhead).
+        if self.guard_active and n_jobs > 1:
+            decision = PoolDecision(
+                1, "sequential: resource guard active, breaker state is process-local"
+            )
+        else:
+            decision = decide_workers(n_jobs, len(pending), MIN_CONDITIONS_PER_WORKER)
+        self._pool_decision = decision
+        if decision.parallel:
+            return self._compute_parallel(pending, decision.n_workers, chunk_size)
+        computed = []
+        for condition in pending:
+            if self._cancellation is not None:
+                self._cancellation.check("probability")
+            computed.append(self._compute(condition, condition_objects.get(condition)))
+        return computed
+
+    def _compute_forest_batch(
+        self,
+        pending: List[Condition],
+        condition_objects: Dict[Condition, int],
+        n_jobs: int,
+        chunk_size: Optional[int],
+    ) -> List[float]:
+        """Forest batch path: register everything, then ONE kernel sweep.
+
+        All of the batch's conditions are registered in the shared forest
+        first (the round's single compile batch -- residual conditions
+        and subcircuits unify across objects as they land), then a single
+        ``refresh`` sweep computes every value at once.  Conditions whose
+        compilation trips the node budget fall down the usual ladder
+        (ADPLL, guarded when configured), gated by the compile breaker.
+        With a pool approved, the sweep fans out instead: workers attach
+        the published program arrays and masked-sweep their chunk's
+        reachable subgraph -- no recompilation, no store rebuild.
+        """
+        forest = self._forest
+        breaker = self.compile_breaker
+        roots: Dict[Condition, int] = {}
+        fallback: List[Condition] = []
+        for condition in pending:
+            if self._cancellation is not None:
+                self._cancellation.check("probability")
+            if breaker.allow_exact():
+                try:
+                    roots[condition] = forest.register(
+                        condition, obj=condition_objects.get(condition)
+                    )
+                except ResourceBudgetError:
+                    breaker.record_failure()
+                    self.n_compile_fallbacks += 1
+                    fallback.append(condition)
+                else:
+                    breaker.record_success()
+            else:
+                self.n_compile_fallbacks += 1
+                fallback.append(condition)
+        if self.guard_active and n_jobs > 1:
+            decision = PoolDecision(
+                1, "sequential: resource guard active, breaker state is process-local"
+            )
+        else:
+            decision = decide_workers(n_jobs, len(roots), MIN_CONDITIONS_PER_WORKER)
+        self._pool_decision = decision
+        values: Dict[Condition, float] = {}
+        if roots:
+            if decision.parallel:
+                values = self._sweep_parallel_forest(
+                    roots, decision.n_workers, chunk_size
+                )
+            else:
+                forest.refresh()
+                for condition, root in roots.items():
+                    values[condition] = forest.value(condition)
+            if self.guard_active:
+                for condition in roots:
+                    self._guard_info[condition] = (True, 0.0)
+        out: List[float] = []
+        for condition in pending:
+            value = values.get(condition)
+            if value is None:
+                if self.breaker is None:
+                    value = self._adpll.probability(condition)
+                else:
+                    value = self._compute_guarded(condition)
+            out.append(value)
+        return out
+
+    def _sweep_parallel_forest(
+        self,
+        roots: Dict[Condition, int],
+        n_workers: int,
+        chunk_size: Optional[int],
+    ) -> Dict[Condition, float]:
+        """Fan the registered circuits' sweep out over the process pool.
+
+        Publishes the forest program's flat arrays plus the current pmf
+        vector to shared memory once; chunk payloads carry only the
+        handle and root slots.  Workers sweep their chunk's reachable
+        subgraph -- compiled artifacts ship, conditions don't.
+        """
+        forest = self._forest
+        program = forest.ensure_program()
+        arrays = program.to_arrays()
+        arrays["leaf_pmf_flat"] = program.gather_pmfs(self.store)
+        items = list(roots.items())
+        if chunk_size is not None:
+            n_chunks = max(1, -(-len(items) // max(1, int(chunk_size))))
+        else:
+            n_chunks = n_workers
+        chunks: List[List[int]] = [[] for __ in range(n_chunks)]
+        for position in range(len(items)):
+            chunks[position % n_chunks].append(position)
+        chunks = [chunk for chunk in chunks if chunk]
+        bundle = SharedArrayBundle.publish(arrays)
+        self.forest_bundle_bytes = bundle.nbytes
+        start = time.perf_counter()
+        try:
+            payloads = [
+                (bundle.handle, [items[i][1] for i in chunk]) for chunk in chunks
+            ]
+            run = run_sharded(_forest_chunk, payloads, n_workers)
+        finally:
+            bundle.unlink()
+            detach_all()
+            self.parallel_seconds += time.perf_counter() - start
+        self.n_parallel_chunks += len(chunks)
+        self.parallel_worker_seconds = list(run.worker_seconds)
+        values: Dict[Condition, float] = {}
+        for chunk, chunk_values in zip(chunks, run.results):
+            for i, value in zip(chunk, chunk_values):
+                values[items[i][0]] = value
+        return values
+
+    def precompile_many(
+        self, conditions: Sequence[Condition], objects: Optional[Sequence[int]] = None
+    ) -> int:
+        """Batch-register conditions in the forest ahead of evaluation.
+
+        The round-level compile hook (:class:`repro.core.utility_engine`
+        submits a round's deduplicated base + residual conditions here in
+        one batch): registration compiles missing circuits into the
+        shared forest without sweeping, so the following
+        ``probability_many`` calls find everything compiled and pay one
+        sweep each.  No-op unless the forest backend is active.  Budget
+        trips are swallowed -- the evaluation path re-attempts them with
+        full breaker/fallback accounting.  Returns the number of
+        conditions registered.
+        """
+        forest = self._forest
+        if forest is None:
+            return 0
+        breaker = self.compile_breaker
+        count = 0
+        seen = set()
+        for index, condition in enumerate(conditions):
+            if condition.is_constant or condition in seen:
+                continue
+            seen.add(condition)
+            if self._cancellation is not None:
+                self._cancellation.check("precompile")
+            if not breaker.allow_exact():
+                break
+            obj = objects[index] if objects is not None else None
+            try:
+                forest.register(condition, obj=obj)
+            except ResourceBudgetError:
+                continue
+            count += 1
+        return count
 
     def _warm_leaves(self, conditions: Sequence[Condition]) -> None:
         """Bulk-compute every distinct leaf expression of the batch."""
@@ -418,7 +642,7 @@ class ProbabilityEngine:
 
     def _compute(self, condition: Condition, obj: Optional[int] = None) -> float:
         if self.method == "adpll":
-            if self._circuits is not None:
+            if self._circuits is not None or self._forest is not None:
                 return self._compute_compiled(condition, obj)
             if self.breaker is None:
                 return self._adpll.probability(condition)
@@ -440,10 +664,11 @@ class ProbabilityEngine:
         ADPLL -> adaptive sampler.  The compile breaker turns repeated
         trips into skip-straight-to-ADPLL.
         """
+        circuits = self._circuits if self._circuits is not None else self._forest
         breaker = self.compile_breaker
         if breaker.allow_exact():
             try:
-                value = self._circuits.probability(condition, obj=obj)
+                value = circuits.probability(condition, obj=obj)
             except ResourceBudgetError:
                 breaker.record_failure()
                 self.n_compile_fallbacks += 1
@@ -545,15 +770,17 @@ class ProbabilityEngine:
         if self.breaker is not None:
             for key, value in self.breaker.stats().items():
                 stats[key] = value
-        # Compiled-backend circuit accounting; zeros with a stable schema
-        # when the backend is off, so the obs verifier always finds them.
+        # Circuit accounting (compiled or forest backend); zeros with a
+        # stable schema -- including the forest keys -- when a backend is
+        # off, so the obs verifier always finds them.
         stats["probability_backend"] = self.backend
-        circuit_stats = (
-            self._circuits.stats()
-            if self._circuits is not None
-            else CircuitStore.empty_stats()
-        )
+        circuit_stats = dict(CircuitForest.empty_stats())
+        if self._circuits is not None:
+            circuit_stats.update(self._circuits.stats())
+        elif self._forest is not None:
+            circuit_stats.update(self._forest.stats())
         stats.update(circuit_stats)
+        stats["forest_bundle_bytes"] = self.forest_bundle_bytes
         stats["compile_fallbacks"] = self.n_compile_fallbacks
         if self.compile_breaker is not None:
             for key, value in self.compile_breaker.stats().items():

@@ -52,6 +52,21 @@ class TestMain:
         )
         assert code == 0
 
+    def test_forest_backend_with_circuit_cache_flag(self, capsys):
+        code = main(
+            ["--dataset", "movies", "--budget", "6", "--latency", "3",
+             "--probability-backend", "forest",
+             "--circuit-cache-size", "1024", "--perf"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "forest:" in out
+        assert "sweeps" in out
+
+    def test_invalid_circuit_cache_size_is_clean_error(self, capsys):
+        assert main(["--n", "40", "--circuit-cache-size", "-1"]) == 2
+        assert "circuit_cache_size" in capsys.readouterr().err
+
     def test_resume_requires_checkpoint(self, capsys):
         assert main(["--resume"]) == 2
         assert "--checkpoint" in capsys.readouterr().err

@@ -29,7 +29,9 @@ from repro.errors import ResourceBudgetError
 from repro.obs.__main__ import verify_probability
 from repro.probability import (
     ADPLL,
+    DEFAULT_CIRCUIT_CACHE_SIZE,
     DEFAULT_COMPILE_NODE_BUDGET,
+    CircuitForest,
     CircuitStore,
     DistributionStore,
     ProbabilityEngine,
@@ -293,6 +295,113 @@ class TestCircuitStore:
         assert circuits.stats()["circuit_nodes"] == 0
 
 
+class TestCircuitForest:
+    """Store-scoped sharing + refcounted eviction (PR-9 tentpole)."""
+
+    def make(self, domain=4, **kwargs):
+        constraints = VariableConstraints([domain])
+        store = uniform_store(domain=domain, constraints=constraints)
+        return CircuitForest(store, **kwargs), store, constraints
+
+    def conditions(self, n=8):
+        """Overlapping conditions so subcircuit sharing actually occurs."""
+        out = [branching_condition()]
+        for o in range(n - 1):
+            out.append(
+                Condition.of(
+                    [
+                        [var_greater_var(o % 3, (o + 1) % 3, 0)],
+                        [var_greater_const(o % 3, 0, 1 + o % 2)],
+                    ]
+                )
+            )
+        return out
+
+    def check_invariants(self, forest):
+        """Refcount/unique-table consistency over the live slot pool."""
+        for key, slot in forest._unique.items():
+            assert forest._keys[slot] == key
+        for slot in forest.live_slots():
+            if slot not in (forest.TRUE, forest.FALSE):
+                assert forest.refs[slot] >= 1, slot
+
+    def test_cross_condition_sharing(self):
+        forest, store, __ = self.make()
+        conditions = self.conditions()
+        for i, condition in enumerate(conditions):
+            forest.register(condition, obj=i)
+        stats = forest.stats()
+        assert stats["nodes_shared"] > 0
+        assert 0.0 < stats["shared_fraction"] < 1.0
+        # shared forest is strictly smaller than the sum of circuit sizes
+        individual = sum(
+            len(compile_condition(c, store)) for c in conditions
+        )
+        assert stats["forest_nodes"] < individual
+        for condition in conditions:
+            assert forest.probability(condition) == pytest.approx(
+                naive_probability(condition, store), abs=1e-9
+            )
+
+    def test_eviction_under_mid_run_store_mutation(self):
+        """Capacity churn while answers move weights: exact + consistent."""
+        forest, store, constraints = self.make(capacity=3)
+        conditions = self.conditions(9)
+        for i, condition in enumerate(conditions):
+            forest.probability(condition)
+            if i % 3 == 2:  # mutate the store mid-run
+                constraints.apply_answer(
+                    var_greater_const(i % 3, 0, i % 2), Relation.GREATER
+                )
+            self.check_invariants(forest)
+            assert len(forest) <= 3
+        assert forest.stats()["forest_evictions"] > 0
+        # survivors still track the mutated store exactly
+        for condition in conditions[-3:]:
+            assert forest.probability(condition) == pytest.approx(
+                naive_probability(condition, store), abs=1e-9
+            )
+
+    def test_evicted_condition_recompiles(self):
+        forest, __, ___ = self.make(capacity=1)
+        a = Condition.of([[var_greater_const(0, 0, 1)]])
+        b = Condition.of([[var_greater_const(1, 0, 2)]])
+        forest.register(a)
+        forest.register(b)  # evicts a's root pin
+        forest.register(a)
+        assert forest.stats()["recompiles"] == 1
+        self.check_invariants(forest)
+
+    def test_budget_rollback_leaves_forest_clean(self):
+        forest, __, ___ = self.make(node_budget=4)
+        with pytest.raises(ResourceBudgetError):
+            forest.register(branching_condition())
+        assert forest.forest_nodes == 0
+        assert len(forest) == 0
+        self.check_invariants(forest)
+        # and the forest still works for conditions within budget
+        small = Condition.of([[var_greater_const(0, 0, 1)]])
+        value = forest.probability(small)
+        assert 0.0 <= value <= 1.0
+
+    def test_propagate_without_recompiling(self):
+        forest, store, constraints = self.make()
+        conditions = self.conditions()
+        for condition in conditions:
+            forest.probability(condition)
+        for cut, obj in ((1, 0), (0, 1), (2, 2)):
+            constraints.apply_answer(
+                var_greater_const(obj, 0, cut), Relation.GREATER
+            )
+            for condition in conditions:
+                assert forest.probability(condition) == pytest.approx(
+                    naive_probability(condition, store), abs=1e-9
+                )
+        stats = forest.stats()
+        assert stats["recompiles"] == 0
+        assert stats["circuits_compiled"] == len(set(self.conditions()))
+
+
 class TestEngineCompiledBackend:
     def test_rejects_bad_backend_combinations(self):
         with pytest.raises(ValueError):
@@ -403,6 +512,7 @@ class TestConfigAndQuery:
     def test_config_knobs_validate(self):
         config = BayesCrowdConfig(probability_backend="compiled")
         assert config.compile_node_budget == DEFAULT_COMPILE_NODE_BUDGET
+        assert config.circuit_cache_size == DEFAULT_CIRCUIT_CACHE_SIZE
         with pytest.raises(ValueError):
             BayesCrowdConfig(probability_backend="magic")
         with pytest.raises(ValueError):
@@ -410,9 +520,17 @@ class TestConfigAndQuery:
                 probability_backend="compiled", probability_method="naive"
             )
         with pytest.raises(ValueError):
+            BayesCrowdConfig(
+                probability_backend="forest", probability_method="naive"
+            )
+        with pytest.raises(ValueError):
             BayesCrowdConfig(compile_node_budget=-1)
         with pytest.raises(ValueError):
             BayesCrowdConfig(compile_node_budget=True)
+        with pytest.raises(ValueError):
+            BayesCrowdConfig(circuit_cache_size=-1)
+        with pytest.raises(ValueError):
+            BayesCrowdConfig(circuit_cache_size=True)
 
     def test_end_to_end_compiled_query_matches_adpll(self):
         dataset = generate_nba(n_objects=25, missing_rate=0.4, seed=5)
@@ -447,9 +565,17 @@ class TestObsVerifier:
             "engine_propagations": 4,
             "engine_recompiles": 2,
             "engine_compile_fallbacks": 1,
+            "engine_forest_nodes": 80,
+            "engine_nodes_shared": 15,
         }
-        counters.update(overrides)
-        return {"counters": counters}
+        gauges = {"engine_shared_fraction": 0.125}
+        counters.update(
+            {k: v for k, v in overrides.items() if k.startswith("engine_") and "fraction" not in k}
+        )
+        gauges.update(
+            {k: v for k, v in overrides.items() if "fraction" in k}
+        )
+        return {"counters": counters, "gauges": gauges}
 
     def test_consistent_snapshot_passes(self):
         assert verify_probability(self.snapshot(), require=True) == []
@@ -476,3 +602,16 @@ class TestObsVerifier:
             self.snapshot(engine_propagations=-1), require=True
         )
         assert any("non-negative" in p for p in problems)
+
+    def test_shared_fraction_gauge_bounds(self):
+        problems = verify_probability(
+            self.snapshot(engine_shared_fraction=1.5), require=True
+        )
+        assert any("outside [0, 1]" in p for p in problems)
+
+    def test_shared_nodes_require_live_forest(self):
+        problems = verify_probability(
+            self.snapshot(engine_forest_nodes=0, engine_nodes_shared=3),
+            require=True,
+        )
+        assert any("empty forest" in p for p in problems)

@@ -37,6 +37,9 @@ class TestValidation:
             {"faults": "not-a-fault-model"},
             {"cache_size": -1},
             {"utility_cache_size": -1},
+            {"circuit_cache_size": -1},
+            {"circuit_cache_size": True},
+            {"probability_backend": "forest", "probability_method": "naive"},
         ],
     )
     def test_invalid_values_rejected(self, kwargs):
@@ -47,6 +50,12 @@ class TestValidation:
         config = BayesCrowdConfig(selection_batch=False, utility_cache_size=0)
         assert config.selection_batch is False
         assert config.utility_cache_size == 0  # 0 = unbounded caches
+
+    def test_circuit_cache_knob_accepted(self):
+        config = BayesCrowdConfig(
+            probability_backend="forest", circuit_cache_size=0
+        )
+        assert config.circuit_cache_size == 0  # 0 = unbounded roots
 
     def test_resilience_knobs_accepted(self):
         from repro.crowd import FaultModel

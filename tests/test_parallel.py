@@ -115,6 +115,20 @@ class TestSharedArrays:
         bundle.unlink()
         assert bundle.arrays == {}
 
+    def test_nbytes_accounts_every_segment(self):
+        arrays = {
+            "a": np.arange(12, dtype=np.int64).reshape(3, 4),
+            "b": np.linspace(0.0, 1.0, 7),
+            "empty": np.zeros((0, 3), dtype=np.float64),
+        }
+        expected = sum(a.nbytes for a in arrays.values())
+        bundle = SharedArrayBundle.publish(arrays)
+        try:
+            assert bundle.nbytes == expected
+            assert bundle.handle.nbytes == expected
+        finally:
+            bundle.unlink()
+
 
 class TestRunSharded:
     def test_in_process_when_single_worker(self):

@@ -13,6 +13,8 @@ complete-data skyline.
 from __future__ import annotations
 
 import argparse
+import contextlib
+import signal
 import sys
 from typing import List, Optional
 
@@ -26,6 +28,7 @@ from .datasets import (
     sample_dataset,
 )
 from .metrics.accuracy import accuracy_report
+from .session.context import SessionContext
 from .skyline.algorithms import skyline
 
 
@@ -206,8 +209,41 @@ def _fault_model(args) -> "FaultModel | None":
     )
 
 
+@contextlib.contextmanager
+def _cancel_on_signals(session: SessionContext):
+    """Route SIGTERM/SIGINT to the session's cooperative cancellation.
+
+    Batch runs park at the next phase boundary with journal + checkpoint
+    intact (exit 3, resumable with ``--resume``) instead of dying
+    mid-mutation.  No-op outside the main thread (signal module rules)
+    and handlers are always restored.
+    """
+
+    def _handler(signum, frame):  # noqa: ARG001 - signal signature
+        session.cancellation.cancel(
+            "received %s" % signal.Signals(signum).name
+        )
+
+    previous = {}
+    try:
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            previous[signum] = signal.signal(signum, _handler)
+    except ValueError:  # not the main thread; run uncancellable
+        pass
+    try:
+        yield
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    raw = list(sys.argv[1:] if argv is None else argv)
+    if raw and raw[0] == "serve":
+        from .service.server import main as serve_main
+
+        return serve_main(raw[1:])
+    args = build_parser().parse_args(raw)
     if args.resume and not (args.checkpoint or args.journal):
         print("--resume needs --checkpoint or --journal PATH", file=sys.stderr)
         return 2
@@ -298,14 +334,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ValueError as err:
         print("invalid configuration: %s" % err, file=sys.stderr)
         return 2
-    query = BayesCrowd(dataset, config, distributions=distributions)
-
-    print(
-        "dataset %s: %d objects x %d attributes, missing rate %.2f"
-        % (dataset.name, dataset.n_objects, dataset.n_attributes, dataset.missing_rate)
+    session = SessionContext(seed=args.seed, session_id="cli")
+    query = BayesCrowd(
+        dataset, config, distributions=distributions, session=session
     )
+
     try:
-        result = query.run(checkpoint_path=args.checkpoint, resume=args.resume)
+        with _cancel_on_signals(session):
+            # The banner prints only once signal handlers are armed, so
+            # anyone synchronizing on it (tests, wrappers) can deliver
+            # SIGTERM immediately and still get the cooperative path.
+            print(
+                "dataset %s: %d objects x %d attributes, missing rate %.2f"
+                % (dataset.name, dataset.n_objects, dataset.n_attributes,
+                   dataset.missing_rate),
+                flush=True,
+            )
+            result = query.run(checkpoint_path=args.checkpoint, resume=args.resume)
     except (CheckpointError, JournalError) as err:
         print("cannot resume: %s" % err, file=sys.stderr)
         return 2

@@ -1,7 +1,12 @@
 """BayesCrowd core: the paper's primary contribution."""
 
 from .config import DISTRIBUTION_SOURCES, REQUEUE_POLICIES, BayesCrowdConfig
-from .framework import BayesCrowd, learn_distributions, run_bayescrowd
+from .framework import (
+    BayesCrowd,
+    build_default_platform,
+    learn_distributions,
+    run_bayescrowd,
+)
 from .result import QueryResult, RoundRecord
 from .selection import IncrementalRanker, RankedObject, rank_objects, select_top_k
 from .strategies import (
@@ -27,6 +32,7 @@ __all__ = [
     "REQUEUE_POLICIES",
     "BayesCrowdConfig",
     "BayesCrowd",
+    "build_default_platform",
     "learn_distributions",
     "run_bayescrowd",
     "QueryResult",

@@ -184,6 +184,13 @@ class BayesCrowdConfig:
                 "path and requires probability_method='adpll', got %r"
                 % (self.probability_backend, self.probability_method)
             )
+        if self.probability_backend == "forest":
+            # REPRO_FOREST_JIT=1 without numba must fail here, at config
+            # time, with a clear message -- not as a worker crash (nor a
+            # silent numpy fallback the operator believes is jitted).
+            from ..probability.kernel import validate_jit_gate
+
+            validate_jit_gate()
         if not 0.0 <= self.answer_threshold <= 1.0:
             raise ValueError("answer_threshold must lie in [0, 1]")
         if not 0.0 <= self.entropy_epsilon <= 1.0:

@@ -219,6 +219,57 @@ def learn_distributions(
     return distributions
 
 
+def build_default_platform(
+    dataset: IncompleteDataset, config: BayesCrowdConfig
+) -> Optional[SimulatedCrowdPlatform]:
+    """The platform :class:`BayesCrowd` builds when none is supplied.
+
+    A deterministic simulated crowd over the dataset's hidden ground
+    truth (majority or calibrated-weighted aggregation per the config),
+    wrapped in the configured fault injector when one is set.  Extracted
+    so session hosts (the HTTP service) can construct the *same*
+    platform and layer a
+    :class:`~repro.session.QueuedAnswerPlatform` in front of it without
+    duplicating the seeding rules -- the seeds here are part of the
+    bit-identical-recovery contract.  Returns ``None`` when the dataset
+    has no ground truth to simulate against.
+    """
+    if not dataset.has_ground_truth():
+        return None
+    platform_rng = np.random.default_rng(config.seed + 1)
+    aggregator = None
+    pool = None
+    if config.aggregation == "weighted":
+        from ..crowd.quality import (
+            estimate_worker_accuracies,
+            make_weighted_aggregator,
+        )
+        from ..crowd.worker import WorkerPool
+
+        pool = WorkerPool(config.worker_accuracy, rng=platform_rng)
+        estimates = estimate_worker_accuracies(
+            pool,
+            n_gold_questions=config.calibration_questions,
+            rng=platform_rng,
+        )
+        aggregator = make_weighted_aggregator(estimates, rng=platform_rng)
+    platform = SimulatedCrowdPlatform(
+        dataset,
+        worker_pool=pool,
+        worker_accuracy=config.worker_accuracy,
+        assignments_per_task=config.assignments_per_task,
+        rng=platform_rng,
+        aggregator=aggregator,
+    )
+    if config.faults is not None and config.faults.any_faults():
+        platform = UnreliableCrowdPlatform(
+            platform,
+            config.faults,
+            rng=np.random.default_rng(config.seed + 2),
+        )
+    return platform
+
+
 class BayesCrowd:
     """One configured BayesCrowd query over one incomplete dataset."""
 
@@ -239,38 +290,8 @@ class BayesCrowd:
         #: can run concurrently in one process without shared state
         self.session = session or SessionContext(seed=self.config.seed)
         self._rng = np.random.default_rng(self.config.seed)
-        if platform is None and dataset.has_ground_truth():
-            platform_rng = np.random.default_rng(self.config.seed + 1)
-            aggregator = None
-            pool = None
-            if self.config.aggregation == "weighted":
-                from ..crowd.quality import (
-                    estimate_worker_accuracies,
-                    make_weighted_aggregator,
-                )
-                from ..crowd.worker import WorkerPool
-
-                pool = WorkerPool(self.config.worker_accuracy, rng=platform_rng)
-                estimates = estimate_worker_accuracies(
-                    pool,
-                    n_gold_questions=self.config.calibration_questions,
-                    rng=platform_rng,
-                )
-                aggregator = make_weighted_aggregator(estimates, rng=platform_rng)
-            platform = SimulatedCrowdPlatform(
-                dataset,
-                worker_pool=pool,
-                worker_accuracy=self.config.worker_accuracy,
-                assignments_per_task=self.config.assignments_per_task,
-                rng=platform_rng,
-                aggregator=aggregator,
-            )
-            if self.config.faults is not None and self.config.faults.any_faults():
-                platform = UnreliableCrowdPlatform(
-                    platform,
-                    self.config.faults,
-                    rng=np.random.default_rng(self.config.seed + 2),
-                )
+        if platform is None:
+            platform = build_default_platform(dataset, self.config)
         self.platform = platform
         preprocess_start = time.perf_counter()
         #: posterior-precompute grouping counters (empty unless the BN
@@ -391,13 +412,16 @@ class BayesCrowd:
     @staticmethod
     def _write_metrics(path, registry: MetricsRegistry) -> None:
         """Export the metrics snapshot (Prometheus text for .prom/.txt)."""
+        from ..persistence import atomic_write
+
         path = Path(path)
         if path.parent != Path("."):
             path.parent.mkdir(parents=True, exist_ok=True)
         if path.suffix in (".prom", ".txt"):
-            path.write_text(registry.to_prometheus())
+            text = registry.to_prometheus()
         else:
-            path.write_text(registry.to_json())
+            text = registry.to_json()
+        atomic_write(path, lambda handle: handle.write(text))
 
     def _run_phases(
         self,

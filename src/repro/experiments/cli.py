@@ -35,6 +35,7 @@ from . import (
     table6_live,
 )
 from .base import ExperimentResult
+from ..persistence import atomic_write
 
 RUNNERS: Dict[str, Callable[[bool], ExperimentResult]] = {
     "fig2": fig02_ctable.run,
@@ -109,8 +110,11 @@ def main(argv=None) -> int:
         print()
         if args.out is not None:
             args.out.mkdir(parents=True, exist_ok=True)
-            (args.out / ("%s.md" % name)).write_text(result.to_markdown() + "\n")
-            (args.out / ("%s.json" % name)).write_text(result.to_json() + "\n")
+            for suffix, text in ((".md", result.to_markdown()), (".json", result.to_json())):
+                atomic_write(
+                    args.out / (name + suffix),
+                    lambda handle, _text=text: handle.write(_text + "\n"),
+                )
     if args.report is not None:
         if args.out is None:
             parser.error("--report requires --out (the JSONs to collate)")

@@ -12,6 +12,7 @@ from pathlib import Path
 from typing import List, Union
 
 from .base import ExperimentResult
+from ..persistence import atomic_write
 
 PathLike = Union[str, Path]
 
@@ -67,5 +68,6 @@ def build_report(results_dir: PathLike, charts: bool = True) -> str:
 def write_report(results_dir: PathLike, output: PathLike, charts: bool = True) -> Path:
     """Render and write the report; returns the output path."""
     output = Path(output)
-    output.write_text(build_report(results_dir, charts=charts) + "\n")
+    text = build_report(results_dir, charts=charts) + "\n"
+    atomic_write(output, lambda handle: handle.write(text))
     return output

@@ -56,13 +56,37 @@ def _fsync_directory(path: Path) -> None:
         os.close(fd)
 
 
-def _atomic_write(path: Path, write_payload, mode: str = "w") -> None:
+#: test/fault-injection hook observed by :func:`atomic_write`; installed
+#: via :func:`set_write_fault_hook`.  Called as ``hook(stage, path,
+#: handle)`` at stage ``"payload"`` (temp file open, nothing written yet)
+#: and ``"commit"`` (payload written + fsynced, rename not yet issued).
+#: A hook that raises simulates disk-full / torn-write / crash-before-
+#: rename faults; the helper guarantees the destination file is never
+#: observable in a partial state regardless of where the hook fires.
+_WRITE_FAULT_HOOK = None
+
+
+def set_write_fault_hook(hook):
+    """Install (or clear, with ``None``) the atomic-write fault hook.
+
+    Returns the previously installed hook so tests can restore it.
+    """
+    global _WRITE_FAULT_HOOK
+    previous = _WRITE_FAULT_HOOK
+    _WRITE_FAULT_HOOK = hook
+    return previous
+
+
+def atomic_write(path: PathLike, write_payload, mode: str = "w") -> None:
     """Write a file atomically: temp file + fsync + ``os.replace``.
 
     ``write_payload`` receives the open temp-file handle.  A crash at any
     instant leaves either the old file or the new one, never a torn mix;
     the fsync-before-rename (plus a directory fsync after) makes the
-    rename itself durable.
+    rename itself durable.  Every durable artifact in the library --
+    datasets, results, checkpoints, the service store's metadata and
+    index -- goes through this one helper, so the torn-write/disk-full
+    fault suite covers them all at once.
     """
     path = Path(path)
     fd, tmp = tempfile.mkstemp(
@@ -70,15 +94,23 @@ def _atomic_write(path: Path, write_payload, mode: str = "w") -> None:
     )
     try:
         with os.fdopen(fd, mode) as handle:
+            if _WRITE_FAULT_HOOK is not None:
+                _WRITE_FAULT_HOOK("payload", path, handle)
             write_payload(handle)
             handle.flush()
             os.fsync(handle.fileno())
+            if _WRITE_FAULT_HOOK is not None:
+                _WRITE_FAULT_HOOK("commit", path, handle)
         os.replace(tmp, path)
         _fsync_directory(path.parent)
     except BaseException:
         if os.path.exists(tmp):
             os.unlink(tmp)
         raise
+
+
+#: Backward-compatible alias (pre-service internal name).
+_atomic_write = atomic_write
 
 
 # ----------------------------------------------------------------------

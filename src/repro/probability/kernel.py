@@ -46,6 +46,7 @@ __all__ = [
     "KERNEL_MODES",
     "ForestProgram",
     "resolve_kernel",
+    "validate_jit_gate",
 ]
 
 #: Kernel mode knob: ``auto`` picks numba when installed *and* opted in
@@ -57,6 +58,31 @@ KERNEL_MODES = ("auto", "numpy", "numba", "python")
 HAS_NUMBA = importlib.util.find_spec("numba") is not None
 
 _JIT_ENV = "REPRO_FOREST_JIT"
+
+
+def validate_jit_gate() -> None:
+    """Fail fast when ``REPRO_FOREST_JIT`` opts in but numba is absent.
+
+    Called at *config* time (``BayesCrowdConfig`` validation for the
+    forest backend, and service settings validation) so a host that opted
+    into the JIT without having numba installed gets one clear
+    :class:`~repro.errors.ConfigError` up front instead of a confusing
+    per-worker crash (or a silent numpy fallback the operator believes is
+    jitted).  ``resolve_kernel('auto')`` itself keeps the numpy fallback:
+    a worker must never crash even if the environment mutates after
+    configuration.
+    """
+    if os.environ.get(_JIT_ENV, "0") in ("", "0"):
+        return
+    if not HAS_NUMBA:
+        from ..errors import ConfigError
+
+        raise ConfigError(
+            "%s=1 requests the numba JIT kernel but numba is not "
+            "installed; unset %s (the numpy kernel is the default and "
+            "needs no extra packages) or install numba"
+            % (_JIT_ENV, _JIT_ENV)
+        )
 
 
 def resolve_kernel(mode: str) -> str:

@@ -1,0 +1,8 @@
+"""``python -m repro.service`` starts the query server."""
+
+import sys
+
+from .server import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,155 @@
+"""Transport/storage fault injection for the query service.
+
+Two families, both used by the robustness test-suite and the CI chaos
+job, both safe to import in production code (they do nothing until
+armed):
+
+* :class:`StoreFaultInjector` -- hooks
+  :func:`repro.persistence.atomic_write` to simulate **disk-full**
+  (``ENOSPC`` while writing the temp file) and **torn-write** (partial
+  payload then a simulated crash before the rename).  The atomicity
+  contract under test: the *target* file is never observable in a
+  partial state -- it is absent, fully old, or fully new.
+
+* socket probes -- drive the server's transport defenses from a real
+  client socket: :func:`slow_loris_probe` trickles an unfinished request
+  head and expects the 408 timeout to reap it;
+  :func:`abrupt_close_probe` disappears mid-request and expects the
+  server (and its hosted sessions) to shrug.
+"""
+
+from __future__ import annotations
+
+import errno
+import socket
+import time
+from pathlib import Path
+from typing import Optional
+
+from ..persistence import set_write_fault_hook
+
+__all__ = [
+    "StoreFaultInjector",
+    "slow_loris_probe",
+    "abrupt_close_probe",
+]
+
+FAULT_MODES = ("disk_full", "torn")
+
+
+class StoreFaultInjector:
+    """Context manager that makes the next atomic writes fail on purpose.
+
+    ``mode='disk_full'`` raises ``OSError(ENOSPC)`` while the payload is
+    being written to the temp file; ``mode='torn'`` writes a partial
+    payload and then raises at the commit point (the instant before
+    rename) -- the moral equivalent of a crash with a half-written temp
+    file.  In both cases ``atomic_write`` must leave the target path
+    untouched and the temp file unlinked.
+
+    ``times`` bounds how many writes fail (subsequent writes succeed,
+    modelling the disk recovering); ``match`` restricts injection to
+    paths containing that substring.
+    """
+
+    def __init__(
+        self,
+        mode: str = "disk_full",
+        times: int = 1,
+        match: Optional[str] = None,
+    ) -> None:
+        if mode not in FAULT_MODES:
+            raise ValueError(
+                "unknown fault mode %r; expected one of %r" % (mode, FAULT_MODES)
+            )
+        self.mode = mode
+        self.remaining = times
+        self.match = match
+        self.fired = 0
+        self._previous = None
+
+    # ------------------------------------------------------------------
+    def _hook(self, stage: str, path: Path, handle) -> None:
+        if self.remaining <= 0:
+            return
+        if self.match is not None and self.match not in str(path):
+            return
+        if self.mode == "disk_full" and stage == "payload":
+            self.remaining -= 1
+            self.fired += 1
+            raise OSError(errno.ENOSPC, "injected: no space left on device")
+        if self.mode == "torn" and stage == "commit":
+            self.remaining -= 1
+            self.fired += 1
+            # Half of the payload is already durable in the temp file;
+            # the "crash" happens before the rename publishes it.
+            handle.write("\x00TORN")
+            handle.flush()
+            raise OSError(errno.EIO, "injected: crash before rename")
+
+    def __enter__(self) -> "StoreFaultInjector":
+        self._previous = set_write_fault_hook(self._hook)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        set_write_fault_hook(self._previous)
+
+
+# ----------------------------------------------------------------------
+# transport probes
+# ----------------------------------------------------------------------
+def slow_loris_probe(
+    host: str,
+    port: int,
+    duration_s: float = 30.0,
+    interval_s: float = 0.2,
+    timeout_s: float = 60.0,
+) -> bytes:
+    """Trickle an unfinished request head; return whatever the server sent.
+
+    A robust server must reap the connection with a 408 (or a plain
+    close) once ``header_timeout_s`` elapses -- it must not hold the
+    socket open for the whole ``duration_s``.
+    """
+    deadline = time.monotonic() + duration_s
+    with socket.create_connection((host, port), timeout=timeout_s) as sock:
+        sock.sendall(b"GET /healthz HTTP/1.1\r\nHost: x\r\nX-Drip: ")
+        received = b""
+        while time.monotonic() < deadline:
+            try:
+                sock.sendall(b"y")
+            except OSError:
+                break  # server gave up on us: success
+            sock.settimeout(interval_s)
+            try:
+                chunk = sock.recv(4096)
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            if not chunk:
+                break  # orderly close
+            received += chunk
+            if b"\r\n\r\n" in received:
+                break  # got the 408
+        return received
+
+
+def abrupt_close_probe(host: str, port: int, body_bytes: int = 1 << 16) -> None:
+    """Announce a large body, send half of it, and vanish (RST if we can)."""
+    with socket.create_connection((host, port), timeout=60.0) as sock:
+        head = (
+            "POST /v1/datasets HTTP/1.1\r\nHost: x\r\n"
+            "Content-Length: %d\r\n\r\n" % body_bytes
+        ).encode()
+        sock.sendall(head + b"x" * (body_bytes // 2))
+        # SO_LINGER(0) turns close() into a hard RST, the nastiest
+        # flavour of client disappearance.
+        try:
+            import struct
+
+            sock.setsockopt(
+                socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+            )
+        except OSError:
+            pass

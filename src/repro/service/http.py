@@ -1,0 +1,256 @@
+"""Minimal asyncio HTTP/1.1 layer: request parsing, responses, limits.
+
+The service deliberately speaks plain HTTP over stdlib ``asyncio``
+streams -- no web framework, no new dependency -- because its surface is
+small (JSON bodies, JSONL streams, Prometheus text) and its robustness
+requirements are specific:
+
+* **slow-loris resistance**: the whole request head must arrive within
+  ``header_timeout_s`` and fit in ``max_header_bytes``, the body within
+  ``body_timeout_s`` and ``max_body_bytes``; violators cost one socket
+  for a bounded time, never a thread or unbounded buffer;
+* **typed rejection**: every refusal is an :class:`HTTPError` with a
+  proper status (400/404/408/411/413/429/431/503) and -- for the
+  backpressure statuses -- a ``Retry-After`` header, so well-behaved
+  clients back off instead of hammering;
+* **half-dead peers**: writes absorb ``ConnectionResetError`` /
+  ``BrokenPipeError``; a client that vanished mid-stream must never
+  take a session (or the server) down with it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import AsyncIterator, Dict, Optional, Tuple
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+__all__ = [
+    "HTTPError",
+    "Request",
+    "Response",
+    "json_response",
+    "error_response",
+    "read_request",
+    "write_response",
+]
+
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    409: "Conflict",
+    411: "Length Required",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: request methods the router understands
+METHODS = ("GET", "POST", "DELETE", "HEAD")
+
+
+class HTTPError(Exception):
+    """A typed request refusal, rendered as a JSON error body."""
+
+    def __init__(
+        self, status: int, message: str, retry_after: Optional[float] = None
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.retry_after = retry_after
+
+
+class Request:
+    """One parsed HTTP request."""
+
+    def __init__(
+        self,
+        method: str,
+        target: str,
+        headers: Dict[str, str],
+        body: bytes,
+    ) -> None:
+        self.method = method
+        parts = urlsplit(target)
+        self.path = unquote(parts.path)
+        self.query: Dict[str, str] = dict(parse_qsl(parts.query))
+        self.headers = headers
+        self.body = body
+        #: filled by the router from ``{name}`` path segments
+        self.params: Dict[str, str] = {}
+
+    def json(self):
+        """The request body parsed as JSON (400 on anything else)."""
+        if not self.body:
+            raise HTTPError(400, "a JSON request body is required")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as err:
+            raise HTTPError(400, "malformed JSON body: %s" % err) from err
+
+    @property
+    def wants_keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+
+class Response:
+    """One response: status + headers + body bytes, or a byte stream."""
+
+    def __init__(
+        self,
+        status: int = 200,
+        body: bytes = b"",
+        content_type: str = "application/json",
+        headers: Optional[Dict[str, str]] = None,
+        stream: Optional[AsyncIterator[bytes]] = None,
+    ) -> None:
+        self.status = status
+        self.body = body
+        self.content_type = content_type
+        self.headers = dict(headers or {})
+        #: when set, the body is produced incrementally and the
+        #: connection closes at stream end (close-delimited framing)
+        self.stream = stream
+
+
+def json_response(payload, status: int = 200) -> Response:
+    return Response(
+        status=status,
+        body=(json.dumps(payload, indent=None, sort_keys=True) + "\n").encode(),
+    )
+
+
+def error_response(err: HTTPError) -> Response:
+    headers = {}
+    if err.retry_after is not None:
+        # Retry-After is delta-seconds; round up so 0.5 isn't "now".
+        headers["Retry-After"] = str(max(1, int(-(-err.retry_after // 1))))
+    return Response(
+        status=err.status,
+        body=(
+            json.dumps({"error": err.message, "status": err.status}) + "\n"
+        ).encode(),
+        headers=headers,
+    )
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    max_header_bytes: int,
+    max_body_bytes: int,
+    header_timeout_s: float,
+    body_timeout_s: float,
+) -> Optional[Request]:
+    """Parse one request; ``None`` on clean EOF before a request line.
+
+    Raises :class:`HTTPError` on protocol violations and timeouts; the
+    caller renders it and closes the connection.
+    """
+    try:
+        head = await asyncio.wait_for(
+            reader.readuntil(b"\r\n\r\n"), timeout=header_timeout_s
+        )
+    except asyncio.TimeoutError:
+        raise HTTPError(408, "request head not received in time") from None
+    except asyncio.IncompleteReadError as err:
+        if not err.partial:
+            return None  # clean keep-alive close
+        raise HTTPError(400, "connection closed mid-request") from None
+    except asyncio.LimitOverrunError:
+        raise HTTPError(431, "request head too large") from None
+    if len(head) > max_header_bytes:
+        raise HTTPError(431, "request head too large")
+
+    try:
+        head_text = head.decode("latin-1")
+        request_line, _, header_block = head_text.partition("\r\n")
+        method, target, version = request_line.split(" ", 2)
+    except ValueError:
+        raise HTTPError(400, "malformed request line") from None
+    if not version.startswith("HTTP/1."):
+        raise HTTPError(400, "unsupported protocol %r" % version)
+    if method not in METHODS:
+        raise HTTPError(405, "method %s not supported" % method)
+
+    headers: Dict[str, str] = {}
+    for line in header_block.split("\r\n"):
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HTTPError(400, "malformed header line %r" % line)
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise HTTPError(400, "malformed Content-Length") from None
+        if length < 0:
+            raise HTTPError(400, "malformed Content-Length")
+        if length > max_body_bytes:
+            raise HTTPError(413, "request body exceeds %d bytes" % max_body_bytes)
+        if length:
+            try:
+                body = await asyncio.wait_for(
+                    reader.readexactly(length), timeout=body_timeout_s
+                )
+            except asyncio.TimeoutError:
+                raise HTTPError(408, "request body not received in time") from None
+            except asyncio.IncompleteReadError:
+                raise HTTPError(400, "connection closed mid-body") from None
+    elif headers.get("transfer-encoding"):
+        raise HTTPError(411, "chunked request bodies are not supported")
+    elif method == "POST":
+        # POST without a length: treat as empty body (handlers that
+        # need one raise 400 from Request.json()).
+        body = b""
+    return Request(method, target, headers, body)
+
+
+async def write_response(
+    writer: asyncio.StreamWriter,
+    response: Response,
+    keep_alive: bool = True,
+) -> Tuple[bool, bool]:
+    """Send one response; returns ``(written_ok, connection_reusable)``.
+
+    Streamed responses are close-delimited, so they always end the
+    connection; a peer that disappears mid-write is absorbed (the
+    caller just closes).
+    """
+    reusable = keep_alive and response.stream is None
+    head = ["HTTP/1.1 %d %s" % (response.status, _REASONS.get(response.status, "OK"))]
+    headers = dict(response.headers)
+    headers.setdefault("Content-Type", response.content_type)
+    if response.stream is None:
+        headers["Content-Length"] = str(len(response.body))
+    headers["Connection"] = "keep-alive" if reusable else "close"
+    for name, value in headers.items():
+        head.append("%s: %s" % (name, value))
+    head.append("\r\n")
+    try:
+        writer.write("\r\n".join(head).encode("latin-1"))
+        if response.stream is None:
+            if response.body:
+                writer.write(response.body)
+            await writer.drain()
+        else:
+            await writer.drain()
+            async for chunk in response.stream:
+                if chunk:
+                    writer.write(chunk)
+                    await writer.drain()
+    except (ConnectionResetError, BrokenPipeError, OSError):
+        return False, False
+    return True, reusable

@@ -67,6 +67,60 @@ class TestKernelResolution:
         assert resolve_kernel("auto") == "numba"
 
 
+class TestJitGateDegradesCleanly:
+    """``REPRO_FOREST_JIT`` without numba: a clear error at config time,
+    never a worker crash (the worker-facing 'auto' path keeps numpy)."""
+
+    @pytest.fixture
+    def no_numba(self, monkeypatch):
+        from repro.probability import kernel as kernel_module
+
+        monkeypatch.setattr(kernel_module, "HAS_NUMBA", False)
+        monkeypatch.setenv("REPRO_FOREST_JIT", "1")
+
+    def test_gate_raises_config_error(self, no_numba):
+        from repro.errors import ConfigError
+        from repro.probability.kernel import validate_jit_gate
+
+        with pytest.raises(ConfigError) as err:
+            validate_jit_gate()
+        assert "numba is not installed" in str(err.value)
+        assert "REPRO_FOREST_JIT" in str(err.value)
+
+    def test_forest_backend_config_fails_fast(self, no_numba):
+        from repro.core import BayesCrowdConfig
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            BayesCrowdConfig(probability_backend="forest")
+        # Other backends never consult the JIT gate.
+        assert BayesCrowdConfig(probability_backend="adpll").seed == 0
+
+    def test_service_settings_fail_fast(self, no_numba, tmp_path):
+        from repro.errors import ConfigError
+        from repro.service import ServiceSettings
+
+        with pytest.raises(ConfigError):
+            ServiceSettings(port=0, data_dir=tmp_path)
+
+    def test_worker_auto_path_never_crashes(self, no_numba):
+        # Even with the bad env var set, the in-worker resolution keeps
+        # the numpy fallback -- the failure belongs to config time only.
+        assert resolve_kernel("auto") == "numpy"
+
+    def test_gate_is_silent_when_disarmed(self, monkeypatch):
+        from repro.probability import kernel as kernel_module
+        from repro.probability.kernel import validate_jit_gate
+
+        monkeypatch.setattr(kernel_module, "HAS_NUMBA", False)
+        for value in (None, "0", ""):
+            if value is None:
+                monkeypatch.delenv("REPRO_FOREST_JIT", raising=False)
+            else:
+                monkeypatch.setenv("REPRO_FOREST_JIT", value)
+            validate_jit_gate()  # must not raise
+
+
 def make_forest(kernel="numpy", domain=4, **kwargs):
     constraints = VariableConstraints([domain])
     store = uniform_store(domain=domain, constraints=constraints)

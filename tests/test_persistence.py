@@ -370,3 +370,68 @@ class TestCheckpointV2:
             counters["answers_quarantined"] + counters["answers_applied"]
             == counters["answers_aggregated"]
         )
+
+
+class TestCheckpointVersionMatrix:
+    """Every supported on-disk version loads under the current reader,
+    and a mid-run file of each vintage resumes to completion.
+
+    The downgrade helper strips exactly the fields each older writer
+    did not know about, so the files match what v1/v2 processes really
+    produced.  (The v3 round-trip across a *server* restart is covered
+    by the service suite's drain/recovery test.)
+    """
+
+    @staticmethod
+    def _downgrade(data, version):
+        data = dict(data)
+        if version <= 2:
+            data.pop("journal_seq", None)
+            data.pop("task_ids_state", None)
+            data["pending"] = [entry[:2] for entry in data.get("pending", [])]
+        if version <= 1:
+            data.pop("ledger_state", None)
+            data.pop("reliability_state", None)
+        data["format_version"] = version
+        return data
+
+    def _mid_run_file(self, tmp_path, version):
+        """Checkpoint a real run, then rewrite it as the older vintage."""
+        dataset = generate_nba(n_objects=30, missing_rate=0.4, seed=3)
+        config = BayesCrowdConfig(
+            budget=30, latency=5, worker_accuracy=0.9, alpha=0.1, seed=3
+        )
+        path = tmp_path / "run.ckpt.json"
+        BayesCrowd(dataset, config).run(checkpoint_path=path)
+        data = self._downgrade(json.loads(path.read_text()), version)
+        path.write_text(json.dumps(data))
+        return dataset, config, path
+
+    @pytest.mark.parametrize("version", [1, 2, 3])
+    def test_loads_under_current_reader(self, tmp_path, version):
+        dataset, config, path = self._mid_run_file(tmp_path, version)
+        loaded = load_checkpoint(path)
+        assert loaded.budget_left >= 0
+        if version <= 2:
+            assert loaded.journal_seq is None
+            assert loaded.task_ids_state is None
+        if version <= 1:
+            assert loaded.ledger_state is None
+            assert loaded.reliability_state is None
+
+    @pytest.mark.parametrize("version", [1, 2, 3])
+    def test_resumes_to_completion(self, tmp_path, version):
+        dataset, config, path = self._mid_run_file(tmp_path, version)
+        result = BayesCrowd(dataset, config).run(
+            checkpoint_path=path, resume=True
+        )
+        assert result.resumed
+        assert result.answers
+
+    def test_future_version_still_rejected(self, tmp_path):
+        dataset, config, path = self._mid_run_file(tmp_path, 3)
+        data = json.loads(path.read_text())
+        data["format_version"] = CHECKPOINT_VERSION + 1
+        path.write_text(json.dumps(data))
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
